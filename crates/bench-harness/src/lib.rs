@@ -1,0 +1,321 @@
+//! Benchmark harness reproducing the CDRC paper's evaluation methodology
+//! (§5): timed multi-threaded workloads over the `lockfree` structures,
+//! measuring throughput (Mop/s) and memory overhead ("extra nodes" — nodes
+//! allocated but not yet freed, beyond the live working set).
+//!
+//! Environment knobs (all optional):
+//!
+//! * `BENCH_MS` — milliseconds per (structure, scheme, threads) cell
+//!   (default 300; the paper runs seconds — raise for stabler numbers);
+//! * `BENCH_THREADS` — comma-separated thread counts (default: a power-of-
+//!   two sweep up to 2× the hardware parallelism, exercising the paper's
+//!   oversubscribed regime);
+//! * `BENCH_SAMPLE_MS` — memory sampling period (default 10).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lockfree::{ConcurrentMap, ConcurrentQueue};
+
+/// Operation mix for a map workload, in parts per hundred. Updates are half
+/// inserts, half deletes; the remainder of `100 - update_pct - rq_pct` is
+/// point lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Keys drawn uniformly from `[0, key_range)` (the paper uses twice the
+    /// initial size).
+    pub key_range: u64,
+    /// Initial size — prefilled with this many random keys.
+    pub initial_size: u64,
+    /// Percentage of update operations (half insert, half delete).
+    pub update_pct: u32,
+    /// Percentage of range queries.
+    pub rq_pct: u32,
+    /// Keys scanned per range query (`[k, k + rq_size)`).
+    pub rq_size: u64,
+}
+
+impl Workload {
+    /// The paper's point-operation workload: N initial keys, key range 2N,
+    /// `update_pct`% updates, rest lookups.
+    pub fn points(initial_size: u64, update_pct: u32) -> Self {
+        Workload {
+            key_range: initial_size * 2,
+            initial_size,
+            update_pct,
+            rq_pct: 0,
+            rq_size: 0,
+        }
+    }
+
+    /// The Fig. 11 workload: 50% updates, 50% range queries of size 64 over
+    /// a 100K-key tree (key range 200K).
+    pub fn fig11() -> Self {
+        Workload {
+            key_range: 200_000,
+            initial_size: 100_000,
+            update_pct: 50,
+            rq_pct: 50,
+            rq_size: 64,
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Figure / experiment id.
+    pub figure: String,
+    /// Data structure name.
+    pub structure: String,
+    /// Scheme / series name (e.g. "EBR", "RC (EBR)").
+    pub scheme: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Millions of completed operations per second.
+    pub mops: f64,
+    /// Mean of sampled (in-flight − live-baseline) node counts.
+    pub extra_nodes_avg: u64,
+    /// Peak of the same.
+    pub extra_nodes_peak: u64,
+}
+
+impl Row {
+    /// CSV form (matches [`print_header`]).
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.3},{},{}",
+            self.figure,
+            self.structure,
+            self.scheme,
+            self.threads,
+            self.mops,
+            self.extra_nodes_avg,
+            self.extra_nodes_peak
+        )
+    }
+}
+
+/// Prints the CSV header used by every bench binary.
+pub fn print_header() {
+    println!("figure,structure,scheme,threads,mops,extra_nodes_avg,extra_nodes_peak");
+}
+
+/// Milliseconds each cell runs for (`BENCH_MS`, default 300).
+pub fn bench_millis() -> u64 {
+    std::env::var("BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn sample_millis() -> u64 {
+    std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// The thread counts to sweep (`BENCH_THREADS`, default: powers of two up
+/// to 2× hardware parallelism — the tail exercises oversubscription as in
+/// the paper).
+pub fn thread_counts() -> Vec<usize> {
+    if let Ok(v) = std::env::var("BENCH_THREADS") {
+        return v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out = vec![1];
+    let mut n = 2;
+    while n < 2 * hw {
+        out.push(n);
+        n *= 2;
+    }
+    out.push(2 * hw);
+    out.dedup();
+    out
+}
+
+/// Prefills `map` with `spec.initial_size` distinct random keys.
+pub fn prefill<M: ConcurrentMap<u64, u64>>(map: &M, spec: &Workload) {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let mut inserted = 0;
+    while inserted < spec.initial_size {
+        let k = rng.gen_range(0..spec.key_range);
+        if map.insert(k, k) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs `spec` over `map` with `threads` workers for the configured
+/// duration; returns (Mop/s, extra-nodes mean, extra-nodes peak).
+///
+/// The map must already be prefilled; its current `in_flight_nodes` is
+/// taken as the live baseline for the memory metric.
+pub fn run_map<M: ConcurrentMap<u64, u64>>(map: &M, spec: &Workload, threads: usize) -> (f64, u64, u64) {
+    let dur = Duration::from_millis(bench_millis());
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let live_baseline = map.in_flight_nodes();
+
+    let (elapsed, sum, peak, samples) = std::thread::scope(|s| {
+        for tid in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            let map = &map;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xC0FFEE + tid as u64);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let k = rng.gen_range(0..spec.key_range);
+                        let dice = rng.gen_range(0..100u32);
+                        if dice < spec.update_pct {
+                            if dice % 2 == 0 {
+                                map.insert(k, k);
+                            } else {
+                                map.remove(&k);
+                            }
+                        } else if dice < spec.update_pct + spec.rq_pct {
+                            let hi = k.saturating_add(spec.rq_size);
+                            map.range(&k, &hi, spec.rq_size as usize);
+                        } else {
+                            map.get(&k);
+                        }
+                        ops += 1;
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // Sampler doubles as the timer.
+        barrier.wait();
+        let started = Instant::now();
+        let tick = Duration::from_millis(sample_millis());
+        let mut sum = 0u128;
+        let mut peak = 0u64;
+        let mut samples = 0u64;
+        while started.elapsed() < dur {
+            std::thread::sleep(tick);
+            let extra = map.in_flight_nodes().saturating_sub(live_baseline);
+            sum += extra as u128;
+            peak = peak.max(extra);
+            samples += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        // Scope joins the workers on exit; total_ops is complete after.
+        (elapsed, sum, peak, samples)
+    });
+    let mops = total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1.0e6;
+    let avg = (sum / samples.max(1) as u128) as u64;
+    (mops, avg, peak)
+}
+
+/// Runs the Fig. 12 workload: each thread repeatedly pops an element and
+/// reinserts it; the queue is seeded with one element per thread.
+/// Returns Mop/s (each pop+push pair counts as two operations, matching the
+/// paper's "operations per second").
+pub fn run_queue<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize) -> f64 {
+    for i in 0..threads as u64 {
+        queue.enqueue(i);
+    }
+    let dur = Duration::from_millis(bench_millis());
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            let queue = &queue;
+            s.spawn(move || {
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..32 {
+                        loop {
+                            if let Some(v) = queue.dequeue() {
+                                queue.enqueue(v);
+                                ops += 2;
+                                break;
+                            }
+                        }
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total_ops.load(Ordering::Relaxed) as f64 / dur.as_secs_f64() / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockfree::manual::HarrisMichaelList;
+    use lockfree::manual::DoubleLinkQueue;
+    use smr::Ebr;
+
+    #[test]
+    fn thread_counts_nonempty_and_sorted_unique() {
+        let tc = thread_counts();
+        assert!(!tc.is_empty());
+        assert!(tc.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn prefill_reaches_target() {
+        let spec = Workload::points(100, 10);
+        let list: HarrisMichaelList<u64, u64, Ebr> = HarrisMichaelList::new();
+        prefill(&list, &spec);
+        assert_eq!(list.iter_count(), 100);
+    }
+
+    #[test]
+    fn run_map_produces_throughput() {
+        std::env::set_var("BENCH_MS", "50");
+        let spec = Workload::points(64, 20);
+        let list: HarrisMichaelList<u64, u64, Ebr> = HarrisMichaelList::new();
+        prefill(&list, &spec);
+        let (mops, _, _) = run_map(&list, &spec, 2);
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn run_queue_produces_throughput() {
+        std::env::set_var("BENCH_MS", "50");
+        let q: DoubleLinkQueue<u64, Ebr> = DoubleLinkQueue::new();
+        let mops = run_queue(&q, 2);
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn workload_constructors() {
+        let w = Workload::points(1000, 10);
+        assert_eq!(w.key_range, 2000);
+        assert_eq!(w.rq_pct, 0);
+        let f = Workload::fig11();
+        assert_eq!(f.update_pct + f.rq_pct, 100);
+        assert_eq!(f.rq_size, 64);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation (§4.3): wait-free sticky counter vs the traditional CAS-loop
+//! increment-if-not-zero, under contention.
+//!
+//! P threads hammer one shared counter with upgrade/downgrade pairs while
+//! one thread performs linearizable loads. The CAS loop degrades as P grows
+//! (O(P) amortized per upgrade); the sticky counter stays flat.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use bench_harness::{bench_millis, print_header, thread_counts, Row};
+use sticky::{CasCounter, Counter, StickyCounter};
+
+fn run<C: Counter>(threads: usize) -> f64 {
+    let c = C::with_count(1);
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let c = &c;
+            let stop = &stop;
+            let ops = &ops;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..128 {
+                        if i % 4 == 3 {
+                            // A quarter of the threads read.
+                            std::hint::black_box(c.load());
+                        } else if c.increment_if_not_zero() {
+                            c.decrement();
+                        }
+                        n += 1;
+                    }
+                }
+                ops.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(bench_millis()));
+        stop.store(true, Ordering::Relaxed);
+    });
+    ops.load(Ordering::Relaxed) as f64 / (bench_millis() as f64 / 1e3) / 1e6
+}
+
+fn main() {
+    print_header();
+    for &threads in &thread_counts() {
+        let mops = run::<StickyCounter>(threads);
+        println!(
+            "{}",
+            Row {
+                figure: "ablation_counter".into(),
+                structure: "counter".into(),
+                scheme: "sticky (wait-free)".into(),
+                threads,
+                mops,
+                extra_nodes_avg: 0,
+                extra_nodes_peak: 0,
+            }
+            .csv()
+        );
+        let mops = run::<CasCounter>(threads);
+        println!(
+            "{}",
+            Row {
+                figure: "ablation_counter".into(),
+                structure: "counter".into(),
+                scheme: "CAS loop".into(),
+                threads,
+                mops,
+                extra_nodes_avg: 0,
+                extra_nodes_peak: 0,
+            }
+            .csv()
+        );
+    }
+}

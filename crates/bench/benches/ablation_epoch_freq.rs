@@ -1,0 +1,48 @@
+//! Ablation (§5.1): sensitivity of EBR and IBR to `epoch_freq` (the number
+//! of allocations between epoch advances). The paper tunes EBR to 10 and
+//! IBR to 40: advancing too often bottlenecks the shared epoch counter,
+//! advancing too rarely inflates the retired backlog ("extra nodes").
+
+use std::sync::Arc;
+
+use bench_harness::{prefill, print_header, run_map, thread_counts, Row, Workload};
+use lockfree::manual::HarrisMichaelList;
+use lockfree::NodeStats;
+use smr::{AcquireRetire, Ebr, GlobalEpoch, Ibr, SmrConfig};
+
+fn series<S: AcquireRetire>(scheme: &str, freq: u64, spec: &Workload) {
+    let threads = *thread_counts().last().unwrap_or(&4);
+    let cfg = SmrConfig {
+        epoch_freq: freq,
+        ..S::default_config()
+    };
+    let smr = Arc::new(S::new(Arc::new(GlobalEpoch::new()), cfg));
+    let list: HarrisMichaelList<u64, u64, S> =
+        HarrisMichaelList::with_shared(smr, Arc::new(NodeStats::new()));
+    prefill(&list, spec);
+    let (mops, avg, peak) = run_map(&list, spec, threads);
+    println!(
+        "{}",
+        Row {
+            figure: "ablation_epoch_freq".into(),
+            structure: "list".into(),
+            scheme: format!("{scheme} freq={freq}"),
+            threads,
+            mops,
+            extra_nodes_avg: avg,
+            extra_nodes_peak: peak,
+        }
+        .csv()
+    );
+}
+
+fn main() {
+    print_header();
+    let spec = Workload::points(1_000, 50);
+    for freq in [1u64, 10, 40, 100, 1000] {
+        series::<Ebr>("EBR", freq, &spec);
+    }
+    for freq in [1u64, 10, 40, 100, 1000] {
+        series::<Ibr>("IBR", freq, &spec);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation (§3.4): the snapshot fast path vs the reference-count fallback.
+//!
+//! A thread holds `k` live snapshots of distinct locations and measures the
+//! rate of taking one more. Under the hazard-pointer scheme, once `k`
+//! exhausts the announcement slots, `get_snapshot` falls back to the
+//! acquire + increment slow path — the mechanism behind RC (HP)'s collapse
+//! in Fig. 11. Protected-region schemes (EBR here as the contrast) never
+//! fall back.
+
+use std::time::Instant;
+
+use bench_harness::{bench_millis, print_header, Row};
+use cdrc::{AtomicSharedPtr, Scheme, SharedPtr};
+
+fn run<S: Scheme>(scheme: &str, held: usize) {
+    let slots: Vec<AtomicSharedPtr<u64, S>> = (0..held + 1)
+        .map(|i| AtomicSharedPtr::new(SharedPtr::new(i as u64)))
+        .collect();
+    let domain = S::global_domain();
+    let cs = domain.cs();
+    // Pin `held` snapshots.
+    let pinned: Vec<_> = slots[..held].iter().map(|s| s.get_snapshot(&cs)).collect();
+    let fast = pinned.iter().filter(|s| s.used_fast_path()).count();
+    let target = &slots[held];
+    let deadline = Instant::now() + std::time::Duration::from_millis(bench_millis());
+    let mut ops = 0u64;
+    let mut last_fast = true;
+    while Instant::now() < deadline {
+        for _ in 0..256 {
+            let snap = target.get_snapshot(&cs);
+            last_fast = snap.used_fast_path();
+            std::hint::black_box(snap.as_ref());
+            ops += 1;
+        }
+    }
+    let mops = ops as f64 / (bench_millis() as f64 / 1e3) / 1e6;
+    println!(
+        "{}",
+        Row {
+            figure: "ablation_snapshot".into(),
+            structure: "atomic_shared_ptr".into(),
+            scheme: format!(
+                "{scheme} held={held} pinned_fast={fast} probe_fast={last_fast}"
+            ),
+            threads: 1,
+            mops,
+            extra_nodes_avg: 0,
+            extra_nodes_peak: 0,
+        }
+        .csv()
+    );
+    drop(pinned);
+    drop(cs);
+    drop(slots);
+    domain.process_deferred(smr::current_tid());
+}
+
+fn main() {
+    print_header();
+    // HP has 16 try_acquire slots by default: at held=16 the probe must take
+    // the slow path; EBR never does.
+    for held in [0usize, 8, 15, 16, 32] {
+        run::<cdrc::HpScheme>("RC (HP)", held);
+    }
+    for held in [0usize, 16, 32] {
+        run::<cdrc::EbrScheme>("RC (EBR)", held);
+    }
+}

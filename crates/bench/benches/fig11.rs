@@ -1,0 +1,82 @@
+//! Figure 11: Natarajan-Mittal tree, 50% updates / 50% range queries of
+//! size 64, N = 100K keys from [0, 200K).
+//!
+//! Series: manual EBR / IBR / Hyaline (manual HP cannot protect an
+//! unbounded range query, so — as in the paper — it has no series) and the
+//! four automatic schemes. The paper's headline: the protected-region RC
+//! schemes beat RC (HP) by ~7× at high thread counts, because RCHP's range
+//! queries exhaust hazard slots and fall back to reference-count
+//! increments, and the RC-region schemes track their manual counterparts
+//! within 10–15%.
+
+use bench::{map_series, section_enabled, settle_scheme};
+use bench_harness::{print_header, Workload};
+use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+use lockfree::manual::NatarajanMittalTree;
+use lockfree::rc::RcNatarajanMittalTree;
+use smr::{Ebr, Hyaline, Ibr};
+
+fn main() {
+    let spec = Workload::fig11();
+    print_header();
+    if section_enabled("FIG11_ONLY", "manual") {
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "EBR",
+            &spec,
+            NatarajanMittalTree::<u64, u64, Ebr>::new,
+            || {},
+        );
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "IBR",
+            &spec,
+            NatarajanMittalTree::<u64, u64, Ibr>::new,
+            || {},
+        );
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "Hyaline",
+            &spec,
+            NatarajanMittalTree::<u64, u64, Hyaline>::new,
+            || {},
+        );
+    }
+    if section_enabled("FIG11_ONLY", "rc") {
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "RC (HP)",
+            &spec,
+            RcNatarajanMittalTree::<u64, u64, HpScheme>::new,
+            settle_scheme::<HpScheme>,
+        );
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "RC (EBR)",
+            &spec,
+            RcNatarajanMittalTree::<u64, u64, EbrScheme>::new,
+            settle_scheme::<EbrScheme>,
+        );
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "RC (IBR)",
+            &spec,
+            RcNatarajanMittalTree::<u64, u64, IbrScheme>::new,
+            settle_scheme::<IbrScheme>,
+        );
+        map_series(
+            "fig11",
+            "nmtree-rq",
+            "RC (Hyaline)",
+            &spec,
+            RcNatarajanMittalTree::<u64, u64, HyalineScheme>::new,
+            settle_scheme::<HyalineScheme>,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 12: atomic weak pointers on the DoubleLink queue.
+//!
+//! Seed the queue with one element per thread; each thread repeatedly pops
+//! and reinserts. Series:
+//!
+//! * "Original" — manual DoubleLink queue (EBR instance; see DESIGN.md for
+//!   the substitution of the authors' custom hazard scheme),
+//! * "Our Weak Pointers" — the Fig. 10 queue over `cdrc` atomic weak
+//!   pointers, powered (as in the paper) by the hazard-pointer
+//!   acquire-retire,
+//! * "just::thread" — the lock-based atomic shared/weak pointer baseline.
+//!
+//! Expected shape: Original > Ours (modest factor), Ours ≫ lock-based at
+//! high thread counts (the paper reports up to 10×).
+
+use bench::settle_scheme;
+use bench_harness::{print_header, run_queue, thread_counts, Row};
+use cdrc::HpScheme;
+use lockfree::locked::LockedDoubleLinkQueue;
+use lockfree::manual::DoubleLinkQueue;
+use lockfree::rc::RcDoubleLinkQueue;
+use lockfree::ConcurrentQueue;
+use smr::Ebr;
+
+fn series<Q: ConcurrentQueue<u64>>(name: &str, make: impl Fn() -> Q, settle: impl Fn()) {
+    for &threads in &thread_counts() {
+        let q = make();
+        let mops = run_queue(&q, threads);
+        drop(q);
+        settle();
+        let row = Row {
+            figure: "fig12".into(),
+            structure: "dlqueue".into(),
+            scheme: name.into(),
+            threads,
+            mops,
+            extra_nodes_avg: 0,
+            extra_nodes_peak: 0,
+        };
+        println!("{}", row.csv());
+    }
+}
+
+fn main() {
+    print_header();
+    series("Original", DoubleLinkQueue::<u64, Ebr>::new, || {});
+    series(
+        "Our Weak Pointers",
+        RcDoubleLinkQueue::<u64, HpScheme>::new,
+        settle_scheme::<HpScheme>,
+    );
+    series("just::thread", LockedDoubleLinkQueue::<u64>::new, || {});
+}

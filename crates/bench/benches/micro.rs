@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks: single-operation latencies of the pointer
+//! types and counters, per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cdrc::{AtomicSharedPtr, Scheme, SharedPtr};
+use sticky::{CasCounter, Counter, StickyCounter};
+
+fn counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter");
+    let sticky = StickyCounter::new(1);
+    g.bench_function("sticky/inc_dec", |b| {
+        b.iter(|| {
+            if sticky.increment_if_not_zero() {
+                sticky.decrement();
+            }
+        })
+    });
+    g.bench_function("sticky/load", |b| b.iter(|| std::hint::black_box(sticky.load())));
+    let cas = CasCounter::with_count(1);
+    g.bench_function("cas/inc_dec", |b| {
+        b.iter(|| {
+            if cas.increment_if_not_zero() {
+                cas.decrement();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn pointers<S: Scheme>(c: &mut Criterion, scheme: &str) {
+    let mut g = c.benchmark_group(format!("ptr/{scheme}"));
+    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::new(SharedPtr::new(7));
+    g.bench_function("load", |b| b.iter(|| std::hint::black_box(slot.load())));
+    g.bench_function("snapshot", |b| {
+        let cs = S::global_domain().cs();
+        b.iter(|| {
+            let snap = slot.get_snapshot(&cs);
+            std::hint::black_box(snap.as_ref());
+        })
+    });
+    g.bench_function("shared_clone_drop", |b| {
+        let p: SharedPtr<u64, S> = SharedPtr::new(3);
+        b.iter(|| std::hint::black_box(p.clone()))
+    });
+    g.bench_function("store", |b| {
+        b.iter(|| slot.store(SharedPtr::new(9)));
+    });
+    g.finish();
+    S::global_domain().process_deferred(smr::current_tid());
+}
+
+fn all_pointers(c: &mut Criterion) {
+    pointers::<cdrc::EbrScheme>(c, "ebr");
+    pointers::<cdrc::IbrScheme>(c, "ibr");
+    pointers::<cdrc::HpScheme>(c, "hp");
+    pointers::<cdrc::HyalineScheme>(c, "hyaline");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = counters, all_pointers
+}
+criterion_main!(benches);

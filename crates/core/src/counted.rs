@@ -1,0 +1,141 @@
+//! The control block: a managed object together with its strong and weak
+//! reference counts and enough type information to destroy and free it from
+//! type-erased code.
+//!
+//! Layout (`#[repr(C)]`, header first) lets the deferred-operation machinery
+//! treat every control block as a [`Header`] regardless of the payload type;
+//! the per-type vtable restores typing at disposal/deallocation time.
+//!
+//! Counter convention (§4.2): the weak count stores
+//! `#weak refs + (1 if #strong refs > 0 else 0)`, so the control block is
+//! freed exactly when the weak count hits zero, and the payload is destroyed
+//! (disposed) when the strong count hits zero.
+
+use std::mem::MaybeUninit;
+use std::ptr;
+
+use sticky::StickyCounter;
+
+/// Type-erased destruction hooks for a control block.
+pub(crate) struct Vtable {
+    /// Drops the payload in place (the *dispose* operation).
+    pub dispose: unsafe fn(*mut Header),
+    /// Frees the whole control block; the payload must already be disposed.
+    pub dealloc: unsafe fn(*mut Header),
+}
+
+/// The type-erased prefix of every control block.
+#[repr(C)]
+pub(crate) struct Header {
+    pub strong: StickyCounter,
+    pub weak: StickyCounter,
+    /// Birth epoch recorded by the owning domain's scheme at allocation.
+    pub birth: u64,
+    pub vtable: &'static Vtable,
+}
+
+/// A managed object: header followed by the payload in one allocation.
+#[repr(C)]
+pub(crate) struct Counted<T> {
+    pub header: Header,
+    /// `MaybeUninit` so the payload's drop runs exactly once — at dispose
+    /// time — rather than again when the allocation is freed.
+    pub value: MaybeUninit<T>,
+}
+
+unsafe fn dispose_impl<T>(h: *mut Header) {
+    let counted = h as *mut Counted<T>;
+    ptr::drop_in_place((*counted).value.as_mut_ptr());
+}
+
+unsafe fn dealloc_impl<T>(h: *mut Header) {
+    drop(Box::from_raw(h as *mut Counted<T>));
+}
+
+struct VtableOf<T>(std::marker::PhantomData<T>);
+
+impl<T> VtableOf<T> {
+    const VTABLE: Vtable = Vtable {
+        dispose: dispose_impl::<T>,
+        dealloc: dealloc_impl::<T>,
+    };
+}
+
+impl<T> Counted<T> {
+    /// Allocates a control block with strong count 1 and weak count 1 (the
+    /// strong side's +1 on the weak count).
+    pub(crate) fn allocate(value: T, birth: u64) -> *mut Counted<T> {
+        Box::into_raw(Box::new(Counted {
+            header: Header {
+                strong: StickyCounter::new(1),
+                weak: StickyCounter::new(1),
+                birth,
+                vtable: &VtableOf::<T>::VTABLE,
+            },
+            value: MaybeUninit::new(value),
+        }))
+    }
+}
+
+/// Views an erased header address as a typed control block pointer.
+#[inline]
+pub(crate) fn as_counted<T>(addr: usize) -> *mut Counted<T> {
+    addr as *mut Counted<T>
+}
+
+/// Views an erased address as a header pointer.
+#[inline]
+pub(crate) fn as_header(addr: usize) -> *mut Header {
+    addr as *mut Header
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use sticky::Counter;
+
+    #[test]
+    fn header_is_prefix_of_counted() {
+        // repr(C) with header first: the erased view must be exact.
+        let p = Counted::allocate(42u64, 7);
+        let h = p as *mut Header;
+        unsafe {
+            assert_eq!((*h).birth, 7);
+            assert_eq!((*h).strong.load(), 1);
+            assert_eq!((*h).weak.load(), 1);
+            assert_eq!((*p).value.assume_init_read(), 42);
+            // Payload was read out (Copy), dispose not needed for u64.
+            ((*h).vtable.dealloc)(h);
+        }
+    }
+
+    #[test]
+    fn dispose_runs_payload_drop_exactly_once() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let p = Counted::allocate(Probe(Arc::clone(&drops)), 0);
+        let h = p as *mut Header;
+        unsafe {
+            ((*h).vtable.dispose)(h);
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+            ((*h).vtable.dealloc)(h);
+            // Dealloc must not re-drop the payload.
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn alignment_supports_tag_bits() {
+        assert!(std::mem::align_of::<Counted<u8>>() >= 8);
+        let p = Counted::allocate(1u8, 0);
+        assert_eq!(p as usize & smr::TAG_MASK, 0);
+        unsafe { ((*(p as *mut Header)).vtable.dealloc)(p as *mut Header) };
+    }
+}

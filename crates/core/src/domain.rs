@@ -1,0 +1,595 @@
+//! The reclamation domain: three acquire-retire instances (strong
+//! decrements, weak decrements, disposals — §4.4 of the paper) sharing one
+//! epoch clock, plus the deferred-operation primitives of Figure 8.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr::util::CachePadded;
+use smr::{AcquireRetire, GlobalEpoch, Retired, SmrConfig, Tid, MAX_THREADS};
+use sticky::Counter;
+
+use crate::counted::{as_header, Counted, Header};
+
+/// An SMR scheme usable as the engine of the reference-counting library.
+///
+/// The single obligation beyond [`AcquireRetire`] is a process-global
+/// [`Domain`] so that pointer types need not thread a domain handle through
+/// every signature. Implemented here for all four schemes of the `smr`
+/// crate; implement it for your own scheme to plug it into the same pointer
+/// types.
+pub trait Scheme: AcquireRetire + Sized {
+    /// The process-wide domain that the pointer types of this crate bind to.
+    fn global_domain() -> &'static Domain<Self>;
+}
+
+macro_rules! impl_scheme {
+    ($ty:ty) => {
+        impl Scheme for $ty {
+            fn global_domain() -> &'static Domain<Self> {
+                static DOMAIN: std::sync::OnceLock<Domain<$ty>> = std::sync::OnceLock::new();
+                DOMAIN.get_or_init(Domain::new)
+            }
+        }
+    };
+}
+
+impl_scheme!(smr::Ebr);
+impl_scheme!(smr::Ibr);
+impl_scheme!(smr::Hp);
+impl_scheme!(smr::Hyaline);
+
+struct DomainLocal {
+    /// True while this thread is applying ejected deferred operations —
+    /// nested `collect` calls become no-ops, flattening what would otherwise
+    /// be unbounded recursive destruction (§3.2: `eject` must not recurse).
+    applying: Cell<bool>,
+}
+
+/// A reclamation domain for scheme `S`.
+///
+/// Holds the three acquire-retire instances of §4.4 — one delaying strong
+/// reference-count decrements, one delaying weak decrements, and one delaying
+/// disposal of managed objects — all sharing a [`GlobalEpoch`] so that birth
+/// epochs are comparable across instances.
+///
+/// Pointer types bind to [`Scheme::global_domain`]; standalone domains are
+/// mainly useful for tests and for embedding.
+pub struct Domain<S: AcquireRetire> {
+    pub(crate) strong_ar: S,
+    pub(crate) weak_ar: S,
+    pub(crate) dispose_ar: S,
+    clock: Arc<GlobalEpoch>,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    locals: Box<[CachePadded<DomainLocal>]>,
+}
+
+// Safety: `locals` entries are only touched by the thread whose Tid indexes
+// them; everything else is Sync.
+unsafe impl<S: AcquireRetire> Send for Domain<S> {}
+unsafe impl<S: AcquireRetire> Sync for Domain<S> {}
+
+impl<S: AcquireRetire> Default for Domain<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: AcquireRetire> Domain<S> {
+    /// Creates a domain with the scheme's preferred configuration.
+    pub fn new() -> Self {
+        Self::with_config(S::default_config())
+    }
+
+    /// Creates a domain with explicit scheme tuning.
+    pub fn with_config(cfg: SmrConfig) -> Self {
+        let clock = Arc::new(GlobalEpoch::new());
+        Domain {
+            strong_ar: S::new(Arc::clone(&clock), cfg.clone()),
+            weak_ar: S::new(Arc::clone(&clock), cfg.clone()),
+            dispose_ar: S::new(Arc::clone(&clock), cfg),
+            clock,
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            locals: (0..MAX_THREADS)
+                .map(|_| {
+                    CachePadded::new(DomainLocal {
+                        applying: Cell::new(false),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Control blocks allocated through this domain so far.
+    pub fn allocated(&self) -> u64 {
+        self.allocs.load(Ordering::SeqCst)
+    }
+
+    /// Control blocks freed so far.
+    pub fn freed(&self) -> u64 {
+        self.frees.load(Ordering::SeqCst)
+    }
+
+    /// Control blocks currently alive (allocated − freed): live objects plus
+    /// deferred garbage. The benchmark harness samples this for the paper's
+    /// "extra nodes" memory metric.
+    pub fn in_flight(&self) -> u64 {
+        self.allocated().saturating_sub(self.freed())
+    }
+
+    /// The shared epoch clock (exposed for tests and benchmarks).
+    pub fn epoch(&self) -> u64 {
+        self.clock.load()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    pub(crate) fn allocate<T>(&self, t: Tid, value: T) -> *mut Counted<T> {
+        let birth = self.strong_ar.birth_epoch(t);
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        Counted::allocate(value, birth)
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 8 primitives. `addr` is always an untagged control-block
+    // address. All `unsafe fn`s require: `addr` points to a live control
+    // block and the caller upholds the reference-count ownership rules
+    // stated on each.
+    // ------------------------------------------------------------------
+
+    /// Strong increment-if-not-zero.
+    ///
+    /// # Safety
+    ///
+    /// The control block must be alive (caller holds a weak or strong
+    /// reference, or protection on a location containing one).
+    #[inline]
+    pub(crate) unsafe fn increment(&self, addr: usize) -> bool {
+        (*as_header(addr)).strong.increment_if_not_zero()
+    }
+
+    /// Strong increment on an address known to have a nonzero count (e.g.
+    /// read from a location holding a strong reference, under protection).
+    ///
+    /// # Safety
+    ///
+    /// As [`increment`](Self::increment), plus the nonzero guarantee.
+    #[inline]
+    pub(crate) unsafe fn increment_alive(&self, addr: usize) {
+        let ok = self.increment(addr);
+        debug_assert!(ok, "increment of an expired object: protection bug");
+    }
+
+    /// Weak increment (never needs to check: a zero weak count means the
+    /// block is already freed, which the caller's reference excludes).
+    ///
+    /// # Safety
+    ///
+    /// The control block must be alive.
+    #[inline]
+    pub(crate) unsafe fn weak_increment(&self, addr: usize) {
+        let ok = (*as_header(addr)).weak.increment_if_not_zero();
+        debug_assert!(ok, "weak increment of a freed block: protection bug");
+    }
+
+    /// Direct strong decrement of a reference the caller owns. If it zeroes
+    /// the count, disposal is *deferred* through the dispose instance so
+    /// weak snapshots stay readable (§4.4).
+    ///
+    /// # Safety
+    ///
+    /// Caller owns one strong reference to `addr` and forfeits it.
+    pub(crate) unsafe fn decrement(&self, t: Tid, addr: usize) {
+        if (*as_header(addr)).strong.decrement() {
+            self.delayed_dispose(t, addr);
+        }
+    }
+
+    /// Direct weak decrement of a reference the caller owns. Frees the
+    /// control block when the weak count reaches zero.
+    ///
+    /// # Safety
+    ///
+    /// Caller owns one weak reference to `addr` and forfeits it.
+    pub(crate) unsafe fn weak_decrement(&self, _t: Tid, addr: usize) {
+        let h = as_header(addr);
+        if (*h).weak.decrement() {
+            self.frees.fetch_add(1, Ordering::Relaxed);
+            ((*h).vtable.dealloc)(h);
+        }
+    }
+
+    /// Destroys the managed object and drops the strong side's weak
+    /// reference (Fig. 8's `dispose`).
+    ///
+    /// # Safety
+    ///
+    /// The strong count of `addr` is zero and nobody else will dispose it.
+    pub(crate) unsafe fn dispose(&self, t: Tid, addr: usize) {
+        let h = as_header(addr);
+        ((*h).vtable.dispose)(h);
+        self.weak_decrement(t, addr);
+    }
+
+    /// Defers a strong decrement of a location-owned reference (the object
+    /// was just unlinked from a shared location).
+    ///
+    /// # Safety
+    ///
+    /// One strong reference to `addr` is transferred to the domain.
+    pub(crate) unsafe fn delayed_decrement(&self, t: Tid, addr: usize) {
+        let birth = (*as_header(addr)).birth;
+        self.strong_ar.retire(t, Retired::new(addr, birth));
+        self.collect(t);
+    }
+
+    /// Defers a weak decrement of a location-owned weak reference.
+    ///
+    /// # Safety
+    ///
+    /// One weak reference to `addr` is transferred to the domain.
+    pub(crate) unsafe fn delayed_weak_decrement(&self, t: Tid, addr: usize) {
+        let birth = (*as_header(addr)).birth;
+        self.weak_ar.retire(t, Retired::new(addr, birth));
+        self.collect(t);
+    }
+
+    /// Defers destruction of an object whose strong count just hit zero.
+    ///
+    /// # Safety
+    ///
+    /// The strong count of `addr` is zero; disposal responsibility is
+    /// transferred to the domain.
+    pub(crate) unsafe fn delayed_dispose(&self, t: Tid, addr: usize) {
+        let birth = (*as_header(addr)).birth;
+        self.dispose_ar.retire(t, Retired::new(addr, birth));
+        self.collect(t);
+    }
+
+    /// Whether the object's strong count is zero (Fig. 8's `expired`).
+    ///
+    /// # Safety
+    ///
+    /// The control block must be alive.
+    #[inline]
+    pub(crate) unsafe fn expired(&self, addr: usize) -> bool {
+        (*as_header(addr)).strong.load() == 0
+    }
+
+    /// Reads an object's birth epoch (diagnostics / future schemes).
+    ///
+    /// # Safety
+    ///
+    /// The control block must be alive.
+    #[allow(dead_code)]
+    pub(crate) unsafe fn birth_of(&self, addr: usize) -> u64 {
+        (*as_header(addr)).birth
+    }
+
+    // ------------------------------------------------------------------
+    // Applying ejected deferred operations
+    // ------------------------------------------------------------------
+
+    /// Applies every ready ejected operation on all three instances.
+    ///
+    /// Re-entrant calls (triggered by retires issued while destroying
+    /// objects) return immediately; the outermost call loops until no
+    /// channel has ready ejects, bounding both recursion depth and the
+    /// amount of ready-but-unapplied garbage.
+    pub(crate) fn collect(&self, t: Tid) {
+        self.collect_counted(t);
+    }
+
+    /// As [`collect`](Self::collect) but reports how many deferred
+    /// operations were applied (0 when re-entered).
+    fn collect_counted(&self, t: Tid) -> usize {
+        let local = &self.locals[t.index()];
+        if local.applying.get() {
+            return 0;
+        }
+        local.applying.set(true);
+        // Reset the flag even if a payload destructor panics: subsequent
+        // operations then leak instead of deadlocking collection.
+        struct Reset<'a>(&'a Cell<bool>);
+        impl Drop for Reset<'_> {
+            fn drop(&mut self) {
+                self.0.set(false);
+            }
+        }
+        let _reset = Reset(&local.applying);
+        let mut applied = 0;
+        loop {
+            let mut any = false;
+            while let Some(r) = self.strong_ar.eject(t) {
+                any = true;
+                // Safety: an ejected strong retire carries exactly one
+                // strong reference transferred at `delayed_decrement`.
+                unsafe { self.decrement(t, r.addr) };
+            }
+            while let Some(r) = self.weak_ar.eject(t) {
+                any = true;
+                // Safety: carries one weak reference.
+                unsafe { self.weak_decrement(t, r.addr) };
+            }
+            while let Some(r) = self.dispose_ar.eject(t) {
+                any = true;
+                // Safety: carries the disposal responsibility for an object
+                // whose strong count is zero.
+                unsafe { self.dispose(t, r.addr) };
+            }
+            if !any {
+                break;
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Flushes all three instances and applies everything that becomes
+    /// ready, repeating until a round makes no progress. Recursive teardown
+    /// of linked structures completes here (each round releases one more
+    /// "level").
+    ///
+    /// Intended for tests, benchmark phase boundaries and orderly shutdown;
+    /// concurrent use is safe, but entries protected by other threads'
+    /// critical sections or guards necessarily remain deferred.
+    pub fn process_deferred(&self, t: Tid) {
+        loop {
+            self.strong_ar.flush(t);
+            self.weak_ar.flush(t);
+            self.dispose_ar.flush(t);
+            if self.collect_counted(t) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Drains every retired record from all three instances — protected or
+    /// not — and applies the deferred operations, repeating to a fixpoint.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be using this domain (no live pointers on other
+    /// threads, no active critical sections).
+    pub unsafe fn drain_and_apply_all(&self, t: Tid) {
+        loop {
+            let strong: Vec<Retired> = self.strong_ar.drain_all();
+            let weak: Vec<Retired> = self.weak_ar.drain_all();
+            let disp: Vec<Retired> = self.dispose_ar.drain_all();
+            if strong.is_empty() && weak.is_empty() && disp.is_empty() {
+                break;
+            }
+            for r in strong {
+                self.decrement(t, r.addr);
+            }
+            for r in weak {
+                self.weak_decrement(t, r.addr);
+            }
+            for r in disp {
+                self.dispose(t, r.addr);
+            }
+            // Applying may have retired more (possibly on other slots via
+            // recycled Tids); loop until nothing is left anywhere.
+            self.collect(t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Critical sections
+    // ------------------------------------------------------------------
+
+    /// Begins a *strong* critical section: read protection for atomic
+    /// shared pointers and snapshots. See [`CsGuard`].
+    pub fn cs(&self) -> CsGuard<'_, S> {
+        let t = smr::current_tid();
+        self.strong_ar.begin_critical_section(t);
+        CsGuard {
+            domain: self,
+            t,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Begins a *full* critical section additionally covering the weak and
+    /// dispose instances — required for every `AtomicWeakPtr` operation and
+    /// weak snapshot lifetime. See [`WeakCsGuard`].
+    pub fn weak_cs(&self) -> WeakCsGuard<'_, S> {
+        let t = smr::current_tid();
+        self.weak_ar.begin_critical_section(t);
+        self.dispose_ar.begin_critical_section(t);
+        WeakCsGuard { inner: self.cs() }
+    }
+}
+
+impl<S: AcquireRetire> Drop for Domain<S> {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): apply whatever is still deferred
+        // so locally-scoped domains do not leak.
+        let t = smr::current_tid();
+        unsafe { self.drain_and_apply_all(t) };
+    }
+}
+
+impl<S: AcquireRetire> fmt::Debug for Domain<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Domain")
+            .field("scheme", &S::scheme_name())
+            .field("allocated", &self.allocated())
+            .field("freed", &self.freed())
+            .finish()
+    }
+}
+
+/// RAII strong critical section (the paper's `critical_section_guard`,
+/// strong-only flavour).
+///
+/// All racy atomic-shared-pointer operations and every
+/// [`SnapshotPtr`](crate::SnapshotPtr) lifetime must be contained in one
+/// (§3.4). Pointer operations that are invoked without an explicit guard
+/// open one internally for their own duration; holding a guard across an
+/// operation sequence amortizes the scheme's per-section fence.
+///
+/// Not `Send`: the guard encapsulates per-thread announcements.
+pub struct CsGuard<'d, S: AcquireRetire> {
+    pub(crate) domain: &'d Domain<S>,
+    pub(crate) t: Tid,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<'d, S: AcquireRetire> CsGuard<'d, S> {
+    /// The domain this section protects.
+    pub fn domain(&self) -> &'d Domain<S> {
+        self.domain
+    }
+
+    pub(crate) fn tid(&self) -> Tid {
+        self.t
+    }
+}
+
+impl<S: AcquireRetire> Drop for CsGuard<'_, S> {
+    fn drop(&mut self) {
+        self.domain.strong_ar.end_critical_section(self.t);
+        // Leaving a section is where region schemes (Hyaline in particular)
+        // ready new ejects; apply them now.
+        self.domain.collect(self.t);
+    }
+}
+
+impl<S: AcquireRetire> fmt::Debug for CsGuard<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsGuard").field("tid", &self.t).finish()
+    }
+}
+
+/// RAII full critical section: strong + weak + dispose instances.
+///
+/// Required for [`AtomicWeakPtr`](crate::AtomicWeakPtr) operations and
+/// [`WeakSnapshotPtr`](crate::WeakSnapshotPtr) lifetimes; usable anywhere a
+/// strong [`CsGuard`] is accepted via [`as_cs`](WeakCsGuard::as_cs).
+pub struct WeakCsGuard<'d, S: AcquireRetire> {
+    inner: CsGuard<'d, S>,
+}
+
+impl<'d, S: AcquireRetire> WeakCsGuard<'d, S> {
+    /// The strong section view, for APIs that only need strong protection.
+    pub fn as_cs(&self) -> &CsGuard<'d, S> {
+        &self.inner
+    }
+
+    /// The domain this section protects.
+    pub fn domain(&self) -> &'d Domain<S> {
+        self.inner.domain
+    }
+
+    pub(crate) fn tid(&self) -> Tid {
+        self.inner.t
+    }
+}
+
+impl<S: AcquireRetire> Drop for WeakCsGuard<'_, S> {
+    fn drop(&mut self) {
+        self.inner.domain.weak_ar.end_critical_section(self.inner.t);
+        self.inner
+            .domain
+            .dispose_ar
+            .end_critical_section(self.inner.t);
+        // `inner` drops afterwards, ending the strong section and running
+        // collection.
+    }
+}
+
+impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeakCsGuard").field("tid", &self.inner.t).finish()
+    }
+}
+
+/// Internal helper: runs `f` inside a temporary strong critical section.
+#[inline]
+pub(crate) fn with_strong_cs<S: AcquireRetire, R>(
+    domain: &Domain<S>,
+    t: Tid,
+    f: impl FnOnce() -> R,
+) -> R {
+    domain.strong_ar.begin_critical_section(t);
+    let r = f();
+    domain.strong_ar.end_critical_section(t);
+    domain.collect(t);
+    r
+}
+
+/// Internal helper: runs `f` inside a temporary full critical section.
+#[inline]
+pub(crate) fn with_full_cs<S: AcquireRetire, R>(
+    domain: &Domain<S>,
+    t: Tid,
+    f: impl FnOnce() -> R,
+) -> R {
+    domain.strong_ar.begin_critical_section(t);
+    domain.weak_ar.begin_critical_section(t);
+    domain.dispose_ar.begin_critical_section(t);
+    let r = f();
+    domain.dispose_ar.end_critical_section(t);
+    domain.weak_ar.end_critical_section(t);
+    domain.strong_ar.end_critical_section(t);
+    domain.collect(t);
+    r
+}
+
+/// Marker: a borrowed handle that guarantees the referent's strong count is
+/// at least one for the duration of the borrow, enabling plain fetch-add
+/// increments (no increment-if-not-zero needed).
+///
+/// Implemented by [`SharedPtr`](crate::SharedPtr) and
+/// [`SnapshotPtr`](crate::SnapshotPtr).
+pub trait StrongRef<T> {
+    /// The untagged control-block address, or 0 for null.
+    fn addr(&self) -> usize;
+}
+
+pub(crate) fn _assert_traits() {
+    fn is_send_sync<X: Send + Sync>() {}
+    is_send_sync::<Domain<smr::Ebr>>();
+}
+
+/// Shared helper for the atomic pointer types: the word is loaded and
+/// protected via `acquire` on the given instance, then the strong/weak count
+/// incremented and protection released — Fig. 8's `load_and_increment` and
+/// `weak_load_and_increment`.
+///
+/// Returns the untagged address (0 for null).
+///
+/// # Safety
+///
+/// `word` must be a location managed under the domain's counting protocol
+/// for the chosen instance: while it stores a non-null address, it owns a
+/// (strong / weak, matching `inc`) reference to it whose decrement is
+/// deferred through that same instance.
+pub(crate) unsafe fn load_and_increment<S: AcquireRetire>(
+    ar: &S,
+    t: Tid,
+    word: &AtomicUsize,
+    inc: impl FnOnce(usize),
+) -> usize {
+    let (w, guard) = ar.acquire(t, word);
+    let addr = smr::untagged(w);
+    if addr != 0 {
+        inc(addr);
+    }
+    ar.release(t, guard);
+    addr
+}
+
+/// Asserts at compile time that header erasure is sound for any `T`.
+#[allow(dead_code)]
+fn _header_prefix_is_stable<T>(c: *mut Counted<T>) -> *mut Header {
+    c as *mut Header
+}

@@ -1,0 +1,138 @@
+//! # cdrc — concurrent deferred reference counting over any manual SMR scheme
+//!
+//! A Rust implementation of *"Turning Manual Concurrent Memory Reclamation
+//! into Automatic Reference Counting"* (Anderson, Blelloch, Wei — PLDI
+//! 2022): a family of lock-free, automatically memory-managed smart pointers
+//! whose reclamation engine is **any** manual safe-memory-reclamation
+//! scheme implementing the generalized acquire-retire interface
+//! ([`smr::AcquireRetire`]).
+//!
+//! Choose the engine by picking a scheme type parameter:
+//!
+//! * [`EbrScheme`] — epoch-based reclamation (the fastest; "RCEBR"),
+//! * [`IbrScheme`] — interval-based reclamation ("RCIBR"),
+//! * [`HyalineScheme`] — Hyaline-1 ("RCHyaline"),
+//! * [`HpScheme`] — hazard pointers (the original CDRC; "RCHP").
+//!
+//! ## Pointer types
+//!
+//! | type | counts | concurrent mutation | dereference |
+//! |------|--------|---------------------|-------------|
+//! | [`SharedPtr`] | strong | no (owned) | yes |
+//! | [`AtomicSharedPtr`] | holds strong | yes | via load/snapshot |
+//! | [`SnapshotPtr`] | none (fast path) | n/a (thread-local) | yes |
+//! | [`WeakPtr`] | weak | no (owned) | via upgrade |
+//! | [`AtomicWeakPtr`] | holds weak | yes | via load/snapshot |
+//! | [`WeakSnapshotPtr`] | none (fast path) | n/a (thread-local) | yes |
+//!
+//! Reads through snapshots do **not** touch reference counts in the common
+//! case, which is what closes the performance gap to manual reclamation
+//! (§3.4); increments use the wait-free sticky counter of the [`sticky`]
+//! crate so weak upgrades are constant-time (§4.3).
+//!
+//! ## Critical sections
+//!
+//! All racy atomic-pointer operations and all snapshot lifetimes must occur
+//! inside a critical section (§3.4). Operations called without one open a
+//! section internally; snapshots *require* a guard argument:
+//!
+//! ```
+//! use cdrc::{AtomicSharedPtr, SharedPtr, EbrScheme, Scheme};
+//! use smr::Ebr;
+//!
+//! let slot: AtomicSharedPtr<u64, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(10));
+//! let cs = Ebr::global_domain().cs();           // begin critical section
+//! let snap = slot.get_snapshot(&cs);            // count-free protected read
+//! assert_eq!(snap.as_ref(), Some(&10));
+//! drop(snap);                                   // snapshots end before the guard
+//! drop(cs);
+//! ```
+//!
+//! Weak-pointer operations use the *full* guard, [`Domain::weak_cs`]:
+//!
+//! ```
+//! use cdrc::{AtomicWeakPtr, SharedPtr, EbrScheme, Scheme};
+//! use smr::Ebr;
+//!
+//! let strong: SharedPtr<u64, EbrScheme> = SharedPtr::new(3);
+//! let slot: AtomicWeakPtr<u64, EbrScheme> = AtomicWeakPtr::null();
+//! slot.store(&strong.downgrade());
+//! let cs = Ebr::global_domain().weak_cs();
+//! let snap = slot.get_snapshot(&cs);
+//! assert_eq!(snap.as_ref(), Some(&3));
+//! ```
+//!
+//! ## Reference cycles
+//!
+//! Strong cycles leak (as in every reference-counting system); break them
+//! with weak edges — e.g. the doubly-linked queue of the paper's Fig. 10
+//! stores `next` strongly and `prev` weakly (see the `lockfree` crate).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counted;
+mod domain;
+mod strong;
+mod tagged;
+mod weak;
+
+pub use domain::{CsGuard, Domain, Scheme, StrongRef, WeakCsGuard};
+pub use strong::{AtomicSharedPtr, SharedPtr, SnapshotPtr};
+pub use tagged::TaggedPtr;
+pub use weak::{AtomicWeakPtr, WeakPtr, WeakSnapshotPtr};
+
+/// Epoch-based reclamation engine (→ "RCEBR").
+pub type EbrScheme = smr::Ebr;
+/// Interval-based reclamation engine (→ "RCIBR").
+pub type IbrScheme = smr::Ibr;
+/// Hazard-pointer engine — the original CDRC (→ "RCHP").
+pub type HpScheme = smr::Hp;
+/// Hyaline-1 engine (→ "RCHyaline").
+pub type HyalineScheme = smr::Hyaline;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_types_are_send_sync_when_payload_is() {
+        fn send_sync<X: Send + Sync>() {}
+        send_sync::<SharedPtr<u64, EbrScheme>>();
+        send_sync::<AtomicSharedPtr<u64, EbrScheme>>();
+        send_sync::<WeakPtr<u64, EbrScheme>>();
+        send_sync::<AtomicWeakPtr<u64, EbrScheme>>();
+        send_sync::<Domain<EbrScheme>>();
+    }
+
+    #[test]
+    fn all_four_schemes_provide_global_domains() {
+        let _ = EbrScheme::global_domain();
+        let _ = IbrScheme::global_domain();
+        let _ = HpScheme::global_domain();
+        let _ = HyalineScheme::global_domain();
+    }
+
+    #[test]
+    fn basic_lifecycle_on_every_scheme() {
+        fn run<S: Scheme>() {
+            let p: SharedPtr<String, S> = SharedPtr::new("x".into());
+            let slot: AtomicSharedPtr<String, S> = AtomicSharedPtr::new(p.clone());
+            {
+                let cs = S::global_domain().cs();
+                let snap = slot.get_snapshot(&cs);
+                assert_eq!(snap.as_ref().map(String::as_str), Some("x"));
+            }
+            let w = p.downgrade();
+            assert!(w.upgrade().is_some());
+            drop(slot);
+            drop(p);
+            S::global_domain().process_deferred(smr::current_tid());
+            assert!(w.upgrade().is_none());
+        }
+        run::<EbrScheme>();
+        run::<IbrScheme>();
+        run::<HpScheme>();
+        run::<HyalineScheme>();
+    }
+}

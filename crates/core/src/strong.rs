@@ -1,0 +1,732 @@
+//! Strong reference-counted pointer types: [`SharedPtr`],
+//! [`AtomicSharedPtr`] and [`SnapshotPtr`] (§3.4 of the paper).
+//!
+//! The division of labour mirrors the CDRC C++ library:
+//!
+//! * [`SharedPtr`] — an owned strong reference, like `Arc` but collected
+//!   through the domain's deferred machinery; safe to send between threads.
+//! * [`AtomicSharedPtr`] — a mutable shared location holding a strong
+//!   reference (plus low-order tag bits), supporting load / store /
+//!   compare-exchange under arbitrary races.
+//! * [`SnapshotPtr`] — a short-lived protected view obtained from an
+//!   [`AtomicSharedPtr`] **without touching the reference count** in the
+//!   common case (Fig. 5): the fast path protects the pointer with
+//!   `try_acquire`; only when the scheme runs out of protection resources
+//!   does it fall back to an increment. Snapshots are confined to a
+//!   critical section ([`CsGuard`]) and to their creating thread.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smr::{untagged, AcquireRetire};
+
+use crate::counted::as_counted;
+use crate::domain::{load_and_increment, with_strong_cs, CsGuard, Scheme, StrongRef};
+use crate::tagged::TaggedPtr;
+use crate::weak::WeakPtr;
+
+/// An owned strong reference to a `T` managed by scheme `S`'s global domain.
+///
+/// Dropping a `SharedPtr` decrements the strong count *directly* (the
+/// reference is caller-owned, so the decrement cannot race with a protected
+/// increment — see DESIGN.md); destruction of the object itself is always
+/// deferred through the dispose instance.
+///
+/// # Examples
+///
+/// ```
+/// use cdrc::{SharedPtr, EbrScheme};
+///
+/// let p: SharedPtr<String, EbrScheme> = SharedPtr::new("hello".to_string());
+/// let q = p.clone();
+/// assert_eq!(q.as_ref().map(String::as_str), Some("hello"));
+/// ```
+pub struct SharedPtr<T, S: Scheme> {
+    addr: usize,
+    _marker: PhantomData<(Box<T>, fn(S))>,
+}
+
+// Safety: like `Arc` — a SharedPtr hands out `&T` and can be dropped from
+// any thread, so both bounds require `T: Send + Sync`.
+unsafe impl<T: Send + Sync, S: Scheme> Send for SharedPtr<T, S> {}
+unsafe impl<T: Send + Sync, S: Scheme> Sync for SharedPtr<T, S> {}
+
+impl<T, S: Scheme> SharedPtr<T, S> {
+    /// Allocates a new managed object holding `value` (strong count 1).
+    pub fn new(value: T) -> Self {
+        let d = S::global_domain();
+        let t = smr::current_tid();
+        let ptr = d.allocate(t, value);
+        SharedPtr {
+            addr: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The null pointer.
+    pub fn null() -> Self {
+        SharedPtr {
+            addr: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Adopts ownership of one strong reference at `addr` (0 = null).
+    pub(crate) fn from_addr(addr: usize) -> Self {
+        SharedPtr {
+            addr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Releases ownership without decrementing; returns the address.
+    pub(crate) fn into_addr(self) -> usize {
+        let addr = self.addr;
+        std::mem::forget(self);
+        addr
+    }
+
+    /// Whether this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.addr == 0
+    }
+
+    /// Borrows the managed value, or `None` for null.
+    pub fn as_ref(&self) -> Option<&T> {
+        if self.addr == 0 {
+            None
+        } else {
+            // Safety: we own a strong reference, so the payload is alive.
+            unsafe { Some(&*(*as_counted::<T>(self.addr)).value.as_ptr()) }
+        }
+    }
+
+    /// Whether two pointers manage the same object.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+
+    /// Creates a strong reference from any borrow that guarantees liveness
+    /// (a [`SnapshotPtr`] or another `SharedPtr`), incrementing the count.
+    pub fn from_strong<R: StrongRef<T>>(r: &R) -> Self {
+        let addr = r.addr();
+        if addr != 0 {
+            // Safety: `r` guarantees a nonzero strong count for the borrow.
+            unsafe { S::global_domain().increment_alive(addr) };
+        }
+        SharedPtr::from_addr(addr)
+    }
+
+    /// Creates a weak reference to the same object.
+    pub fn downgrade(&self) -> WeakPtr<T, S> {
+        WeakPtr::from_strong(self)
+    }
+
+    /// The current strong count (diagnostic; racy by nature).
+    pub fn strong_count(&self) -> u64 {
+        if self.addr == 0 {
+            0
+        } else {
+            use sticky::Counter;
+            unsafe { (*crate::counted::as_header(self.addr)).strong.load() }
+        }
+    }
+}
+
+impl<T, S: Scheme> StrongRef<T> for SharedPtr<T, S> {
+    fn addr(&self) -> usize {
+        self.addr
+    }
+}
+
+impl<T, S: Scheme> Clone for SharedPtr<T, S> {
+    fn clone(&self) -> Self {
+        SharedPtr::from_strong(self)
+    }
+}
+
+impl<T, S: Scheme> Drop for SharedPtr<T, S> {
+    fn drop(&mut self) {
+        if self.addr != 0 {
+            let t = smr::current_tid();
+            // Safety: we own one strong reference and forfeit it.
+            unsafe { S::global_domain().decrement(t, self.addr) };
+        }
+    }
+}
+
+impl<T, S: Scheme> Default for SharedPtr<T, S> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_ref() {
+            Some(v) => f.debug_tuple("SharedPtr").field(v).finish(),
+            None => f.write_str("SharedPtr(null)"),
+        }
+    }
+}
+
+/// A mutable shared location holding a strong reference plus tag bits,
+/// bound to scheme `S`'s global domain.
+///
+/// All operations are lock-free (given a lock-free scheme). Racy operations
+/// open the needed critical sections internally; hold a [`CsGuard`] across a
+/// sequence of operations to pay the scheme's per-section fence once
+/// (performance only — correctness never depends on the caller's guard for
+/// these methods, since sections nest).
+///
+/// # Examples
+///
+/// ```
+/// use cdrc::{AtomicSharedPtr, SharedPtr, EbrScheme};
+///
+/// let slot: AtomicSharedPtr<i32, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(1));
+/// let one = slot.load();
+/// slot.store(SharedPtr::new(2));
+/// assert_eq!(one.as_ref(), Some(&1));
+/// assert_eq!(slot.load().as_ref(), Some(&2));
+/// ```
+pub struct AtomicSharedPtr<T, S: Scheme> {
+    word: AtomicUsize,
+    _marker: PhantomData<(Box<T>, fn(S))>,
+}
+
+unsafe impl<T: Send + Sync, S: Scheme> Send for AtomicSharedPtr<T, S> {}
+unsafe impl<T: Send + Sync, S: Scheme> Sync for AtomicSharedPtr<T, S> {}
+
+impl<T, S: Scheme> AtomicSharedPtr<T, S> {
+    /// Creates a location holding `ptr` (tag 0), consuming its reference.
+    pub fn new(ptr: SharedPtr<T, S>) -> Self {
+        AtomicSharedPtr {
+            word: AtomicUsize::new(ptr.into_addr()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a null location.
+    pub fn null() -> Self {
+        AtomicSharedPtr {
+            word: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// An unprotected read of the raw word — for tag checks and CAS
+    /// `expected` values only; the result must never be dereferenced.
+    #[inline]
+    pub fn load_tagged(&self) -> TaggedPtr<T> {
+        TaggedPtr::from_word(self.word.load(Ordering::SeqCst))
+    }
+
+    /// Loads the pointer and takes a strong reference to it (tag ignored).
+    pub fn load(&self) -> SharedPtr<T, S> {
+        let d = S::global_domain();
+        let t = smr::current_tid();
+        let addr = with_strong_cs(d, t, || {
+            // Safety: this location owns a strong reference to whatever it
+            // stores, with decrements deferred via the strong instance.
+            unsafe {
+                load_and_increment(&d.strong_ar, t, &self.word, |a| d.increment_alive(a))
+            }
+        });
+        SharedPtr::from_addr(addr)
+    }
+
+    /// Takes a protected snapshot without incrementing the count in the
+    /// common case (Fig. 5). The snapshot lives at most as long as the
+    /// critical section `cs`.
+    pub fn get_snapshot<'g>(&self, cs: &'g CsGuard<'g, S>) -> SnapshotPtr<'g, T, S> {
+        let d = cs.domain();
+        let t = cs.tid();
+        match d.strong_ar.try_acquire(t, &self.word) {
+            Some((w, g)) => SnapshotPtr {
+                word: w,
+                guard: Some(g),
+                cs,
+                _marker: PhantomData,
+            },
+            None => {
+                // Slow path: protect with the reserved `acquire` slot just
+                // long enough to take a real reference.
+                let (w, g) = d.strong_ar.acquire(t, &self.word);
+                let addr = untagged(w);
+                if addr != 0 {
+                    // Safety: the location holds a strong reference and the
+                    // acquire blocks its deferred decrement.
+                    unsafe { d.increment_alive(addr) };
+                }
+                d.strong_ar.release(t, g);
+                SnapshotPtr {
+                    word: w,
+                    guard: None,
+                    cs,
+                    _marker: PhantomData,
+                }
+            }
+        }
+    }
+
+    /// Stores `desired` (with tag 0), consuming its reference; the previous
+    /// pointer's reference is retired (deferred decrement).
+    pub fn store(&self, desired: SharedPtr<T, S>) {
+        self.store_tagged(desired, 0);
+    }
+
+    /// Stores a new strong reference to the object behind any strong borrow
+    /// (with tag 0) — e.g. `prev.next.store_from(&tail_snapshot)` as in the
+    /// paper's doubly-linked queue (Fig. 10, line 18).
+    pub fn store_from<R: StrongRef<T>>(&self, r: &R) {
+        let addr = r.addr();
+        if addr != 0 {
+            // Safety: the strong borrow keeps the object alive.
+            unsafe { S::global_domain().increment_alive(addr) };
+        }
+        let old = self.word.swap(addr, Ordering::SeqCst);
+        let old_addr = untagged(old);
+        if old_addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owned a strong reference to `old_addr`.
+            unsafe { S::global_domain().delayed_decrement(t, old_addr) };
+        }
+    }
+
+    /// As [`store`](Self::store) with explicit tag bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `tag` exceeds [`smr::TAG_MASK`].
+    pub fn store_tagged(&self, desired: SharedPtr<T, S>, tag: usize) {
+        debug_assert_eq!(tag & !smr::TAG_MASK, 0);
+        let new = desired.into_addr() | tag;
+        let old = self.word.swap(new, Ordering::SeqCst);
+        let old_addr = untagged(old);
+        if old_addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owned a strong reference to `old_addr`.
+            unsafe { S::global_domain().delayed_decrement(t, old_addr) };
+        }
+    }
+
+    /// Atomically replaces the word if it equals `expected`, installing a
+    /// new strong reference to `desired` with tag `new_tag`. On success the
+    /// previous reference is retired; `desired` itself is only borrowed.
+    ///
+    /// Returns `true` on success. Spurious failure does not occur.
+    pub fn compare_exchange_tagged<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+        new_tag: usize,
+    ) -> bool {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        let d = S::global_domain();
+        let t = smr::current_tid();
+        let new_addr = desired.addr();
+        if new_addr != 0 {
+            // Pre-increment: if the CAS succeeds the location must already
+            // own its reference (§3.4 / Fig. 9 ordering).
+            // Safety: `desired` guarantees liveness for the borrow.
+            unsafe { d.increment_alive(new_addr) };
+        }
+        match self.word.compare_exchange(
+            expected.word(),
+            new_addr | new_tag,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                let old = expected.addr();
+                if old != 0 {
+                    // Safety: the location owned a strong reference to it.
+                    unsafe { d.delayed_decrement(t, old) };
+                }
+                true
+            }
+            Err(_) => {
+                if new_addr != 0 {
+                    // Safety: we own the pre-increment and forfeit it.
+                    unsafe { d.decrement(t, new_addr) };
+                }
+                false
+            }
+        }
+    }
+
+    /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged) with
+    /// tag 0 on the new value.
+    pub fn compare_exchange<R: StrongRef<T>>(&self, expected: TaggedPtr<T>, desired: &R) -> bool {
+        self.compare_exchange_tagged(expected, desired, 0)
+    }
+
+    /// Atomically ORs `tag_bits` into the word unconditionally, returning
+    /// the previous word (Natarajan-Mittal edge tagging). No reference
+    /// counts change: the location keeps the same pointer.
+    pub fn fetch_or_tag(&self, tag_bits: usize) -> TaggedPtr<T> {
+        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
+        TaggedPtr::from_word(self.word.fetch_or(tag_bits, Ordering::SeqCst))
+    }
+
+    /// Atomically ORs tag bits into the word if it still equals `expected`
+    /// (e.g. Harris-style delete marking). No reference counts change: the
+    /// location keeps the same pointer.
+    ///
+    /// Returns `true` on success.
+    pub fn try_set_tag(&self, expected: TaggedPtr<T>, tag_bits: usize) -> bool {
+        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
+        self.word
+            .compare_exchange(
+                expected.word(),
+                expected.word() | tag_bits,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+}
+
+impl<T, S: Scheme> Drop for AtomicSharedPtr<T, S> {
+    fn drop(&mut self) {
+        let addr = untagged(*self.word.get_mut());
+        if addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owns a strong reference. Deferral (not a
+            // direct decrement) matters: a concurrent reader that loaded
+            // this pointer before we were unlinked may still be protected.
+            unsafe { S::global_domain().delayed_decrement(t, addr) };
+        }
+    }
+}
+
+impl<T, S: Scheme> Default for AtomicSharedPtr<T, S> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T, S: Scheme> From<SharedPtr<T, S>> for AtomicSharedPtr<T, S> {
+    fn from(p: SharedPtr<T, S>) -> Self {
+        AtomicSharedPtr::new(p)
+    }
+}
+
+impl<T, S: Scheme> fmt::Debug for AtomicSharedPtr<T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicSharedPtr")
+            .field("tagged", &self.load_tagged())
+            .finish()
+    }
+}
+
+/// A protected view of an [`AtomicSharedPtr`]'s pointee, valid within the
+/// critical section that created it (§3.4: snapshot lifetimes must be
+/// contained in a critical section — enforced here by borrowing the guard).
+///
+/// While a snapshot is alive, the object's strong count cannot reach zero,
+/// so dereferencing is safe even though the snapshot usually holds **no**
+/// reference of its own. Not `Send`: protection is thread-local.
+pub struct SnapshotPtr<'g, T, S: Scheme> {
+    word: usize,
+    /// `Some` — fast path, protection held via an acquire-retire guard.
+    /// `None` — slow path, the snapshot owns a real strong reference.
+    guard: Option<<S as AcquireRetire>::Guard>,
+    cs: &'g CsGuard<'g, S>,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<'g, T, S: Scheme> SnapshotPtr<'g, T, S> {
+    /// A null snapshot (no protection needed).
+    pub fn null(cs: &'g CsGuard<'g, S>) -> Self {
+        SnapshotPtr {
+            word: 0,
+            guard: None,
+            cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The word as loaded, including tag bits.
+    #[inline]
+    pub fn tagged(&self) -> TaggedPtr<T> {
+        TaggedPtr::from_word(self.word)
+    }
+
+    /// The tag bits observed at load time.
+    #[inline]
+    pub fn tag(&self) -> usize {
+        self.tagged().tag()
+    }
+
+    /// Whether the snapshot observed null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        untagged(self.word) == 0
+    }
+
+    /// Borrows the managed value, or `None` for null.
+    pub fn as_ref(&self) -> Option<&T> {
+        let addr = untagged(self.word);
+        if addr == 0 {
+            None
+        } else {
+            // Safety: the snapshot's protection (guard or owned reference)
+            // keeps the strong count positive, hence the payload alive.
+            unsafe { Some(&*(*as_counted::<T>(addr)).value.as_ptr()) }
+        }
+    }
+
+    /// Whether this snapshot took the fast (guard-protected, count-free)
+    /// path — exposed for tests and the snapshot ablation benchmark.
+    pub fn used_fast_path(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// This snapshot with its witnessed tag bits replaced (protection is on
+    /// the address, so retagging is free) — used by list traversals that
+    /// unlink a marked node and continue with the unmarked word they
+    /// installed.
+    pub fn with_tag(mut self, tag: usize) -> Self {
+        debug_assert_eq!(tag & !smr::TAG_MASK, 0);
+        self.word = untagged(self.word) | tag;
+        self
+    }
+
+    /// Promotes to an owned [`SharedPtr`] (increments the count).
+    pub fn to_shared(&self) -> SharedPtr<T, S> {
+        SharedPtr::from_strong(self)
+    }
+}
+
+impl<T, S: Scheme> StrongRef<T> for SnapshotPtr<'_, T, S> {
+    fn addr(&self) -> usize {
+        untagged(self.word)
+    }
+}
+
+impl<T, S: Scheme> Drop for SnapshotPtr<'_, T, S> {
+    fn drop(&mut self) {
+        let d = self.cs.domain();
+        let t = self.cs.tid();
+        match self.guard.take() {
+            Some(g) => d.strong_ar.release(t, g),
+            None => {
+                let addr = untagged(self.word);
+                if addr != 0 {
+                    // Safety: slow-path snapshots own one strong reference.
+                    unsafe { d.decrement(t, addr) };
+                }
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug, S: Scheme> fmt::Debug for SnapshotPtr<'_, T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_ref() {
+            Some(v) => f.debug_tuple("SnapshotPtr").field(v).finish(),
+            None => f.write_str("SnapshotPtr(null)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Scheme;
+    use smr::Ebr;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    type Sp<T> = SharedPtr<T, Ebr>;
+    type Asp<T> = AtomicSharedPtr<T, Ebr>;
+
+    struct Probe(Arc<StdAtomicUsize>);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn settle() {
+        let d = Ebr::global_domain();
+        d.process_deferred(smr::current_tid());
+    }
+
+    #[test]
+    fn shared_ptr_clone_and_drop_dispose_once() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let p: Sp<Probe> = SharedPtr::new(Probe(Arc::clone(&drops)));
+        let q = p.clone();
+        assert!(p.ptr_eq(&q));
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(q);
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn null_shared_ptr_behaves() {
+        let p: Sp<u32> = SharedPtr::null();
+        assert!(p.is_null());
+        assert_eq!(p.as_ref(), None);
+        assert_eq!(p.strong_count(), 0);
+        let q = p.clone();
+        drop(q);
+        drop(p);
+    }
+
+    #[test]
+    fn atomic_load_store_roundtrip() {
+        let slot: Asp<i64> = AtomicSharedPtr::new(SharedPtr::new(7));
+        let a = slot.load();
+        assert_eq!(a.as_ref(), Some(&7));
+        slot.store(SharedPtr::new(8));
+        assert_eq!(slot.load().as_ref(), Some(&8));
+        assert_eq!(a.as_ref(), Some(&7), "old reference stays valid");
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn snapshot_fast_path_avoids_count_changes() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(5));
+        let keeper = slot.load(); // count 2 (slot + keeper)
+        {
+            let cs = Ebr::global_domain().cs();
+            let snap = slot.get_snapshot(&cs);
+            assert!(snap.used_fast_path(), "EBR snapshots never fall back");
+            assert_eq!(snap.as_ref(), Some(&5));
+            assert_eq!(keeper.strong_count(), 2, "no increment on fast path");
+            let promoted = snap.to_shared();
+            assert_eq!(keeper.strong_count(), 3);
+            drop(promoted);
+        }
+        drop(slot);
+        drop(keeper);
+        settle();
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let two = Sp::new(2);
+        let cur = slot.load_tagged();
+        assert!(slot.compare_exchange(cur, &two));
+        assert_eq!(slot.load().as_ref(), Some(&2));
+        // Stale expected now fails and must not leak the pre-increment.
+        assert!(!slot.compare_exchange(cur, &two));
+        assert_eq!(two.strong_count(), 2, "slot + local");
+        drop(slot);
+        drop(two);
+        settle();
+    }
+
+    #[test]
+    fn tag_manipulation() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(9));
+        let cur = slot.load_tagged();
+        assert_eq!(cur.tag(), 0);
+        assert!(slot.try_set_tag(cur, 0b1));
+        assert_eq!(slot.load_tagged().tag(), 0b1);
+        assert!(!slot.try_set_tag(cur, 0b10), "stale expected fails");
+        // Tagged load still reaches the object.
+        {
+            let cs = Ebr::global_domain().cs();
+            let snap = slot.get_snapshot(&cs);
+            assert_eq!(snap.tag(), 0b1);
+            assert_eq!(snap.as_ref(), Some(&9));
+        }
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn store_tagged_and_cas_with_tags() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let nxt = Sp::new(2);
+        let exp = slot.load_tagged();
+        assert!(slot.compare_exchange_tagged(exp, &nxt, 0b10));
+        let now = slot.load_tagged();
+        assert_eq!(now.tag(), 0b10);
+        assert_eq!(slot.load().as_ref(), Some(&2));
+        drop(nxt);
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn deep_chain_teardown_does_not_overflow_stack() {
+        struct Node {
+            _v: u64,
+            #[allow(dead_code)] // held for its Drop cascade
+            next: Sp<Node>,
+        }
+        let mut head: Sp<Node> = SharedPtr::null();
+        for i in 0..20_000 {
+            head = SharedPtr::new(Node { _v: i, next: head });
+        }
+        drop(head); // must not recurse 20k deep
+        settle();
+    }
+
+    #[test]
+    fn concurrent_load_store_stress() {
+        let slot: Arc<Asp<u64>> = Arc::new(AtomicSharedPtr::new(SharedPtr::new(0)));
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    for j in 0..2_000u64 {
+                        if j % 3 == 0 {
+                            slot.store(SharedPtr::new(i * 1_000_000 + j));
+                        } else {
+                            let p = slot.load();
+                            if let Some(v) = p.as_ref() {
+                                assert!(*v < 6_000_000);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn concurrent_snapshot_stress() {
+        let slot: Arc<Asp<u64>> = Arc::new(AtomicSharedPtr::new(SharedPtr::new(0)));
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    let d = Ebr::global_domain();
+                    for j in 0..2_000u64 {
+                        if i == 0 {
+                            slot.store(SharedPtr::new(j));
+                        } else {
+                            let cs = d.cs();
+                            let snap = slot.get_snapshot(&cs);
+                            if let Some(v) = snap.as_ref() {
+                                assert!(*v < 2_000);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        drop(slot);
+        settle();
+    }
+}

@@ -1,0 +1,149 @@
+//! Tagged (marked) pointer values.
+//!
+//! Lock-free data structures mark pointers by setting low-order bits of the
+//! stored word (Harris-style deletion marks, Natarajan-Mittal flag/tag
+//! edges). [`TaggedPtr`] is a *value* — a snapshot of such a word for
+//! comparisons and tag inspection. It confers no protection and cannot be
+//! dereferenced; protected access goes through
+//! [`SnapshotPtr`](crate::SnapshotPtr).
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use smr::TAG_MASK;
+
+/// A raw pointer word (address plus low tag bits) from an atomic pointer.
+///
+/// `TaggedPtr` is `Copy` and carries no ownership: it is the "expected"
+/// argument of compare-and-swap operations and the subject of mark queries.
+///
+/// # Examples
+///
+/// ```
+/// use cdrc::TaggedPtr;
+///
+/// let p = TaggedPtr::<u32>::null().with_tag(0b01);
+/// assert!(p.is_null());
+/// assert_eq!(p.tag(), 0b01);
+/// ```
+pub struct TaggedPtr<T> {
+    word: usize,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> TaggedPtr<T> {
+    /// The null pointer with tag 0.
+    #[inline]
+    pub fn null() -> Self {
+        TaggedPtr {
+            word: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn from_word(word: usize) -> Self {
+        TaggedPtr {
+            word,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw word: address bits plus tag bits.
+    #[inline]
+    pub fn word(self) -> usize {
+        self.word
+    }
+
+    /// The untagged address bits.
+    #[inline]
+    pub fn addr(self) -> usize {
+        self.word & !TAG_MASK
+    }
+
+    /// The tag bits (low [`smr::TAG_MASK`] bits).
+    #[inline]
+    pub fn tag(self) -> usize {
+        self.word & TAG_MASK
+    }
+
+    /// This value with the tag bits replaced by `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `tag` exceeds [`smr::TAG_MASK`].
+    #[inline]
+    pub fn with_tag(self, tag: usize) -> Self {
+        debug_assert_eq!(tag & !TAG_MASK, 0, "tag exceeds TAG_MASK");
+        TaggedPtr {
+            word: self.addr() | tag,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the address bits are null (regardless of tag).
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.addr() == 0
+    }
+
+    /// Whether the two values reference the same object, ignoring tags.
+    #[inline]
+    pub fn ptr_eq(self, other: Self) -> bool {
+        self.addr() == other.addr()
+    }
+}
+
+impl<T> Clone for TaggedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TaggedPtr<T> {}
+
+impl<T> PartialEq for TaggedPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.word == other.word
+    }
+}
+impl<T> Eq for TaggedPtr<T> {}
+
+impl<T> fmt::Debug for TaggedPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaggedPtr")
+            .field("addr", &format_args!("{:#x}", self.addr()))
+            .field("tag", &self.tag())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_algebra() {
+        let p = TaggedPtr::<u8>::from_word(0x1000);
+        assert_eq!(p.tag(), 0);
+        let q = p.with_tag(0b11);
+        assert_eq!(q.tag(), 0b11);
+        assert_eq!(q.addr(), 0x1000);
+        assert!(p.ptr_eq(q));
+        assert_ne!(p, q);
+        assert_eq!(q.with_tag(0), p);
+    }
+
+    #[test]
+    fn null_with_tag_is_still_null() {
+        let p = TaggedPtr::<u8>::null().with_tag(1);
+        assert!(p.is_null());
+        assert_eq!(p.word(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tag exceeds")]
+    fn oversized_tag_panics() {
+        let _ = TaggedPtr::<u8>::null().with_tag(8);
+    }
+}

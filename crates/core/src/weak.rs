@@ -1,0 +1,714 @@
+//! Weak reference-counted pointer types: [`WeakPtr`], [`AtomicWeakPtr`] and
+//! [`WeakSnapshotPtr`] (§4 of the paper).
+//!
+//! Weak pointers hold a reference to a managed object without contributing
+//! to its strong count, so cycles broken by a weak edge are collected
+//! automatically. The machinery differs from the strong-only setting in two
+//! ways (§4.4):
+//!
+//! * upgrades must use *increment-if-not-zero* (the sticky counter), because
+//!   the strong count may legitimately be zero;
+//! * destruction of the managed object (*disposal*) is itself deferred
+//!   through a third acquire-retire instance, so a [`WeakSnapshotPtr`]
+//!   remains safely readable even if the object expires during its
+//!   lifetime.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smr::{untagged, AcquireRetire};
+
+use crate::counted::{as_counted, as_header};
+use crate::domain::{load_and_increment, with_full_cs, Scheme, StrongRef, WeakCsGuard};
+use crate::strong::SharedPtr;
+use crate::tagged::TaggedPtr;
+
+/// An owned weak reference to a `T` managed by scheme `S`'s global domain.
+///
+/// A `WeakPtr` keeps the *control block* alive but not the object: once the
+/// strong count reaches zero the object is destroyed regardless of weak
+/// references. Access requires [`upgrade`](WeakPtr::upgrade).
+///
+/// # Examples
+///
+/// ```
+/// use cdrc::{SharedPtr, EbrScheme};
+///
+/// let strong: SharedPtr<i32, EbrScheme> = SharedPtr::new(3);
+/// let weak = strong.downgrade();
+/// assert_eq!(weak.upgrade().and_then(|p| p.as_ref().copied()), Some(3));
+/// ```
+pub struct WeakPtr<T, S: Scheme> {
+    addr: usize,
+    _marker: PhantomData<(Box<T>, fn(S))>,
+}
+
+unsafe impl<T: Send + Sync, S: Scheme> Send for WeakPtr<T, S> {}
+unsafe impl<T: Send + Sync, S: Scheme> Sync for WeakPtr<T, S> {}
+
+impl<T, S: Scheme> WeakPtr<T, S> {
+    /// The null weak pointer.
+    pub fn null() -> Self {
+        WeakPtr {
+            addr: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    pub(crate) fn from_addr(addr: usize) -> Self {
+        WeakPtr {
+            addr,
+            _marker: PhantomData,
+        }
+    }
+
+    pub(crate) fn into_addr(self) -> usize {
+        let addr = self.addr;
+        std::mem::forget(self);
+        addr
+    }
+
+    /// Creates a weak reference from any strong borrow.
+    pub fn from_strong<R: StrongRef<T>>(r: &R) -> Self {
+        let addr = r.addr();
+        if addr != 0 {
+            // Safety: `r` keeps the object (hence control block) alive.
+            unsafe { S::global_domain().weak_increment(addr) };
+        }
+        WeakPtr::from_addr(addr)
+    }
+
+    /// Whether this is the null weak pointer.
+    pub fn is_null(&self) -> bool {
+        self.addr == 0
+    }
+
+    /// Whether the managed object has been destroyed (strong count zero).
+    /// Null pointers report `true`.
+    pub fn expired(&self) -> bool {
+        if self.addr == 0 {
+            return true;
+        }
+        // Safety: our weak reference keeps the control block alive.
+        unsafe { S::global_domain().expired(self.addr) }
+    }
+
+    /// Attempts to obtain a strong reference; `None` if the object has
+    /// expired. Wait-free thanks to the sticky counter's constant-time
+    /// increment-if-not-zero (§4.3).
+    pub fn upgrade(&self) -> Option<SharedPtr<T, S>> {
+        if self.addr == 0 {
+            return None;
+        }
+        // Safety: the control block is alive; increment-if-not-zero never
+        // resurrects a dead object.
+        if unsafe { S::global_domain().increment(self.addr) } {
+            Some(SharedPtr::from_addr(self.addr))
+        } else {
+            None
+        }
+    }
+
+    /// Whether two weak pointers reference the same object.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+}
+
+impl<T, S: Scheme> Clone for WeakPtr<T, S> {
+    fn clone(&self) -> Self {
+        if self.addr != 0 {
+            // Safety: our own weak reference keeps the block alive.
+            unsafe { S::global_domain().weak_increment(self.addr) };
+        }
+        WeakPtr::from_addr(self.addr)
+    }
+}
+
+impl<T, S: Scheme> Drop for WeakPtr<T, S> {
+    fn drop(&mut self) {
+        if self.addr != 0 {
+            let t = smr::current_tid();
+            // Safety: we own one weak reference and forfeit it.
+            unsafe { S::global_domain().weak_decrement(t, self.addr) };
+        }
+    }
+}
+
+impl<T, S: Scheme> Default for WeakPtr<T, S> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeakPtr")
+            .field("addr", &format_args!("{:#x}", self.addr))
+            .field("expired", &self.expired())
+            .finish()
+    }
+}
+
+/// A mutable shared location holding a weak reference plus tag bits —
+/// analogous to `atomic<weak_ptr>` (§4.1).
+///
+/// Every operation must run inside a *full* critical section
+/// ([`WeakCsGuard`]); operations invoked without one open it internally.
+///
+/// # Examples
+///
+/// ```
+/// use cdrc::{AtomicWeakPtr, SharedPtr, EbrScheme, Scheme};
+/// use smr::Ebr;
+///
+/// let strong: SharedPtr<i32, EbrScheme> = SharedPtr::new(1);
+/// let slot: AtomicWeakPtr<i32, EbrScheme> = AtomicWeakPtr::null();
+/// slot.store(&strong.downgrade());
+/// assert_eq!(slot.load().upgrade().and_then(|p| p.as_ref().copied()), Some(1));
+/// ```
+pub struct AtomicWeakPtr<T, S: Scheme> {
+    word: AtomicUsize,
+    _marker: PhantomData<(Box<T>, fn(S))>,
+}
+
+unsafe impl<T: Send + Sync, S: Scheme> Send for AtomicWeakPtr<T, S> {}
+unsafe impl<T: Send + Sync, S: Scheme> Sync for AtomicWeakPtr<T, S> {}
+
+impl<T, S: Scheme> AtomicWeakPtr<T, S> {
+    /// Creates a location holding `ptr` (tag 0), consuming its reference.
+    pub fn new(ptr: WeakPtr<T, S>) -> Self {
+        AtomicWeakPtr {
+            word: AtomicUsize::new(ptr.into_addr()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a null location.
+    pub fn null() -> Self {
+        AtomicWeakPtr {
+            word: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// An unprotected read of the raw word, for comparisons only.
+    #[inline]
+    pub fn load_tagged(&self) -> TaggedPtr<T> {
+        TaggedPtr::from_word(self.word.load(Ordering::SeqCst))
+    }
+
+    /// Stores a copy of `desired` (Fig. 9 `store`): increments its weak
+    /// count, swaps it in, and retires the previous weak reference.
+    pub fn store(&self, desired: &WeakPtr<T, S>) {
+        let addr = desired.addr;
+        if addr != 0 {
+            // Safety: `desired` keeps the control block alive.
+            unsafe { S::global_domain().weak_increment(addr) };
+        }
+        self.replace_word(addr);
+    }
+
+    /// Stores a weak reference to the object behind any strong borrow —
+    /// e.g. `node.prev.store_strong(&tail_snapshot)` as in the paper's
+    /// doubly-linked queue (Fig. 10).
+    pub fn store_strong<R: StrongRef<T>>(&self, r: &R) {
+        let addr = r.addr();
+        if addr != 0 {
+            // Safety: the strong borrow keeps the object alive.
+            unsafe { S::global_domain().weak_increment(addr) };
+        }
+        self.replace_word(addr);
+    }
+
+    /// Stores `desired`, transferring its reference (no count traffic).
+    pub fn store_owned(&self, desired: WeakPtr<T, S>) {
+        self.replace_word(desired.into_addr());
+    }
+
+    fn replace_word(&self, new: usize) {
+        let old = self.word.swap(new, Ordering::SeqCst);
+        let old_addr = untagged(old);
+        if old_addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owned a weak reference to `old_addr`.
+            unsafe { S::global_domain().delayed_weak_decrement(t, old_addr) };
+        }
+    }
+
+    /// Loads the pointer and takes a weak reference to it (tag ignored) —
+    /// Fig. 8's `weak_load_and_increment`.
+    pub fn load(&self) -> WeakPtr<T, S> {
+        let d = S::global_domain();
+        let t = smr::current_tid();
+        let addr = with_full_cs(d, t, || {
+            // Safety: the location owns a weak reference to what it stores,
+            // with decrements deferred through the weak instance.
+            unsafe { load_and_increment(&d.weak_ar, t, &self.word, |a| d.weak_increment(a)) }
+        });
+        WeakPtr::from_addr(addr)
+    }
+
+    /// Atomically replaces the word if it equals `expected`, installing a
+    /// weak reference to `desired` with tag `new_tag`; the previous weak
+    /// reference is retired on success. Returns `true` on success.
+    pub fn compare_exchange_tagged(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &WeakPtr<T, S>,
+        new_tag: usize,
+    ) -> bool {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        let d = S::global_domain();
+        let t = smr::current_tid();
+        let new_addr = desired.addr;
+        if new_addr != 0 {
+            // Pre-increment so the location owns its reference the moment
+            // the CAS lands; rolled back below on failure.
+            // Safety: `desired` keeps the block alive for the borrow.
+            unsafe { d.weak_increment(new_addr) };
+        }
+        match self.word.compare_exchange(
+            expected.word(),
+            new_addr | new_tag,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                let old = expected.addr();
+                if old != 0 {
+                    // Safety: the location owned a weak reference to it.
+                    unsafe { d.delayed_weak_decrement(t, old) };
+                }
+                true
+            }
+            Err(_) => {
+                if new_addr != 0 {
+                    // Safety: we own the pre-increment and forfeit it.
+                    unsafe { d.weak_decrement(t, new_addr) };
+                }
+                false
+            }
+        }
+    }
+
+    /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged) with
+    /// tag 0.
+    pub fn compare_exchange(&self, expected: TaggedPtr<T>, desired: &WeakPtr<T, S>) -> bool {
+        self.compare_exchange_tagged(expected, desired, 0)
+    }
+
+    /// Takes a protected snapshot of the managed object without touching
+    /// any count in the common case (Fig. 9's `get_snapshot`).
+    ///
+    /// Returns a null snapshot iff, at the linearization point, the
+    /// location was null or held an expired object. Lock-free (the retry
+    /// resolves races between expiry and replacement, §4.5).
+    pub fn get_snapshot<'g>(&self, cs: &'g WeakCsGuard<'g, S>) -> WeakSnapshotPtr<'g, T, S> {
+        let d = cs.domain();
+        let t = cs.tid();
+        loop {
+            // Protect the control block from weak reclamation while we
+            // inspect it.
+            let (w, weak_guard) = d.weak_ar.acquire(t, &self.word);
+            let addr = untagged(w);
+            if addr == 0 {
+                d.weak_ar.release(t, weak_guard);
+                return WeakSnapshotPtr::null(cs);
+            }
+            // Protect the object from disposal: acquire on a stack location
+            // holding the (stable) address.
+            let local = AtomicUsize::new(addr);
+            let dispose_guard = d.dispose_ar.try_acquire(t, &local).map(|(_, g)| g);
+            let mut owns_strong = false;
+            if dispose_guard.is_none() {
+                // Out of guards (hazard-pointer schemes only): fall back to
+                // a real strong reference, if the object is still alive.
+                // Safety: weak_guard keeps the control block readable.
+                owns_strong = unsafe { d.increment(addr) };
+            }
+            // Safety: control block alive under weak_guard.
+            let alive = owns_strong || unsafe { !d.expired(addr) };
+            if alive {
+                d.weak_ar.release(t, weak_guard);
+                return WeakSnapshotPtr {
+                    word: w,
+                    guard: if owns_strong { None } else { dispose_guard },
+                    owns_strong,
+                    cs,
+                    _marker: PhantomData,
+                };
+            }
+            // Expired. Only report null if the location still holds this
+            // object — otherwise the count may have belonged to a previous
+            // occupant and we must retry for linearizability (§4.5).
+            if let Some(g) = dispose_guard {
+                d.dispose_ar.release(t, g);
+            }
+            d.weak_ar.release(t, weak_guard);
+            if self.word.load(Ordering::SeqCst) == w {
+                return WeakSnapshotPtr::null(cs);
+            }
+        }
+    }
+}
+
+impl<T, S: Scheme> Drop for AtomicWeakPtr<T, S> {
+    fn drop(&mut self) {
+        let addr = untagged(*self.word.get_mut());
+        if addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owns a weak reference; defer in case a
+            // concurrent reader still has it protected.
+            unsafe { S::global_domain().delayed_weak_decrement(t, addr) };
+        }
+    }
+}
+
+impl<T, S: Scheme> Default for AtomicWeakPtr<T, S> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T, S: Scheme> fmt::Debug for AtomicWeakPtr<T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicWeakPtr")
+            .field("tagged", &self.load_tagged())
+            .finish()
+    }
+}
+
+/// A protected view of an [`AtomicWeakPtr`]'s pointee (§4.1).
+///
+/// Unlike a strong [`SnapshotPtr`](crate::SnapshotPtr), the object may
+/// *expire* (strong count → 0) during the snapshot's lifetime, but its
+/// memory remains safely readable until the snapshot drops: disposal is
+/// deferred through the dispose instance this snapshot holds protection on.
+pub struct WeakSnapshotPtr<'g, T, S: Scheme> {
+    word: usize,
+    /// Dispose-instance guard (fast path).
+    guard: Option<<S as AcquireRetire>::Guard>,
+    /// Slow path: the snapshot owns a full strong reference instead.
+    owns_strong: bool,
+    cs: &'g WeakCsGuard<'g, S>,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
+    /// A null weak snapshot.
+    pub fn null(cs: &'g WeakCsGuard<'g, S>) -> Self {
+        WeakSnapshotPtr {
+            word: 0,
+            guard: None,
+            owns_strong: false,
+            cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The word as loaded, including tag bits.
+    #[inline]
+    pub fn tagged(&self) -> TaggedPtr<T> {
+        TaggedPtr::from_word(self.word)
+    }
+
+    /// Whether the snapshot observed null (or an expired object).
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        untagged(self.word) == 0
+    }
+
+    /// Borrows the managed value, or `None` for null. Reading is safe even
+    /// if the object has since expired — that is the point of the deferred
+    /// dispose instance.
+    pub fn as_ref(&self) -> Option<&T> {
+        let addr = untagged(self.word);
+        if addr == 0 {
+            None
+        } else {
+            // Safety: disposal is blocked by our guard (or we own a strong
+            // reference), so the payload has not been destroyed.
+            unsafe { Some(&*(*as_counted::<T>(addr)).value.as_ptr()) }
+        }
+    }
+
+    /// Whether the object has expired since the snapshot was taken.
+    pub fn expired(&self) -> bool {
+        let addr = untagged(self.word);
+        if addr == 0 {
+            return true;
+        }
+        // Safety: snapshot protection keeps the control block alive.
+        unsafe { S::global_domain().expired(addr) }
+    }
+
+    /// Attempts to promote to an owned strong reference; fails if the
+    /// object expired after the snapshot was taken.
+    pub fn try_promote(&self) -> Option<SharedPtr<T, S>> {
+        let addr = untagged(self.word);
+        if addr == 0 {
+            return None;
+        }
+        // Safety: control block alive under snapshot protection.
+        if unsafe { S::global_domain().increment(addr) } {
+            Some(SharedPtr::from_addr(addr))
+        } else {
+            None
+        }
+    }
+
+    /// Creates an owned weak reference to the snapshotted object.
+    pub fn to_weak(&self) -> WeakPtr<T, S> {
+        let addr = untagged(self.word);
+        if addr != 0 {
+            // Safety: control block alive under snapshot protection.
+            unsafe { S::global_domain().weak_increment(addr) };
+        }
+        WeakPtr::from_addr(addr)
+    }
+
+    /// Whether this snapshot took the guard (count-free) path.
+    pub fn used_fast_path(&self) -> bool {
+        self.guard.is_some()
+    }
+}
+
+impl<T, S: Scheme> Drop for WeakSnapshotPtr<'_, T, S> {
+    fn drop(&mut self) {
+        let d = self.cs.domain();
+        let t = self.cs.tid();
+        if let Some(g) = self.guard.take() {
+            d.dispose_ar.release(t, g);
+        } else if self.owns_strong {
+            let addr = untagged(self.word);
+            if addr != 0 {
+                // Safety: slow-path snapshots own one strong reference.
+                unsafe { d.decrement(t, addr) };
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug, S: Scheme> fmt::Debug for WeakSnapshotPtr<'_, T, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_ref() {
+            Some(v) => f.debug_tuple("WeakSnapshotPtr").field(v).finish(),
+            None => f.write_str("WeakSnapshotPtr(null)"),
+        }
+    }
+}
+
+/// Reads a weak count for diagnostics (racy).
+#[allow(dead_code)]
+pub(crate) fn weak_count(addr: usize) -> u64 {
+    use sticky::Counter;
+    if addr == 0 {
+        0
+    } else {
+        unsafe { (*as_header(addr)).weak.load() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::Ebr;
+    use std::sync::atomic::AtomicUsize as Std;
+    use std::sync::Arc;
+
+    type Sp<T> = SharedPtr<T, Ebr>;
+    type Awp<T> = AtomicWeakPtr<T, Ebr>;
+
+    fn settle() {
+        Ebr::global_domain().process_deferred(smr::current_tid());
+    }
+
+    struct Probe(Arc<Std>);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn upgrade_succeeds_while_alive_fails_after() {
+        let strong: Sp<u32> = SharedPtr::new(11);
+        let weak = strong.downgrade();
+        assert!(!weak.expired());
+        assert_eq!(weak.upgrade().unwrap().as_ref(), Some(&11));
+        drop(strong);
+        settle();
+        assert!(weak.expired());
+        assert!(weak.upgrade().is_none());
+        drop(weak);
+        settle();
+    }
+
+    #[test]
+    fn weak_does_not_keep_object_alive_but_keeps_block() {
+        let drops = Arc::new(Std::new(0));
+        let strong: Sp<Probe> = SharedPtr::new(Probe(Arc::clone(&drops)));
+        let weak = strong.downgrade();
+        drop(strong);
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "object destroyed");
+        // Control block still usable through the weak pointer.
+        assert!(weak.expired());
+        assert!(weak.upgrade().is_none());
+        drop(weak);
+        settle();
+    }
+
+    #[test]
+    fn cycle_with_weak_back_edge_is_collected() {
+        struct Node {
+            _name: &'static str,
+            next: std::cell::RefCell<Sp<Node>>,
+            prev: std::cell::RefCell<WeakPtr<Node, Ebr>>,
+            probe: Probe,
+        }
+        // RefCell: single-threaded construction only.
+        unsafe impl Send for Node {}
+        unsafe impl Sync for Node {}
+
+        let drops = Arc::new(Std::new(0));
+        {
+            let a: Sp<Node> = SharedPtr::new(Node {
+                _name: "a",
+                next: std::cell::RefCell::new(SharedPtr::null()),
+                prev: std::cell::RefCell::new(WeakPtr::null()),
+                probe: Probe(Arc::clone(&drops)),
+            });
+            let b: Sp<Node> = SharedPtr::new(Node {
+                _name: "b",
+                next: std::cell::RefCell::new(SharedPtr::null()),
+                prev: std::cell::RefCell::new(WeakPtr::null()),
+                probe: Probe(Arc::clone(&drops)),
+            });
+            // a.next = b (strong); b.prev = a (weak): no strong cycle.
+            *a.as_ref().unwrap().next.borrow_mut() = b.clone();
+            *b.as_ref().unwrap().prev.borrow_mut() = a.downgrade();
+            let _ = &a.as_ref().unwrap().probe;
+        }
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "both nodes collected");
+    }
+
+    #[test]
+    fn atomic_weak_store_load_roundtrip() {
+        let strong: Sp<u32> = SharedPtr::new(5);
+        let slot: Awp<u32> = AtomicWeakPtr::null();
+        assert!(slot.load().is_null());
+        slot.store(&strong.downgrade());
+        let w = slot.load();
+        assert_eq!(w.upgrade().unwrap().as_ref(), Some(&5));
+        slot.store_owned(WeakPtr::null());
+        assert!(slot.load().is_null());
+        drop((strong, w, slot));
+        settle();
+    }
+
+    #[test]
+    fn atomic_weak_compare_exchange() {
+        let a: Sp<u32> = SharedPtr::new(1);
+        let b: Sp<u32> = SharedPtr::new(2);
+        let wa = a.downgrade();
+        let wb = b.downgrade();
+        let slot: Awp<u32> = AtomicWeakPtr::new(wa.clone());
+        let cur = slot.load_tagged();
+        assert!(slot.compare_exchange(cur, &wb));
+        assert!(!slot.compare_exchange(cur, &wa), "stale expected");
+        assert_eq!(slot.load().upgrade().unwrap().as_ref(), Some(&2));
+        drop((a, b, wa, wb, slot));
+        settle();
+    }
+
+    #[test]
+    fn weak_snapshot_reads_live_object_without_count_traffic() {
+        let strong: Sp<u32> = SharedPtr::new(9);
+        let slot: Awp<u32> = AtomicWeakPtr::null();
+        slot.store(&strong.downgrade());
+        {
+            let cs = Ebr::global_domain().weak_cs();
+            let snap = slot.get_snapshot(&cs);
+            assert!(!snap.is_null());
+            assert!(snap.used_fast_path(), "EBR never falls back");
+            assert_eq!(snap.as_ref(), Some(&9));
+            assert_eq!(strong.strong_count(), 1, "snapshot touched no count");
+            assert!(!snap.expired());
+            let promoted = snap.try_promote().unwrap();
+            assert_eq!(promoted.as_ref(), Some(&9));
+        }
+        drop((strong, slot));
+        settle();
+    }
+
+    #[test]
+    fn weak_snapshot_of_expired_object_is_null() {
+        let strong: Sp<u32> = SharedPtr::new(3);
+        let slot: Awp<u32> = AtomicWeakPtr::null();
+        slot.store(&strong.downgrade());
+        drop(strong);
+        settle();
+        let cs = Ebr::global_domain().weak_cs();
+        let snap = slot.get_snapshot(&cs);
+        assert!(snap.is_null(), "expired object yields null snapshot");
+        drop(snap);
+        drop(cs);
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn weak_snapshot_survives_concurrent_expiry() {
+        // Take a snapshot, then drop the last strong reference while the
+        // snapshot is alive: reads must remain valid; expiry must be
+        // observable; promote must fail.
+        let drops = Arc::new(Std::new(0));
+        let strong: Sp<Probe> = SharedPtr::new(Probe(Arc::clone(&drops)));
+        let slot: Awp<Probe> = AtomicWeakPtr::null();
+        slot.store(&strong.downgrade());
+        {
+            let cs = Ebr::global_domain().weak_cs();
+            let snap = slot.get_snapshot(&cs);
+            assert!(!snap.is_null());
+            drop(strong);
+            // Object cannot be destroyed while the snapshot lives.
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+            assert!(snap.as_ref().is_some(), "still readable after expiry");
+            assert!(snap.expired());
+            assert!(snap.try_promote().is_none());
+        }
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "destroyed after snapshot");
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn concurrent_upgrade_vs_drop_races() {
+        for _ in 0..30 {
+            let strong: Sp<u64> = SharedPtr::new(77);
+            let weak = strong.downgrade();
+            let upgrader = {
+                let weak = weak.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    for _ in 0..100 {
+                        if let Some(p) = weak.upgrade() {
+                            assert_eq!(p.as_ref(), Some(&77));
+                            got += 1;
+                        }
+                    }
+                    got
+                })
+            };
+            drop(strong);
+            let _ = upgrader.join().unwrap();
+            assert!(weak.upgrade().is_none() || !weak.expired());
+        }
+        settle();
+    }
+}

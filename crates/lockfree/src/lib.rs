@@ -1,0 +1,90 @@
+//! Lock-free data structures from the CDRC paper's evaluation (§5), each in
+//! two variants:
+//!
+//! * [`manual`] — classic implementations over the generalized
+//!   acquire-retire interface of the [`smr`] crate, where `retire` is a
+//!   *delayed free* and the programmer is responsible for retiring every
+//!   unlinked node (the error-prone code the paper's Fig. 1a highlights);
+//! * [`rc`] — automatic implementations over the reference-counted pointer
+//!   types of the [`cdrc`] crate, where a single pointer swing reclaims
+//!   whole unlinked subtrees (Fig. 1b).
+//!
+//! Structures: Harris-Michael linked list, Michael hash table,
+//! Natarajan-Mittal external BST (with the paper's sequential range query),
+//! and the Ramalhete-Correia DoubleLink queue (whose `prev` edges become
+//! atomic *weak* pointers in the RC variant — Fig. 10). [`locked`] provides
+//! the lock-based `atomic<shared_ptr>/atomic<weak_ptr>` baseline standing in
+//! for the commercial `just::thread` library.
+
+#![warn(missing_docs)]
+
+pub mod locked;
+pub mod manual;
+pub mod rc;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The uniform map interface the benchmark harness drives.
+///
+/// Implementations are linearizable for point operations; `range` may be
+/// sequentially (non-linearizably) collected, as in the paper (§5.1,
+/// footnote 5).
+pub trait ConcurrentMap<K, V>: Send + Sync {
+    /// Inserts `k → v`; `false` if `k` was already present.
+    fn insert(&self, k: K, v: V) -> bool;
+    /// Removes `k`; `false` if absent.
+    fn remove(&self, k: &K) -> bool;
+    /// Looks up `k`.
+    fn get(&self, k: &K) -> Option<V>;
+    /// Collects up to `limit` keys in `[from, to)`, returning how many were
+    /// seen. Returns `None` if the structure does not support range queries.
+    fn range(&self, _from: &K, _to: &K, _limit: usize) -> Option<usize> {
+        None
+    }
+    /// Nodes currently allocated and not yet freed (live + deferred
+    /// garbage) — the paper's "extra nodes" metric is this minus the live
+    /// count.
+    fn in_flight_nodes(&self) -> u64;
+}
+
+/// The uniform queue interface for the Fig. 12 benchmark.
+pub trait ConcurrentQueue<V>: Send + Sync {
+    /// Appends `v` at the tail.
+    fn enqueue(&self, v: V);
+    /// Removes the head element, if any.
+    fn dequeue(&self) -> Option<V>;
+}
+
+/// Allocation / free counters for the manual structures (the RC variants
+/// read their domain's counters instead).
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl NodeStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one allocation.
+    #[inline]
+    pub fn on_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one free.
+    #[inline]
+    pub fn on_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocated − freed.
+    pub fn in_flight(&self) -> u64 {
+        self.allocs
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.frees.load(Ordering::Relaxed))
+    }
+}

@@ -1,0 +1,299 @@
+//! Lock-based atomic shared/weak pointers — the stand-in for the
+//! commercial `just::thread` library in the paper's Fig. 12 (see DESIGN.md,
+//! substitutions).
+//!
+//! Each atomic pointer guards an `Option<Arc<T>>` / `Weak<T>` with a
+//! per-pointer spinlock, the technique used by mainstream C++ standard
+//! libraries for `atomic<shared_ptr>`: correct, simple, and — the point of
+//! the comparison — serializing every access to the same pointer.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+use crate::ConcurrentQueue;
+
+/// A minimal test-and-test-and-set spinlock.
+#[derive(Debug, Default)]
+struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl SpinLock {
+    fn lock(&self) {
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Lock-based `atomic<shared_ptr<T>>`.
+pub struct LockedAtomicSharedPtr<T> {
+    lock: SpinLock,
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+// Safety: all access to `value` is under `lock`.
+unsafe impl<T: Send + Sync> Send for LockedAtomicSharedPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for LockedAtomicSharedPtr<T> {}
+
+impl<T> LockedAtomicSharedPtr<T> {
+    /// Creates a location holding `ptr`.
+    pub fn new(ptr: Option<Arc<T>>) -> Self {
+        LockedAtomicSharedPtr {
+            lock: SpinLock::default(),
+            value: UnsafeCell::new(ptr),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Option<Arc<T>>) -> R) -> R {
+        self.lock.lock();
+        // Safety: the spinlock serializes access.
+        let r = f(unsafe { &mut *self.value.get() });
+        self.lock.unlock();
+        r
+    }
+
+    /// Loads a copy of the stored pointer.
+    pub fn load(&self) -> Option<Arc<T>> {
+        self.with(|v| v.clone())
+    }
+
+    /// Stores `ptr`, dropping the previous value.
+    pub fn store(&self, ptr: Option<Arc<T>>) {
+        self.with(|v| *v = ptr);
+    }
+
+    /// Replaces the value with `desired` iff it currently points to the
+    /// same object as `expected` (null matches null).
+    pub fn compare_exchange(&self, expected: Option<&Arc<T>>, desired: Option<Arc<T>>) -> bool {
+        self.with(|v| {
+            let matches = match (v.as_ref(), expected) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            };
+            if matches {
+                *v = desired;
+            }
+            matches
+        })
+    }
+}
+
+impl<T> std::fmt::Debug for LockedAtomicSharedPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LockedAtomicSharedPtr(..)")
+    }
+}
+
+/// Lock-based `atomic<weak_ptr<T>>`.
+pub struct LockedAtomicWeakPtr<T> {
+    lock: SpinLock,
+    value: UnsafeCell<Weak<T>>,
+}
+
+// Safety: all access to `value` is under `lock`.
+unsafe impl<T: Send + Sync> Send for LockedAtomicWeakPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for LockedAtomicWeakPtr<T> {}
+
+impl<T> LockedAtomicWeakPtr<T> {
+    /// Creates a location holding the null weak pointer.
+    pub fn new() -> Self {
+        LockedAtomicWeakPtr {
+            lock: SpinLock::default(),
+            value: UnsafeCell::new(Weak::new()),
+        }
+    }
+
+    /// Loads a copy of the stored weak pointer.
+    pub fn load(&self) -> Weak<T> {
+        self.lock.lock();
+        // Safety: serialized by the lock.
+        let w = unsafe { (*self.value.get()).clone() };
+        self.lock.unlock();
+        w
+    }
+
+    /// Stores `w`.
+    pub fn store(&self, w: Weak<T>) {
+        self.lock.lock();
+        // Safety: serialized by the lock.
+        unsafe { *self.value.get() = w };
+        self.lock.unlock();
+    }
+}
+
+impl<T> Default for LockedAtomicWeakPtr<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for LockedAtomicWeakPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LockedAtomicWeakPtr(..)")
+    }
+}
+
+struct Node<V> {
+    value: Option<V>,
+    next: LockedAtomicSharedPtr<Node<V>>,
+    prev: LockedAtomicWeakPtr<Node<V>>,
+}
+
+/// The Fig. 10 queue built on the lock-based pointers — the "just::thread"
+/// series of Fig. 12.
+pub struct LockedDoubleLinkQueue<V> {
+    head: LockedAtomicSharedPtr<Node<V>>,
+    tail: LockedAtomicSharedPtr<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> LockedDoubleLinkQueue<V> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let sentinel = Arc::new(Node {
+            value: None,
+            next: LockedAtomicSharedPtr::new(None),
+            prev: LockedAtomicWeakPtr::new(),
+        });
+        LockedDoubleLinkQueue {
+            head: LockedAtomicSharedPtr::new(Some(Arc::clone(&sentinel))),
+            tail: LockedAtomicSharedPtr::new(Some(sentinel)),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentQueue<V> for LockedDoubleLinkQueue<V> {
+    fn enqueue(&self, v: V) {
+        let new_node = Arc::new(Node {
+            value: Some(v),
+            next: LockedAtomicSharedPtr::new(None),
+            prev: LockedAtomicWeakPtr::new(),
+        });
+        loop {
+            let ltail = self.tail.load().expect("tail is never null");
+            new_node.prev.store(Arc::downgrade(&ltail));
+            // Help the previous enqueue publish its next pointer.
+            if let Some(lprev) = ltail.prev.load().upgrade() {
+                if lprev.next.load().is_none() {
+                    lprev.next.store(Some(Arc::clone(&ltail)));
+                }
+            }
+            if self
+                .tail
+                .compare_exchange(Some(&ltail), Some(Arc::clone(&new_node)))
+            {
+                ltail.next.store(Some(new_node));
+                return;
+            }
+        }
+    }
+
+    fn dequeue(&self) -> Option<V> {
+        loop {
+            let lhead = self.head.load().expect("head is never null");
+            let lnext = lhead.next.load()?;
+            if self
+                .head
+                .compare_exchange(Some(&lhead), Some(Arc::clone(&lnext)))
+            {
+                return lnext.value.clone();
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> Default for LockedDoubleLinkQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> std::fmt::Debug for LockedDoubleLinkQueue<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LockedDoubleLinkQueue(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_shared_ptr_semantics() {
+        let a = Arc::new(1u32);
+        let b = Arc::new(2u32);
+        let p = LockedAtomicSharedPtr::new(Some(Arc::clone(&a)));
+        assert!(Arc::ptr_eq(&p.load().unwrap(), &a));
+        assert!(p.compare_exchange(Some(&a), Some(Arc::clone(&b))));
+        assert!(!p.compare_exchange(Some(&a), Some(Arc::clone(&a))));
+        assert!(Arc::ptr_eq(&p.load().unwrap(), &b));
+        p.store(None);
+        assert!(p.load().is_none());
+        assert!(p.compare_exchange(None, Some(a)));
+    }
+
+    #[test]
+    fn atomic_weak_ptr_semantics() {
+        let a = Arc::new(7u32);
+        let w = LockedAtomicWeakPtr::new();
+        assert!(w.load().upgrade().is_none());
+        w.store(Arc::downgrade(&a));
+        assert_eq!(w.load().upgrade().as_deref(), Some(&7));
+        drop(a);
+        assert!(w.load().upgrade().is_none());
+    }
+
+    #[test]
+    fn queue_fifo() {
+        let q = LockedDoubleLinkQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn queue_concurrent_conserves() {
+        let q = Arc::new(LockedDoubleLinkQueue::new());
+        for i in 0..4u64 {
+            q.enqueue(i);
+        }
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        loop {
+                            if let Some(v) = q.dequeue() {
+                                q.enqueue(v);
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut seen = Vec::new();
+        while let Some(v) = q.dequeue() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

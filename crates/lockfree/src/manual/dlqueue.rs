@@ -1,0 +1,290 @@
+//! DoubleLink-style lock-free queue (manual reclamation) — the "Original"
+//! baseline of the paper's Fig. 12.
+//!
+//! Ramalhete and Correia's queue keeps `prev` back-pointers so enqueuers can
+//! repair lagging `next` pointers; their published implementation relies on
+//! a *customized* hazard-pointer scheme in which announcing a node also
+//! protects its neighbours, which no general-purpose interface offers. As
+//! documented in DESIGN.md, this manual baseline keeps the DoubleLink node
+//! layout (value + prev + next, one tail CAS plus one next store per
+//! enqueue) but performs the next-pointer publication eagerly by the CAS
+//! winner instead of dereferencing possibly-reclaimed `prev` nodes; dequeues
+//! that observe a not-yet-published `next` report "empty", linearizing the
+//! lagging enqueue at its publication. The automatic variant
+//! ([`crate::rc::RcDoubleLinkQueue`]) implements the helping exactly as the
+//! paper's Fig. 10, where weak pointers make it safe.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr::{AcquireRetire, Retired, Tid};
+
+use crate::{ConcurrentQueue, NodeStats};
+
+struct Node<V> {
+    birth: u64,
+    value: Option<V>,
+    /// Back pointer (structural fidelity with DoubleLink; never traversed
+    /// in this manual variant — see module docs).
+    prev: AtomicUsize,
+    next: AtomicUsize,
+}
+
+/// Manual DoubleLink queue under SMR scheme `S`.
+pub struct DoubleLinkQueue<V, S: AcquireRetire> {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    smr: Arc<S>,
+    stats: Arc<NodeStats>,
+    _marker: PhantomData<(Box<Node<V>>, fn(S))>,
+}
+
+unsafe impl<V: Send + Sync, S: AcquireRetire> Send for DoubleLinkQueue<V, S> {}
+unsafe impl<V: Send + Sync, S: AcquireRetire> Sync for DoubleLinkQueue<V, S> {}
+
+impl<V, S> DoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let smr = Arc::new(S::new(
+            Arc::new(smr::GlobalEpoch::new()),
+            S::default_config(),
+        ));
+        let stats = Arc::new(NodeStats::new());
+        stats.on_alloc();
+        let sentinel = Box::into_raw(Box::new(Node::<V> {
+            birth: 0,
+            value: None,
+            prev: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+        }));
+        DoubleLinkQueue {
+            head: AtomicUsize::new(sentinel as usize),
+            tail: AtomicUsize::new(sentinel as usize),
+            smr,
+            stats,
+            _marker: PhantomData,
+        }
+    }
+
+    fn collect(&self, t: Tid) {
+        while let Some(r) = self.smr.eject(t) {
+            self.stats.on_free();
+            // Safety: ejected addresses are our nodes, retired once.
+            unsafe { drop(Box::from_raw(r.addr as *mut Node<V>)) };
+        }
+    }
+
+    fn enqueue_impl(&self, t: Tid, v: V) {
+        let birth = self.smr.birth_epoch(t);
+        self.stats.on_alloc();
+        let node = Box::into_raw(Box::new(Node {
+            birth,
+            value: Some(v),
+            prev: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+        }));
+        loop {
+            let (ltail, g) = self
+                .smr
+                .try_acquire(t, &self.tail)
+                .expect("queue ops hold at most 2 guards");
+            // Safety: node unpublished.
+            unsafe { (*node).prev.store(ltail, Ordering::SeqCst) };
+            if self
+                .tail
+                .compare_exchange(ltail, node as usize, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // We won: publish the forward edge. ltail cannot be retired
+                // before this store — dequeuers need ltail.next ≠ 0 to
+                // advance past it.
+                // Safety: ltail protected by the guard and by the argument
+                // above.
+                unsafe { (*(ltail as *mut Node<V>)).next.store(node as usize, Ordering::SeqCst) };
+                self.smr.release(t, g);
+                return;
+            }
+            self.smr.release(t, g);
+        }
+    }
+
+    fn dequeue_impl(&self, t: Tid) -> Option<V> {
+        loop {
+            let (lhead, hg) = self
+                .smr
+                .try_acquire(t, &self.head)
+                .expect("queue ops hold at most 2 guards");
+            let head_node = lhead as *const Node<V>;
+            // Safety: lhead protected by hg (validated against self.head).
+            let next_field = unsafe { &(*head_node).next };
+            let (lnext, ng) = self
+                .smr
+                .try_acquire(t, next_field)
+                .expect("queue ops hold at most 2 guards");
+            if lnext == 0 {
+                self.smr.release(t, ng);
+                self.smr.release(t, hg);
+                return None;
+            }
+            if self
+                .head
+                .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Safety: lnext protected by ng; its value slot is written
+                // once at enqueue.
+                let v = unsafe { (*(lnext as *const Node<V>)).value.clone() };
+                let birth = unsafe { (*head_node).birth };
+                self.smr.retire(t, Retired::new(lhead, birth));
+                self.smr.release(t, ng);
+                self.smr.release(t, hg);
+                return v;
+            }
+            self.smr.release(t, ng);
+            self.smr.release(t, hg);
+        }
+    }
+}
+
+impl<V, S> ConcurrentQueue<V> for DoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn enqueue(&self, v: V) {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        self.enqueue_impl(t, v);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+    }
+
+    fn dequeue(&self) -> Option<V> {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.dequeue_impl(t);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+}
+
+impl<V, S> Default for DoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, S: AcquireRetire> Drop for DoubleLinkQueue<V, S> {
+    fn drop(&mut self) {
+        let mut n = self.head.load(Ordering::SeqCst);
+        while n != 0 {
+            // Safety: exclusive access; linked nodes are not retired.
+            let node = unsafe { Box::from_raw(n as *mut Node<V>) };
+            self.stats.on_free();
+            n = node.next.load(Ordering::SeqCst);
+        }
+        if Arc::strong_count(&self.smr) == 1 {
+            // Safety: exclusive access.
+            for r in unsafe { self.smr.drain_all() } {
+                self.stats.on_free();
+                unsafe { drop(Box::from_raw(r.addr as *mut Node<V>)) };
+            }
+        }
+    }
+}
+
+impl<V, S: AcquireRetire> std::fmt::Debug for DoubleLinkQueue<V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoubleLinkQueue")
+            .field("scheme", &S::scheme_name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{Ebr, Hp, Hyaline, Ibr};
+
+    fn fifo<S: AcquireRetire>() {
+        let q: DoubleLinkQueue<u64, S> = DoubleLinkQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_all_schemes() {
+        fifo::<Ebr>();
+        fifo::<Ibr>();
+        fifo::<Hp>();
+        fifo::<Hyaline>();
+    }
+
+    #[test]
+    fn concurrent_pop_push_conserves_elements() {
+        let q: Arc<DoubleLinkQueue<u64, Ebr>> = Arc::new(DoubleLinkQueue::new());
+        let threads = 8u64;
+        for i in 0..threads {
+            q.enqueue(i);
+        }
+        let hs: Vec<_> = (0..threads)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        loop {
+                            if let Some(v) = q.dequeue() {
+                                q.enqueue(v);
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        // All elements still present, each exactly once.
+        let mut seen = Vec::new();
+        while let Some(v) = q.dequeue() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..threads).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let stats;
+        {
+            let q: DoubleLinkQueue<u64, Hyaline> = DoubleLinkQueue::new();
+            stats = Arc::clone(&q.stats);
+            for i in 0..1000 {
+                q.enqueue(i);
+            }
+            for _ in 0..500 {
+                q.dequeue();
+            }
+        }
+        assert_eq!(stats.in_flight(), 0);
+    }
+}

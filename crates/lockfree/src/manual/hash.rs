@@ -1,0 +1,120 @@
+//! Michael's lock-free hash table (manual reclamation): a fixed array of
+//! Harris-Michael list buckets sharing one scheme instance.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+use smr::AcquireRetire;
+
+use crate::manual::HarrisMichaelList;
+use crate::{ConcurrentMap, NodeStats};
+
+/// Michael's hash table over manual SMR scheme `S` (bucket count fixed at
+/// construction; the paper sizes it for load factor 1).
+pub struct MichaelHashMap<K, V, S: AcquireRetire> {
+    buckets: Vec<HarrisMichaelList<K, V, S>>,
+    hasher: RandomState,
+    stats: Arc<NodeStats>,
+}
+
+impl<K, V, S> MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    /// Creates a table with `buckets` buckets (rounded up to 1 minimum).
+    pub fn with_buckets(buckets: usize) -> Self {
+        let smr = Arc::new(S::new(
+            Arc::new(smr::GlobalEpoch::new()),
+            S::default_config(),
+        ));
+        let stats = Arc::new(NodeStats::new());
+        MichaelHashMap {
+            buckets: (0..buckets.max(1))
+                .map(|_| HarrisMichaelList::with_shared(Arc::clone(&smr), Arc::clone(&stats)))
+                .collect(),
+            hasher: RandomState::new(),
+            stats,
+        }
+    }
+
+    fn bucket(&self, k: &K) -> &HarrisMichaelList<K, V, S> {
+        let h = self.hasher.hash_one(k) as usize;
+        &self.buckets[h % self.buckets.len()]
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for MichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        self.bucket(&k).insert(k, v)
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        self.bucket(k).remove(k)
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.bucket(k).get(k)
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        self.stats.in_flight()
+    }
+}
+
+impl<K, V, S: AcquireRetire> std::fmt::Debug for MichaelHashMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MichaelHashMap")
+            .field("scheme", &S::scheme_name())
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{Ebr, Hp};
+
+    #[test]
+    fn smoke() {
+        let m: MichaelHashMap<u64, String, Ebr> = MichaelHashMap::with_buckets(16);
+        assert!(m.insert(1, "one".into()));
+        assert!(m.insert(17, "seventeen".into())); // same bucket candidate
+        assert!(!m.insert(1, "uno".into()));
+        assert_eq!(m.get(&1).as_deref(), Some("one"));
+        assert!(m.remove(&1));
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.get(&17).as_deref(), Some("seventeen"));
+    }
+
+    #[test]
+    fn concurrent_hp() {
+        let m: Arc<MichaelHashMap<u64, u64, Hp>> = Arc::new(MichaelHashMap::with_buckets(64));
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for j in 0..500u64 {
+                        let k = i * 1000 + j;
+                        assert!(m.insert(k, k));
+                        assert_eq!(m.get(&k), Some(k));
+                        if j % 2 == 1 {
+                            assert!(m.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! Harris-Michael lock-free ordered linked list (manual reclamation).
+//!
+//! Michael's 2002 algorithm: deletion first *marks* the victim's `next` word
+//! (low bit), then unlinks it with a CAS on the predecessor's edge; searches
+//! help unlink marked nodes they encounter. Reclamation is manual: the
+//! thread whose CAS unlinks a node retires it, and freed nodes come back
+//! through `eject`.
+//!
+//! Traversal protection is hand-over-hand: the current node is acquired
+//! (with validation, for protected-pointer schemes) from an edge that lives
+//! in a node that is itself still protected, so no unprotected memory is
+//! ever dereferenced.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr::{untagged, AcquireRetire, Retired, Tid};
+
+use crate::{ConcurrentMap, NodeStats};
+
+const MARK: usize = 1;
+
+struct Node<K, V> {
+    birth: u64,
+    key: K,
+    value: V,
+    /// Next pointer; low bit set = this node is logically deleted.
+    next: AtomicUsize,
+}
+
+/// A Harris-Michael ordered map under manual SMR scheme `S`.
+///
+/// Multiple structures may share one scheme instance (and stats) — the
+/// Michael hash table does exactly that for its buckets.
+pub struct HarrisMichaelList<K, V, S: AcquireRetire> {
+    head: AtomicUsize,
+    smr: Arc<S>,
+    stats: Arc<NodeStats>,
+    _marker: PhantomData<(Box<Node<K, V>>, fn(S))>,
+}
+
+// Safety: nodes are only dereferenced under scheme protection; values cross
+// threads only via `V: Send + Sync`-bounded clones.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Send for HarrisMichaelList<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Sync for HarrisMichaelList<K, V, S> {}
+
+/// Cursor produced by the find loop: `prev_loc` is the edge holding `cur_w`.
+struct Cursor<G> {
+    prev_loc: *const AtomicUsize,
+    prev_guard: Option<G>,
+    /// Unmarked word at `prev_loc` (0 = end of list).
+    cur_w: usize,
+    cur_guard: Option<G>,
+    found: bool,
+}
+
+impl<K, V, S> HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    /// Creates an empty list with its own scheme instance.
+    pub fn new() -> Self {
+        Self::with_shared(
+            Arc::new(S::new(
+                Arc::new(smr::GlobalEpoch::new()),
+                S::default_config(),
+            )),
+            Arc::new(NodeStats::new()),
+        )
+    }
+
+    /// Creates an empty list sharing a scheme instance and stats (used by
+    /// the hash table so all buckets reclaim through one instance).
+    pub fn with_shared(smr: Arc<S>, stats: Arc<NodeStats>) -> Self {
+        HarrisMichaelList {
+            head: AtomicUsize::new(0),
+            smr,
+            stats,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Applies every ready eject: frees the node memory.
+    fn collect(&self, t: Tid) {
+        while let Some(r) = self.smr.eject(t) {
+            self.stats.on_free();
+            // Safety: ejected addresses were allocated by us as Node<K, V>
+            // and retired exactly once after being unlinked.
+            unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
+        }
+    }
+
+    fn release_cursor(&self, t: Tid, c: &mut Cursor<S::Guard>) {
+        if let Some(g) = c.prev_guard.take() {
+            self.smr.release(t, g);
+        }
+        if let Some(g) = c.cur_guard.take() {
+            self.smr.release(t, g);
+        }
+    }
+
+    /// Michael's find: positions the cursor at the first node with
+    /// `node.key >= key`, unlinking marked nodes along the way. Must be
+    /// called inside a critical section; returns with 0–2 guards held.
+    fn find(&self, t: Tid, key: &K) -> Cursor<S::Guard> {
+        'retry: loop {
+            let mut prev_loc: *const AtomicUsize = &self.head;
+            let mut prev_guard: Option<S::Guard> = None;
+            // Safety: `head` lives in `self`.
+            let (mut cur_w, g) = self
+                .smr
+                .try_acquire(t, unsafe { &*prev_loc })
+                .expect("list traversal holds at most 3 guards");
+            let mut cur_guard = Some(g);
+            if cur_w & MARK != 0 {
+                // Head edge is never marked; a marked word here means we
+                // raced an unlink mid-publication — restart.
+                self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                continue 'retry;
+            }
+            loop {
+                let cur = untagged(cur_w);
+                if cur == 0 {
+                    return Cursor {
+                        prev_loc,
+                        prev_guard,
+                        cur_w,
+                        cur_guard,
+                        found: false,
+                    };
+                }
+                let node = cur as *const Node<K, V>;
+                // Safety: `cur` is protected by cur_guard.
+                let next_field = unsafe { &(*node).next };
+                let (next_w, next_g) = self
+                    .smr
+                    .try_acquire(t, next_field)
+                    .expect("list traversal holds at most 3 guards");
+                let mut next_guard = Some(next_g);
+                // Validate that cur is still linked, unmarked, at prev_loc.
+                // Safety: prev_loc is &head or an edge in a guarded node.
+                if unsafe { (*prev_loc).load(Ordering::SeqCst) } != cur_w {
+                    self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                    self.release_guards(t, &mut next_guard, &mut None);
+                    continue 'retry;
+                }
+                if next_w & MARK != 0 {
+                    // cur is logically deleted: help unlink it.
+                    let clean_next = next_w & !MARK;
+                    // Safety: prev_loc as above.
+                    if unsafe {
+                        (*prev_loc)
+                            .compare_exchange(cur_w, clean_next, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    } {
+                        // We unlinked cur: retire it (the manual chore).
+                        let birth = unsafe { (*node).birth };
+                        self.smr.retire(t, Retired::new(cur, birth));
+                        if let Some(g) = cur_guard.take() {
+                            self.smr.release(t, g);
+                        }
+                        cur_w = clean_next;
+                        cur_guard = next_guard.take();
+                        continue;
+                    }
+                    self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                    self.release_guards(t, &mut next_guard, &mut None);
+                    continue 'retry;
+                }
+                // Safety: cur protected; key is immutable after insert.
+                let ckey = unsafe { &(*node).key };
+                if ckey >= key {
+                    self.release_guards(t, &mut next_guard, &mut None);
+                    return Cursor {
+                        prev_loc,
+                        prev_guard,
+                        cur_w,
+                        cur_guard,
+                        found: ckey == key,
+                    };
+                }
+                // Advance hand-over-hand: cur becomes prev.
+                if let Some(g) = prev_guard.take() {
+                    self.smr.release(t, g);
+                }
+                prev_guard = cur_guard.take();
+                prev_loc = next_field as *const AtomicUsize;
+                cur_w = next_w;
+                cur_guard = next_guard.take();
+            }
+        }
+    }
+
+    fn release_guards(&self, t: Tid, a: &mut Option<S::Guard>, b: &mut Option<S::Guard>) {
+        if let Some(g) = a.take() {
+            self.smr.release(t, g);
+        }
+        if let Some(g) = b.take() {
+            self.smr.release(t, g);
+        }
+    }
+
+    fn insert_impl(&self, t: Tid, key: K, value: V) -> bool {
+        let birth = self.smr.birth_epoch(t);
+        self.stats.on_alloc();
+        let new_node = Box::into_raw(Box::new(Node {
+            birth,
+            key,
+            value,
+            next: AtomicUsize::new(0),
+        }));
+        loop {
+            // Safety: new_node is ours until published.
+            let key_ref = unsafe { &(*new_node).key };
+            let mut c = self.find(t, key_ref);
+            if c.found {
+                self.release_cursor(t, &mut c);
+                self.stats.on_free();
+                // Safety: never published.
+                unsafe { drop(Box::from_raw(new_node)) };
+                return false;
+            }
+            unsafe { (*new_node).next.store(c.cur_w, Ordering::SeqCst) };
+            // Safety: prev_loc protected per find's contract.
+            let ok = unsafe {
+                (*c.prev_loc)
+                    .compare_exchange(
+                        c.cur_w,
+                        new_node as usize,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+            };
+            self.release_cursor(t, &mut c);
+            if ok {
+                return true;
+            }
+        }
+    }
+
+    fn remove_impl(&self, t: Tid, key: &K) -> bool {
+        loop {
+            let mut c = self.find(t, key);
+            if !c.found {
+                self.release_cursor(t, &mut c);
+                return false;
+            }
+            let cur = untagged(c.cur_w);
+            let node = cur as *const Node<K, V>;
+            // Logically delete: mark cur's next word.
+            // Safety: cur protected by the cursor's guard.
+            let next_w = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if next_w & MARK != 0 {
+                // Someone else is deleting it; retry to let find help.
+                self.release_cursor(t, &mut c);
+                continue;
+            }
+            let marked = unsafe {
+                (*node)
+                    .next
+                    .compare_exchange(next_w, next_w | MARK, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            };
+            if !marked {
+                self.release_cursor(t, &mut c);
+                continue;
+            }
+            // Physically unlink (best effort — find() helps otherwise).
+            // Safety: prev_loc protected per find's contract.
+            if unsafe {
+                (*c.prev_loc)
+                    .compare_exchange(c.cur_w, next_w, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            } {
+                let birth = unsafe { (*node).birth };
+                self.smr.retire(t, Retired::new(cur, birth));
+            }
+            self.release_cursor(t, &mut c);
+            return true;
+        }
+    }
+
+    fn get_impl(&self, t: Tid, key: &K) -> Option<V> {
+        let mut c = self.find(t, key);
+        let out = if c.found {
+            let node = untagged(c.cur_w) as *const Node<K, V>;
+            // Safety: protected by the cursor guard; value immutable.
+            Some(unsafe { (*node).value.clone() })
+        } else {
+            None
+        };
+        self.release_cursor(t, &mut c);
+        out
+    }
+
+    /// Counts live (unmarked) nodes — test helper, not linearizable.
+    pub fn iter_count(&self) -> usize {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let mut n = 0;
+        let mut w = self.head.load(Ordering::SeqCst);
+        while untagged(w) != 0 {
+            let node = untagged(w) as *const Node<K, V>;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if next & MARK == 0 {
+                n += 1;
+            }
+            w = next & !MARK;
+        }
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        n
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.insert_impl(t, k, v);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.remove_impl(t, k);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.get_impl(t, k);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        self.stats.in_flight()
+    }
+}
+
+impl<K, V, S> Default for HarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: AcquireRetire> Drop for HarrisMichaelList<K, V, S> {
+    fn drop(&mut self) {
+        // Free reachable nodes (marked-but-linked included)...
+        let mut w = untagged(self.head.load(Ordering::SeqCst));
+        while w != 0 {
+            // Safety: exclusive access; nodes in the chain are not retired.
+            let node = unsafe { Box::from_raw(w as *mut Node<K, V>) };
+            self.stats.on_free();
+            w = untagged(node.next.load(Ordering::SeqCst));
+        }
+        // ...then everything sitting in retired lists, if we own the scheme
+        // instance exclusively (shared instances are drained by their last
+        // owner — the hash map drops buckets first, then drains once).
+        if Arc::strong_count(&self.smr) == 1 {
+            // Safety: strong_count == 1 plus &mut self = exclusivity.
+            for r in unsafe { self.smr.drain_all() } {
+                self.stats.on_free();
+                unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
+            }
+        }
+    }
+}
+
+impl<K, V, S: AcquireRetire> std::fmt::Debug for HarrisMichaelList<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarrisMichaelList")
+            .field("scheme", &S::scheme_name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{Ebr, Hp, Hyaline, Ibr};
+
+    fn smoke<S: AcquireRetire>() {
+        let list: HarrisMichaelList<u64, u64, S> = HarrisMichaelList::new();
+        assert!(list.insert(5, 50));
+        assert!(list.insert(3, 30));
+        assert!(list.insert(7, 70));
+        assert!(!list.insert(5, 55), "duplicate rejected");
+        assert_eq!(list.get(&5), Some(50));
+        assert_eq!(list.get(&4), None);
+        assert!(list.remove(&5));
+        assert!(!list.remove(&5));
+        assert_eq!(list.get(&5), None);
+        assert_eq!(list.iter_count(), 2);
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<Ebr>();
+        smoke::<Ibr>();
+        smoke::<Hp>();
+        smoke::<Hyaline>();
+    }
+
+    fn concurrent<S: AcquireRetire>() {
+        let list: Arc<HarrisMichaelList<u64, u64, S>> = Arc::new(HarrisMichaelList::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for j in 0..300u64 {
+                        let k = (i * 300 + j) as u64;
+                        assert!(list.insert(k, k * 10));
+                        assert_eq!(list.get(&k), Some(k * 10));
+                        if j % 2 == 0 {
+                            assert!(list.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(list.iter_count(), 8 * 150);
+    }
+
+    #[test]
+    fn concurrent_all_schemes() {
+        concurrent::<Ebr>();
+        concurrent::<Ibr>();
+        concurrent::<Hp>();
+        concurrent::<Hyaline>();
+    }
+
+    #[test]
+    fn contended_same_keys() {
+        let list: Arc<HarrisMichaelList<u64, u64, Ebr>> = Arc::new(HarrisMichaelList::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for j in 0..500u64 {
+                        let k = j % 16;
+                        if j % 3 == 0 {
+                            list.insert(k, j);
+                        } else if j % 3 == 1 {
+                            list.remove(&k);
+                        } else {
+                            list.get(&k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let stats = Arc::new(NodeStats::new());
+        {
+            let list: HarrisMichaelList<u64, u64, Ebr> = HarrisMichaelList::with_shared(
+                Arc::new(Ebr::new(
+                    Arc::new(smr::GlobalEpoch::new()),
+                    Ebr::default_config(),
+                )),
+                Arc::clone(&stats),
+            );
+            for k in 0..500u64 {
+                list.insert(k, k);
+            }
+            for k in 0..250u64 {
+                list.remove(&k);
+            }
+        }
+        assert_eq!(stats.in_flight(), 0, "every node freed at drop");
+    }
+}

@@ -1,0 +1,13 @@
+//! Manually memory-managed variants, generic over any [`smr::AcquireRetire`]
+//! scheme. Every unlinked node must be explicitly retired and every ejected
+//! node freed — the discipline the paper's automatic variants remove.
+
+pub mod dlqueue;
+pub mod hash;
+pub mod list;
+pub mod nmtree;
+
+pub use dlqueue::DoubleLinkQueue;
+pub use hash::MichaelHashMap;
+pub use list::HarrisMichaelList;
+pub use nmtree::NatarajanMittalTree;

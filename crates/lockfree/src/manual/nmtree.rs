@@ -1,0 +1,738 @@
+//! Natarajan-Mittal lock-free external binary search tree (manual
+//! reclamation).
+//!
+//! An external (leaf-oriented) BST: internal nodes route, leaves store
+//! key/value pairs. Deletion *flags* the edge to the victim leaf, *tags* the
+//! sibling edge to freeze it, and swings the ancestor's edge to splice the
+//! whole chain out with one CAS. The winner of that CAS must then walk the
+//! spliced-out chain retiring every internal node and flagged leaf — the
+//! easy-to-forget loop of the paper's Figure 1a (the code this crate's `rc`
+//! variant deletes entirely).
+//!
+//! Edge words carry two low bits: `FLAG` (bit 0 — the child leaf is being
+//! deleted) and `TAG` (bit 1 — the edge is frozen because the child internal
+//! node is being spliced out).
+//!
+//! Protection: each operation runs in one critical section; traversal holds
+//! hand-over-hand guards on the ancestor / parent / current roles (the
+//! successor is only ever used as a CAS comparand, never dereferenced), so
+//! the structure is safe under protected-pointer schemes as well — the
+//! "modified, correct HP variant" the paper mentions (§5.1).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr::{AcquireRetire, Retired, Tid};
+
+use crate::{ConcurrentMap, NodeStats};
+
+const FLAG: usize = 1;
+const TAG: usize = 2;
+const BITS: usize = FLAG | TAG;
+
+#[inline]
+fn addr(w: usize) -> usize {
+    w & !BITS
+}
+
+#[inline]
+fn flagged(w: usize) -> bool {
+    w & FLAG != 0
+}
+
+#[inline]
+fn tagged(w: usize) -> bool {
+    w & TAG != 0
+}
+
+/// Key space with the three infinity sentinels (all real keys < Inf0 <
+/// Inf1 < Inf2). Derived `Ord` compares variants in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum NmKey<K> {
+    /// A real key.
+    Fin(K),
+    /// Sentinel ∞₀.
+    Inf0,
+    /// Sentinel ∞₁.
+    Inf1,
+    /// Sentinel ∞₂.
+    Inf2,
+}
+
+struct Node<K, V> {
+    birth: u64,
+    key: NmKey<K>,
+    /// Present on value-bearing leaves only.
+    value: Option<V>,
+    left: AtomicUsize,
+    right: AtomicUsize,
+}
+
+impl<K, V> Node<K, V> {
+    fn leaf(birth: u64, key: NmKey<K>, value: Option<V>) -> Box<Self> {
+        Box::new(Node {
+            birth,
+            key,
+            value,
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// Seek record (paper Fig. 1): the last untagged edge on the search path is
+/// `ancestor → successor`; `parent → leaf` is the final edge.
+struct SeekRecord<G> {
+    ancestor: usize,
+    ancestor_guard: Option<G>,
+    /// CAS comparand only — never dereferenced.
+    successor: usize,
+    parent: usize,
+    parent_guard: Option<G>,
+    leaf: usize,
+    leaf_guard: Option<G>,
+}
+
+/// The Natarajan-Mittal tree under manual SMR scheme `S`.
+pub struct NatarajanMittalTree<K, V, S: AcquireRetire> {
+    /// Root internal node R (key ∞₂); R.left = S (key ∞₁); sentinels are
+    /// never unlinked.
+    root: *mut Node<K, V>,
+    s_node: *mut Node<K, V>,
+    smr: Arc<S>,
+    stats: Arc<NodeStats>,
+    _marker: PhantomData<(Box<Node<K, V>>, fn(S))>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Send
+    for NatarajanMittalTree<K, V, S>
+{
+}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Sync
+    for NatarajanMittalTree<K, V, S>
+{
+}
+
+impl<K, V, S> NatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    /// Creates an empty tree with its own scheme instance.
+    pub fn new() -> Self {
+        let smr = Arc::new(S::new(
+            Arc::new(smr::GlobalEpoch::new()),
+            S::default_config(),
+        ));
+        let stats = Arc::new(NodeStats::new());
+        // Initial shape (paper [21]): R(∞₂){ S(∞₁){ leaf ∞₀, leaf ∞₁ },
+        // leaf ∞₂ }. Real keys all route left of S.
+        for _ in 0..5 {
+            stats.on_alloc();
+        }
+        let l0 = Box::into_raw(Node::<K, V>::leaf(0, NmKey::Inf0, None));
+        let l1 = Box::into_raw(Node::<K, V>::leaf(0, NmKey::Inf1, None));
+        let l2 = Box::into_raw(Node::<K, V>::leaf(0, NmKey::Inf2, None));
+        let s_node = Box::into_raw(Box::new(Node {
+            birth: 0,
+            key: NmKey::Inf1,
+            value: None,
+            left: AtomicUsize::new(l0 as usize),
+            right: AtomicUsize::new(l1 as usize),
+        }));
+        let root = Box::into_raw(Box::new(Node {
+            birth: 0,
+            key: NmKey::Inf2,
+            value: None,
+            left: AtomicUsize::new(s_node as usize),
+            right: AtomicUsize::new(l2 as usize),
+        }));
+        NatarajanMittalTree {
+            root,
+            s_node,
+            smr,
+            stats,
+            _marker: PhantomData,
+        }
+    }
+
+    fn collect(&self, t: Tid) {
+        while let Some(r) = self.smr.eject(t) {
+            self.stats.on_free();
+            // Safety: ejected addresses were allocated here as Node<K, V>
+            // and retired exactly once after being unlinked.
+            unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
+        }
+    }
+
+    /// The child edge of `node` on the search path for `key`.
+    ///
+    /// Safety: `node` must be protected (or a sentinel).
+    unsafe fn child_edge(&self, node: usize, key: &NmKey<K>) -> *const AtomicUsize {
+        let n = node as *const Node<K, V>;
+        if *key < (*n).key {
+            &(*n).left
+        } else {
+            &(*n).right
+        }
+    }
+
+    unsafe fn is_leaf(&self, node: usize) -> bool {
+        let n = node as *const Node<K, V>;
+        addr((*n).left.load(Ordering::SeqCst)) == 0
+    }
+
+    fn release_seek(&self, t: Tid, s: &mut SeekRecord<S::Guard>) {
+        for g in [
+            s.ancestor_guard.take(),
+            s.parent_guard.take(),
+            s.leaf_guard.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            self.smr.release(t, g);
+        }
+    }
+
+    /// Walks from the root to the leaf on `key`'s search path, maintaining
+    /// the seek record. Runs inside the operation's critical section.
+    fn seek(&self, t: Tid, key: &NmKey<K>) -> SeekRecord<S::Guard> {
+        let mut s = SeekRecord {
+            ancestor: self.root as usize,
+            ancestor_guard: None,
+            successor: self.s_node as usize,
+            parent: self.s_node as usize,
+            parent_guard: None,
+            leaf: 0,
+            leaf_guard: None,
+        };
+        // Safety: sentinels are never unlinked; S's edges are valid.
+        let edge = unsafe { self.child_edge(s.parent, key) };
+        let (mut child_w, g) = self
+            .smr
+            .try_acquire(t, unsafe { &*edge })
+            .expect("seek holds at most 4 guards");
+        let mut child_guard = Some(g);
+        loop {
+            let cur = addr(child_w);
+            // External tree: edges always lead to a node.
+            debug_assert_ne!(cur, 0);
+            // Safety: cur is protected by child_guard.
+            if unsafe { self.is_leaf(cur) } {
+                s.leaf = cur;
+                s.leaf_guard = child_guard.take();
+                return s;
+            }
+            if !tagged(child_w) {
+                // Last untagged edge so far: parent becomes the ancestor
+                // (its guard moves along), cur becomes the successor (plain
+                // word — only ever CAS-compared).
+                if let Some(g) = s.ancestor_guard.take() {
+                    self.smr.release(t, g);
+                }
+                s.ancestor = s.parent;
+                s.ancestor_guard = s.parent_guard.take();
+                s.successor = cur;
+            }
+            // cur becomes the parent.
+            if let Some(g) = s.parent_guard.take() {
+                self.smr.release(t, g);
+            }
+            s.parent = cur;
+            s.parent_guard = child_guard.take();
+            // Descend. Safety: cur protected by parent_guard now.
+            let edge = unsafe { self.child_edge(cur, key) };
+            let (w, g) = self
+                .smr
+                .try_acquire(t, unsafe { &*edge })
+                .expect("seek holds at most 4 guards");
+            child_w = w;
+            child_guard = Some(g);
+        }
+    }
+
+    /// Splices the chain `successor … parent + flagged leaf` out by CASing
+    /// the ancestor's edge to the sibling subtree; on success retires every
+    /// node of the chain (Fig. 1a's loop). Returns whether this call won.
+    fn cleanup(&self, t: Tid, key: &NmKey<K>, s: &SeekRecord<S::Guard>) -> bool {
+        // Safety: ancestor and parent are protected by the seek record (or
+        // sentinels).
+        unsafe {
+            let ancestor_edge = self.child_edge(s.ancestor, key);
+            let p = s.parent as *const Node<K, V>;
+            let (child_loc, mut sibling_loc): (*const AtomicUsize, *const AtomicUsize) =
+                if *key < (*p).key {
+                    (&(*p).left, &(*p).right)
+                } else {
+                    (&(*p).right, &(*p).left)
+                };
+            let child_w = (*child_loc).load(Ordering::SeqCst);
+            if !flagged(child_w) {
+                // The flag is on the other side: we are helping a delete
+                // whose victim is the other child.
+                sibling_loc = child_loc;
+            }
+            // Freeze the sibling edge, preserving a pending flag on it.
+            let sib_w = (*sibling_loc).fetch_or(TAG, Ordering::SeqCst);
+            let new_w = addr(sib_w) | (sib_w & FLAG);
+            if (*ancestor_edge)
+                .compare_exchange(s.successor, new_w, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                return false;
+            }
+            // We won: retire the spliced-out chain. Every chain node has
+            // exactly one flagged child (a deleted leaf); the walk follows
+            // the unflagged child and ends at the surviving sibling.
+            let sibling = addr(sib_w);
+            let mut n = s.successor;
+            while n != sibling {
+                let node = n as *const Node<K, V>;
+                let lw = (*node).left.load(Ordering::SeqCst);
+                let rw = (*node).right.load(Ordering::SeqCst);
+                let next = if flagged(lw) {
+                    self.retire_node(t, addr(lw));
+                    addr(rw)
+                } else {
+                    self.retire_node(t, addr(rw));
+                    addr(lw)
+                };
+                self.retire_node(t, n);
+                n = next;
+            }
+            true
+        }
+    }
+
+    unsafe fn retire_node(&self, t: Tid, node: usize) {
+        let birth = (*(node as *const Node<K, V>)).birth;
+        self.smr.retire(t, Retired::new(node, birth));
+    }
+
+    fn leaf_key_matches(&self, leaf: usize, key: &NmKey<K>) -> bool {
+        // Safety: leaf protected by the seek record.
+        unsafe { (*(leaf as *const Node<K, V>)).key == *key }
+    }
+
+    fn insert_impl(&self, t: Tid, key: K, value: V) -> bool {
+        let nmkey = NmKey::Fin(key);
+        loop {
+            let mut s = self.seek(t, &nmkey);
+            if self.leaf_key_matches(s.leaf, &nmkey) {
+                self.release_seek(t, &mut s);
+                return false;
+            }
+            // Build the replacement: an internal node whose children are the
+            // old leaf and the new leaf, ordered by key (internal key = the
+            // larger of the two, external-BST style). Rebuilt per attempt;
+            // contention is the uncommon case.
+            // Safety: leaf protected; keys immutable.
+            let leaf_key = unsafe { (*(s.leaf as *const Node<K, V>)).key.clone() };
+            let birth = self.smr.birth_epoch(t);
+            self.stats.on_alloc();
+            self.stats.on_alloc();
+            let new_leaf = Box::into_raw(Node::leaf(birth, nmkey.clone(), Some(value.clone())));
+            let (ikey, l, r) = if nmkey < leaf_key {
+                (leaf_key, new_leaf as usize, s.leaf)
+            } else {
+                (nmkey.clone(), s.leaf, new_leaf as usize)
+            };
+            let new_internal: *mut Node<K, V> = Box::into_raw(Box::new(Node {
+                birth,
+                key: ikey,
+                value: None,
+                left: AtomicUsize::new(l),
+                right: AtomicUsize::new(r),
+            }));
+            // Safety: parent protected by the seek record.
+            let edge = unsafe { self.child_edge(s.parent, &nmkey) };
+            let ok = unsafe {
+                (*edge)
+                    .compare_exchange(
+                        s.leaf,
+                        new_internal as usize,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+            };
+            if ok {
+                self.release_seek(t, &mut s);
+                return true;
+            }
+            // Failed: free the unpublished nodes, help any pending delete on
+            // this leaf, retry.
+            // Safety: never published, exclusively ours.
+            unsafe {
+                drop(Box::from_raw(new_internal));
+                drop(Box::from_raw(new_leaf));
+            }
+            self.stats.on_free();
+            self.stats.on_free();
+            let w = unsafe { (*edge).load(Ordering::SeqCst) };
+            if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
+                self.cleanup(t, &nmkey, &s);
+            }
+            self.release_seek(t, &mut s);
+        }
+    }
+
+    fn remove_impl(&self, t: Tid, key: &K) -> bool {
+        let nmkey = NmKey::Fin(key.clone());
+        let mut injecting = true;
+        let mut target: usize = 0;
+        let mut target_guard: Option<S::Guard> = None;
+        loop {
+            let mut s = self.seek(t, &nmkey);
+            if injecting {
+                if !self.leaf_key_matches(s.leaf, &nmkey) {
+                    self.release_seek(t, &mut s);
+                    return false;
+                }
+                // Safety: parent protected.
+                let edge = unsafe { self.child_edge(s.parent, &nmkey) };
+                let ok = unsafe {
+                    (*edge)
+                        .compare_exchange(s.leaf, s.leaf | FLAG, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                };
+                if ok {
+                    injecting = false;
+                    target = s.leaf;
+                    // Keep the leaf protected across retries so its address
+                    // cannot be recycled under us (ABA defence).
+                    target_guard = s.leaf_guard.take();
+                    if self.cleanup(t, &nmkey, &s) {
+                        self.release_seek(t, &mut s);
+                        if let Some(g) = target_guard.take() {
+                            self.smr.release(t, g);
+                        }
+                        return true;
+                    }
+                } else {
+                    let w = unsafe { (*edge).load(Ordering::SeqCst) };
+                    if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
+                        self.cleanup(t, &nmkey, &s);
+                    }
+                }
+            } else {
+                if s.leaf != target {
+                    // A helper finished our removal.
+                    self.release_seek(t, &mut s);
+                    if let Some(g) = target_guard.take() {
+                        self.smr.release(t, g);
+                    }
+                    return true;
+                }
+                if self.cleanup(t, &nmkey, &s) {
+                    self.release_seek(t, &mut s);
+                    if let Some(g) = target_guard.take() {
+                        self.smr.release(t, g);
+                    }
+                    return true;
+                }
+            }
+            self.release_seek(t, &mut s);
+        }
+    }
+
+    fn get_impl(&self, t: Tid, key: &K) -> Option<V> {
+        let nmkey = NmKey::Fin(key.clone());
+        let mut s = self.seek(t, &nmkey);
+        let out = if self.leaf_key_matches(s.leaf, &nmkey) {
+            // Safety: leaf protected; values on Fin leaves are Some.
+            unsafe { (*(s.leaf as *const Node<K, V>)).value.clone() }
+        } else {
+            None
+        };
+        self.release_seek(t, &mut s);
+        out
+    }
+
+    /// Sequential (non-linearizable) range count over `[from, to)`, as in
+    /// the paper's Fig. 11 workload. Only supported under protected-region
+    /// schemes (manual HP cannot protect an unbounded path — which is why
+    /// Fig. 11 has no manual-HP series).
+    fn range_impl(&self, from: &K, to: &K, limit: usize) -> Option<usize> {
+        if !S::PROTECTS_REGIONS {
+            return None;
+        }
+        let lo = NmKey::Fin(from.clone());
+        let hi = NmKey::Fin(to.clone());
+        let mut found = 0usize;
+        let mut stack = vec![self.root as usize];
+        while let Some(n) = stack.pop() {
+            if found >= limit {
+                break;
+            }
+            // Safety: the whole query runs inside the caller's critical
+            // section; every node reached was reachable when read.
+            unsafe {
+                let node = n as *const Node<K, V>;
+                if self.is_leaf(n) {
+                    if (*node).key >= lo && (*node).key < hi {
+                        found += 1;
+                    }
+                    continue;
+                }
+                // External BST: left keys < node.key <= right keys.
+                if hi >= (*node).key {
+                    stack.push(addr((*node).right.load(Ordering::SeqCst)));
+                }
+                if lo < (*node).key {
+                    stack.push(addr((*node).left.load(Ordering::SeqCst)));
+                }
+            }
+        }
+        Some(found)
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for NatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.insert_impl(t, k, v);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.remove_impl(t, k);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.get_impl(t, k);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn range(&self, from: &K, to: &K, limit: usize) -> Option<usize> {
+        let t = smr::current_tid();
+        self.smr.begin_critical_section(t);
+        let r = self.range_impl(from, to, limit);
+        self.smr.end_critical_section(t);
+        self.collect(t);
+        r
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        self.stats.in_flight()
+    }
+}
+
+impl<K, V, S> Default for NatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: AcquireRetire> Drop for NatarajanMittalTree<K, V, S> {
+    fn drop(&mut self) {
+        // Free everything reachable (flag/tag bits notwithstanding), then
+        // whatever is parked in retired lists; the sets are disjoint since
+        // retired nodes are unlinked first.
+        let mut stack = vec![self.root as usize];
+        while let Some(n) = stack.pop() {
+            // Safety: exclusive access.
+            unsafe {
+                let node = n as *mut Node<K, V>;
+                let l = addr((*node).left.load(Ordering::Relaxed));
+                let r = addr((*node).right.load(Ordering::Relaxed));
+                if l != 0 {
+                    stack.push(l);
+                }
+                if r != 0 {
+                    stack.push(r);
+                }
+                self.stats.on_free();
+                drop(Box::from_raw(node));
+            }
+        }
+        if Arc::strong_count(&self.smr) == 1 {
+            // Safety: exclusive access.
+            for r in unsafe { self.smr.drain_all() } {
+                self.stats.on_free();
+                unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
+            }
+        }
+    }
+}
+
+impl<K, V, S: AcquireRetire> std::fmt::Debug for NatarajanMittalTree<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NatarajanMittalTree")
+            .field("scheme", &S::scheme_name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{Ebr, Hp, Hyaline, Ibr};
+
+    fn smoke<S: AcquireRetire>() {
+        let tree: NatarajanMittalTree<u64, u64, S> = NatarajanMittalTree::new();
+        assert_eq!(tree.get(&10), None);
+        assert!(tree.insert(10, 100));
+        assert!(tree.insert(5, 50));
+        assert!(tree.insert(15, 150));
+        assert!(!tree.insert(10, 101));
+        assert_eq!(tree.get(&10), Some(100));
+        assert_eq!(tree.get(&5), Some(50));
+        assert!(tree.remove(&10));
+        assert!(!tree.remove(&10));
+        assert_eq!(tree.get(&10), None);
+        assert_eq!(tree.get(&15), Some(150));
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<Ebr>();
+        smoke::<Ibr>();
+        smoke::<Hp>();
+        smoke::<Hyaline>();
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        use std::collections::BTreeMap;
+        let tree: NatarajanMittalTree<u64, u64, Ebr> = NatarajanMittalTree::new();
+        let mut model = BTreeMap::new();
+        let mut state = 0x12345678u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % 64;
+            match (state >> 20) % 3 {
+                0 => assert_eq!(tree.insert(k, k * 2), model.insert(k, k * 2).is_none()),
+                1 => assert_eq!(tree.remove(&k), model.remove(&k).is_some()),
+                _ => assert_eq!(tree.get(&k), model.get(&k).copied()),
+            }
+        }
+        for k in 0..64 {
+            assert_eq!(tree.get(&k), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn range_counts_keys_region_schemes() {
+        let tree: NatarajanMittalTree<u64, u64, Ebr> = NatarajanMittalTree::new();
+        for k in 0..100 {
+            tree.insert(k, k);
+        }
+        assert_eq!(tree.range(&10, &20, 1000), Some(10));
+        assert_eq!(tree.range(&0, &100, 1000), Some(100));
+        assert_eq!(tree.range(&0, &100, 7), Some(7), "limit respected");
+        let hp_tree: NatarajanMittalTree<u64, u64, Hp> = NatarajanMittalTree::new();
+        hp_tree.insert(1, 1);
+        assert_eq!(hp_tree.range(&0, &10, 10), None, "manual HP: unsupported");
+    }
+
+    fn concurrent<S: AcquireRetire>() {
+        let tree: Arc<NatarajanMittalTree<u64, u64, S>> = Arc::new(NatarajanMittalTree::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    for j in 0..400u64 {
+                        let k = i * 1000 + j;
+                        assert!(tree.insert(k, k));
+                        assert_eq!(tree.get(&k), Some(k));
+                        if j % 2 == 0 {
+                            assert!(tree.remove(&k));
+                            assert_eq!(tree.get(&k), None);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        for i in 0..8u64 {
+            for j in 0..400u64 {
+                let k = i * 1000 + j;
+                assert_eq!(tree.get(&k), if j % 2 == 0 { None } else { Some(k) });
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_all_schemes() {
+        concurrent::<Ebr>();
+        concurrent::<Ibr>();
+        concurrent::<Hp>();
+        concurrent::<Hyaline>();
+    }
+
+    #[test]
+    fn contended_deletes_same_key_range() {
+        let tree: Arc<NatarajanMittalTree<u64, u64, Ebr>> = Arc::new(NatarajanMittalTree::new());
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    let mut state = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .unwrap()
+                        .subsec_nanos() as u64
+                        | 1;
+                    for _ in 0..2000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % 32;
+                        match (state >> 20) % 2 {
+                            0 => {
+                                tree.insert(k, k);
+                            }
+                            _ => {
+                                tree.remove(&k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let stats;
+        {
+            let tree: NatarajanMittalTree<u64, u64, Ebr> = NatarajanMittalTree::new();
+            stats = Arc::clone(&tree.stats);
+            for k in 0..300u64 {
+                tree.insert(k, k);
+            }
+            for k in 0..150u64 {
+                tree.remove(&k);
+            }
+        }
+        assert_eq!(stats.in_flight(), 0, "every node freed at drop");
+    }
+}

@@ -1,0 +1,181 @@
+//! Ramalhete-Correia doubly-linked queue over atomic **weak** pointers —
+//! a direct transcription of the paper's Figure 10.
+//!
+//! `next` edges are strong ([`AtomicSharedPtr`]); `prev` edges are weak
+//! ([`AtomicWeakPtr`]), breaking the reference cycle a doubly-linked list
+//! would otherwise create. The enqueue helping step reads `tail.prev`
+//! through a weak snapshot, which is safe even if that node's strong count
+//! has already reached zero (§4.1's `weak_snapshot_ptr` guarantee).
+
+use std::marker::PhantomData;
+
+use cdrc::{AtomicSharedPtr, AtomicWeakPtr, Scheme, SharedPtr};
+
+use crate::ConcurrentQueue;
+
+struct Node<V, S: Scheme> {
+    value: Option<V>,
+    next: AtomicSharedPtr<Node<V, S>, S>,
+    prev: AtomicWeakPtr<Node<V, S>, S>,
+}
+
+/// The weak-pointer doubly-linked queue of Fig. 10 ("Our Weak Pointers" in
+/// Fig. 12).
+pub struct RcDoubleLinkQueue<V, S: Scheme> {
+    head: AtomicSharedPtr<Node<V, S>, S>,
+    tail: AtomicSharedPtr<Node<V, S>, S>,
+    _marker: PhantomData<V>,
+}
+
+impl<V, S> RcDoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let sentinel: SharedPtr<Node<V, S>, S> = SharedPtr::new(Node {
+            value: None,
+            next: AtomicSharedPtr::null(),
+            prev: AtomicWeakPtr::null(),
+        });
+        RcDoubleLinkQueue {
+            head: AtomicSharedPtr::new(sentinel.clone()),
+            tail: AtomicSharedPtr::new(sentinel),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V, S> ConcurrentQueue<V> for RcDoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    // Fig. 10, enqueue.
+    fn enqueue(&self, v: V) {
+        let domain = S::global_domain();
+        let new_node: SharedPtr<Node<V, S>, S> = SharedPtr::new(Node {
+            value: Some(v),
+            next: AtomicSharedPtr::null(),
+            prev: AtomicWeakPtr::null(),
+        });
+        // The paper's critical_section_guard — full flavour, since `prev`
+        // operations go through the weak and dispose instances.
+        let guard = domain.weak_cs();
+        loop {
+            let ltail = self.tail.get_snapshot(guard.as_cs());
+            new_node.as_ref().unwrap().prev.store_strong(&ltail);
+            // Help the previous enqueue set its next pointer.
+            let lprev = ltail.as_ref().unwrap().prev.get_snapshot(&guard);
+            if let Some(prev_node) = lprev.as_ref() {
+                if prev_node.next.load_tagged().is_null() {
+                    prev_node.next.store_from(&ltail);
+                }
+            }
+            if self.tail.compare_exchange(ltail.tagged(), &new_node) {
+                ltail.as_ref().unwrap().next.store_from(&new_node);
+                return;
+            }
+        }
+    }
+
+    // Fig. 10, dequeue.
+    fn dequeue(&self) -> Option<V> {
+        let domain = S::global_domain();
+        let guard = domain.weak_cs();
+        loop {
+            let lhead = self.head.get_snapshot(guard.as_cs());
+            let lnext = lhead.as_ref().unwrap().next.get_snapshot(guard.as_cs());
+            let Some(next_node) = lnext.as_ref() else {
+                return None; // queue is empty
+            };
+            if self.head.compare_exchange(lhead.tagged(), &lnext) {
+                return next_node.value.clone();
+            }
+        }
+    }
+}
+
+impl<V, S> Default for RcDoubleLinkQueue<V, S>
+where
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, S: Scheme> std::fmt::Debug for RcDoubleLinkQueue<V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcDoubleLinkQueue").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+    use std::sync::Arc;
+
+    fn fifo<S: Scheme>() {
+        let q: RcDoubleLinkQueue<u64, S> = RcDoubleLinkQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_all_schemes() {
+        fifo::<EbrScheme>();
+        fifo::<IbrScheme>();
+        fifo::<HpScheme>();
+        fifo::<HyalineScheme>();
+    }
+
+    fn pop_push<S: Scheme>() {
+        let q: Arc<RcDoubleLinkQueue<u64, S>> = Arc::new(RcDoubleLinkQueue::new());
+        let threads = 8u64;
+        for i in 0..threads {
+            q.enqueue(i);
+        }
+        let hs: Vec<_> = (0..threads)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for _ in 0..1500 {
+                        loop {
+                            if let Some(v) = q.dequeue() {
+                                q.enqueue(v);
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut seen = Vec::new();
+        while let Some(v) = q.dequeue() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..threads).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_pop_push_conserves_elements() {
+        pop_push::<HpScheme>(); // the paper powers Fig. 12 with RCHP
+        pop_push::<EbrScheme>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Michael hash table over reference-counted pointers.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+
+use cdrc::Scheme;
+
+use crate::rc::RcHarrisMichaelList;
+use crate::ConcurrentMap;
+
+/// Michael's hash table over `cdrc` pointers with scheme `S`.
+pub struct RcMichaelHashMap<K, V, S: Scheme> {
+    buckets: Vec<RcHarrisMichaelList<K, V, S>>,
+    hasher: RandomState,
+}
+
+impl<K, V, S> RcMichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    /// Creates a table with `buckets` buckets (minimum 1).
+    pub fn with_buckets(buckets: usize) -> Self {
+        RcMichaelHashMap {
+            buckets: (0..buckets.max(1))
+                .map(|_| RcHarrisMichaelList::new())
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn bucket(&self, k: &K) -> &RcHarrisMichaelList<K, V, S> {
+        let h = self.hasher.hash_one(k) as usize;
+        &self.buckets[h % self.buckets.len()]
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for RcMichaelHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        self.bucket(&k).insert(k, v)
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        self.bucket(k).remove(k)
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.bucket(k).get(k)
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        S::global_domain().in_flight()
+    }
+}
+
+impl<K, V, S: Scheme> std::fmt::Debug for RcMichaelHashMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcMichaelHashMap")
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrc::{EbrScheme, HpScheme};
+    use std::sync::Arc;
+
+    #[test]
+    fn smoke() {
+        let m: RcMichaelHashMap<u64, String, EbrScheme> = RcMichaelHashMap::with_buckets(16);
+        assert!(m.insert(1, "one".into()));
+        assert!(!m.insert(1, "uno".into()));
+        assert_eq!(m.get(&1).as_deref(), Some("one"));
+        assert!(m.remove(&1));
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn concurrent_hp() {
+        let m: Arc<RcMichaelHashMap<u64, u64, HpScheme>> =
+            Arc::new(RcMichaelHashMap::with_buckets(64));
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for j in 0..400u64 {
+                        let k = i * 1000 + j;
+                        assert!(m.insert(k, k));
+                        assert_eq!(m.get(&k), Some(k));
+                        if j % 2 == 1 {
+                            assert!(m.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

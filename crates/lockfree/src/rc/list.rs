@@ -1,0 +1,290 @@
+//! Harris-Michael list over reference-counted pointers ("RC" variants).
+//!
+//! Note what is *absent* relative to [`crate::manual::list`]: no `retire`,
+//! no `eject`, no node freeing, no birth epochs — a successful unlink CAS
+//! transfers the last location-owned reference to the deferred machinery
+//! and the node (plus anything only it references) is reclaimed
+//! automatically.
+
+use std::marker::PhantomData;
+
+use cdrc::{AtomicSharedPtr, CsGuard, Scheme, SharedPtr, SnapshotPtr};
+
+use crate::ConcurrentMap;
+
+const MARK: usize = 1;
+
+struct Node<K, V, S: Scheme> {
+    key: K,
+    value: V,
+    next: AtomicSharedPtr<Node<K, V, S>, S>,
+}
+
+/// Harris-Michael ordered map over `cdrc` pointers with scheme `S`
+/// ("RCEBR", "RCIBR", "RCHP", "RCHyaline" depending on `S`).
+pub struct RcHarrisMichaelList<K, V, S: Scheme> {
+    head: AtomicSharedPtr<Node<K, V, S>, S>,
+    _marker: PhantomData<(K, V)>,
+}
+
+struct Cursor<'g, K, V, S: Scheme> {
+    /// Node containing the edge we are at; `None` = the list head.
+    prev: Option<SnapshotPtr<'g, Node<K, V, S>, S>>,
+    /// Snapshot read (unmarked) from that edge; null = end of list.
+    cur: SnapshotPtr<'g, Node<K, V, S>, S>,
+    found: bool,
+}
+
+impl<K, V, S> RcHarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        RcHarrisMichaelList {
+            head: AtomicSharedPtr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn edge<'a>(
+        &'a self,
+        prev: &'a Option<SnapshotPtr<'_, Node<K, V, S>, S>>,
+    ) -> &'a AtomicSharedPtr<Node<K, V, S>, S> {
+        match prev {
+            None => &self.head,
+            Some(p) => &p.as_ref().expect("prev snapshot is non-null").next,
+        }
+    }
+
+    fn find<'g>(&self, cs: &'g CsGuard<'g, S>, key: &K) -> Cursor<'g, K, V, S> {
+        'retry: loop {
+            let mut prev: Option<SnapshotPtr<'g, Node<K, V, S>, S>> = None;
+            let mut cur = self.head.get_snapshot(cs);
+            if cur.tag() != 0 {
+                continue 'retry;
+            }
+            loop {
+                let Some(node) = cur.as_ref() else {
+                    return Cursor {
+                        prev,
+                        cur,
+                        found: false,
+                    };
+                };
+                let next = node.next.get_snapshot(cs);
+                // Validate cur is still linked unmarked at the prev edge.
+                if self.edge(&prev).load_tagged() != cur.tagged() {
+                    continue 'retry;
+                }
+                if next.tag() & MARK != 0 {
+                    // cur is logically deleted: splice it out. The CAS
+                    // retires the location's reference to cur — reclamation
+                    // is automatic from here.
+                    if self
+                        .edge(&prev)
+                        .compare_exchange_tagged(cur.tagged(), &next, 0)
+                    {
+                        cur = next.with_tag(0);
+                        continue;
+                    }
+                    continue 'retry;
+                }
+                if node.key >= *key {
+                    let found = node.key == *key;
+                    return Cursor { prev, cur, found };
+                }
+                prev = Some(cur);
+                cur = next;
+            }
+        }
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for RcHarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
+            key: k,
+            value: v,
+            next: AtomicSharedPtr::null(),
+        });
+        loop {
+            let c = self.find(&cs, &new_node.as_ref().unwrap().key);
+            if c.found {
+                return false; // new_node drops; no manual free needed
+            }
+            // Point the new node at cur and try to publish it.
+            new_node.as_ref().unwrap().next.store_from(&c.cur);
+            if self
+                .edge(&c.prev)
+                .compare_exchange_tagged(c.cur.tagged(), &new_node, 0)
+            {
+                return true;
+            }
+        }
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        loop {
+            let c = self.find(&cs, k);
+            if !c.found {
+                return false;
+            }
+            let node = c.cur.as_ref().unwrap();
+            let next_t = node.next.load_tagged();
+            if next_t.tag() & MARK != 0 {
+                continue; // someone else is deleting it; help via find
+            }
+            if !node.next.try_set_tag(next_t, MARK) {
+                continue;
+            }
+            // Marked: attempt the physical unlink; find() helps otherwise.
+            let next_snap = node.next.get_snapshot(&cs);
+            let _ = self
+                .edge(&c.prev)
+                .compare_exchange_tagged(c.cur.tagged(), &next_snap, 0);
+            return true;
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let c = self.find(&cs, k);
+        if c.found {
+            Some(c.cur.as_ref().unwrap().value.clone())
+        } else {
+            None
+        }
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        S::global_domain().in_flight()
+    }
+}
+
+impl<K, V, S> Default for RcHarrisMichaelList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: Scheme> std::fmt::Debug for RcHarrisMichaelList<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcHarrisMichaelList").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+    use std::sync::Arc;
+
+    fn smoke<S: Scheme>() {
+        let list: RcHarrisMichaelList<u64, u64, S> = RcHarrisMichaelList::new();
+        assert!(list.insert(5, 50));
+        assert!(list.insert(3, 30));
+        assert!(list.insert(7, 70));
+        assert!(!list.insert(5, 55));
+        assert_eq!(list.get(&5), Some(50));
+        assert_eq!(list.get(&4), None);
+        assert!(list.remove(&5));
+        assert!(!list.remove(&5));
+        assert_eq!(list.get(&5), None);
+        assert_eq!(list.get(&3), Some(30));
+        assert_eq!(list.get(&7), Some(70));
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<EbrScheme>();
+        smoke::<IbrScheme>();
+        smoke::<HpScheme>();
+        smoke::<HyalineScheme>();
+    }
+
+    fn concurrent<S: Scheme>() {
+        let list: Arc<RcHarrisMichaelList<u64, u64, S>> = Arc::new(RcHarrisMichaelList::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for j in 0..300u64 {
+                        let k = i * 1000 + j;
+                        assert!(list.insert(k, k));
+                        assert_eq!(list.get(&k), Some(k));
+                        if j % 2 == 0 {
+                            assert!(list.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        for i in 0..8u64 {
+            for j in 0..300u64 {
+                let k = i * 1000 + j;
+                assert_eq!(list.get(&k), if j % 2 == 0 { None } else { Some(k) });
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_all_schemes() {
+        concurrent::<EbrScheme>();
+        concurrent::<IbrScheme>();
+        concurrent::<HpScheme>();
+        concurrent::<HyalineScheme>();
+    }
+
+    #[test]
+    fn contended_same_keys() {
+        let list: Arc<RcHarrisMichaelList<u64, u64, EbrScheme>> =
+            Arc::new(RcHarrisMichaelList::new());
+        let hs: Vec<_> = (0..8)
+            .map(|s| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    let mut state = 0x9E3779B9u64.wrapping_mul(s + 1);
+                    for _ in 0..1000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % 16;
+                        match (state >> 20) % 3 {
+                            0 => {
+                                list.insert(k, k);
+                            }
+                            1 => {
+                                list.remove(&k);
+                            }
+                            _ => {
+                                list.get(&k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Natarajan-Mittal tree over reference-counted pointers.
+//!
+//! Compare [`cleanup`](RcNatarajanMittalTree) with the manual version: the
+//! entire Figure-1a retire walk is gone. The single ancestor-edge CAS drops
+//! the location's reference to the spliced-out chain, and deferred
+//! reference counting reclaims every chain node and flagged leaf
+//! automatically — this is the paper's Figure 1b.
+
+use std::marker::PhantomData;
+
+use cdrc::{AtomicSharedPtr, CsGuard, Scheme, SharedPtr, SnapshotPtr, StrongRef, TaggedPtr};
+
+use crate::ConcurrentMap;
+
+const FLAG: usize = 1;
+const TAG: usize = 2;
+
+/// Key space with infinity sentinels (see the manual variant).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum NmKey<K> {
+    Fin(K),
+    Inf0,
+    Inf1,
+    Inf2,
+}
+
+struct Node<K, V, S: Scheme> {
+    key: NmKey<K>,
+    value: Option<V>,
+    left: AtomicSharedPtr<Node<K, V, S>, S>,
+    right: AtomicSharedPtr<Node<K, V, S>, S>,
+}
+
+impl<K: Ord + Send + Sync, V: Send + Sync, S: Scheme> Node<K, V, S> {
+    fn leaf(key: NmKey<K>, value: Option<V>) -> SharedPtr<Node<K, V, S>, S> {
+        SharedPtr::new(Node {
+            key,
+            value,
+            left: AtomicSharedPtr::null(),
+            right: AtomicSharedPtr::null(),
+        })
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.left.load_tagged().is_null()
+    }
+
+    fn child_edge(&self, key: &NmKey<K>) -> &AtomicSharedPtr<Node<K, V, S>, S> {
+        if *key < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+struct Seek<'g, K, V, S: Scheme> {
+    ancestor: SnapshotPtr<'g, Node<K, V, S>, S>,
+    /// CAS comparand only.
+    successor: TaggedPtr<Node<K, V, S>>,
+    parent: SnapshotPtr<'g, Node<K, V, S>, S>,
+    leaf: SnapshotPtr<'g, Node<K, V, S>, S>,
+}
+
+/// The Natarajan-Mittal tree over `cdrc` pointers with scheme `S`.
+pub struct RcNatarajanMittalTree<K, V, S: Scheme> {
+    /// R (key ∞₂); R.left = S (key ∞₁). Held in atomics so seeks can take
+    /// uniform snapshots; neither sentinel is ever replaced.
+    root: AtomicSharedPtr<Node<K, V, S>, S>,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K, V, S> RcNatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let s_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
+            key: NmKey::Inf1,
+            value: None,
+            left: AtomicSharedPtr::new(Node::leaf(NmKey::Inf0, None)),
+            right: AtomicSharedPtr::new(Node::leaf(NmKey::Inf1, None)),
+        });
+        let root: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
+            key: NmKey::Inf2,
+            value: None,
+            left: AtomicSharedPtr::new(s_node),
+            right: AtomicSharedPtr::new(Node::leaf(NmKey::Inf2, None)),
+        });
+        RcNatarajanMittalTree {
+            root: AtomicSharedPtr::new(root),
+            _marker: PhantomData,
+        }
+    }
+
+    fn seek<'g>(&self, cs: &'g CsGuard<'g, S>, key: &NmKey<K>) -> Seek<'g, K, V, S> {
+        let r = self.root.get_snapshot(cs);
+        // R.left = S, never removed, edge never tagged.
+        let s_snap = r.as_ref().unwrap().left.get_snapshot(cs);
+        let mut ancestor = r;
+        let mut successor = s_snap.tagged().with_tag(0);
+        let mut child = s_snap.as_ref().unwrap().child_edge(key).get_snapshot(cs);
+        let mut parent = s_snap;
+        loop {
+            let node = child.as_ref().expect("external tree edges are total");
+            if node.is_leaf() {
+                return Seek {
+                    ancestor,
+                    successor,
+                    parent,
+                    leaf: child,
+                };
+            }
+            let edge_tagged = child.tag() & TAG != 0;
+            if !edge_tagged {
+                // parent→child untagged: parent becomes the ancestor, child
+                // the successor.
+                ancestor = parent;
+                successor = child.tagged().with_tag(0);
+                parent = child.with_tag(0);
+            } else {
+                parent = child;
+            }
+            child = parent
+                .as_ref()
+                .unwrap()
+                .child_edge(key)
+                .get_snapshot(cs);
+        }
+    }
+
+    /// Splices the flagged chain out with one CAS. No retire loop: dropping
+    /// the location's reference reclaims the whole chain (Fig. 1b).
+    fn cleanup(&self, cs: &CsGuard<'_, S>, key: &NmKey<K>, s: &Seek<'_, K, V, S>) -> bool {
+        let ancestor = s.ancestor.as_ref().unwrap();
+        let parent = s.parent.as_ref().unwrap();
+        let (child_loc, mut sibling_loc) = if *key < parent.key {
+            (&parent.left, &parent.right)
+        } else {
+            (&parent.right, &parent.left)
+        };
+        if child_loc.load_tagged().tag() & FLAG == 0 {
+            // The flag is on the other side; we are helping that delete.
+            sibling_loc = child_loc;
+        }
+        // Freeze the sibling edge (pointer can no longer change).
+        let sib_w = sibling_loc.fetch_or_tag(TAG);
+        let sibling = sibling_loc.get_snapshot(cs);
+        debug_assert!(sibling.tagged().ptr_eq(sib_w));
+        // Swing the ancestor's edge from the successor to the sibling,
+        // preserving a pending flag on the sibling so that delete can
+        // continue at the new location.
+        ancestor
+            .child_edge(key)
+            .compare_exchange_tagged(s.successor, &sibling, sib_w.tag() & FLAG)
+    }
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let nmkey = NmKey::Fin(key);
+        loop {
+            let s = self.seek(&cs, &nmkey);
+            let leaf = s.leaf.as_ref().unwrap();
+            if leaf.key == nmkey {
+                return false;
+            }
+            // Build replacement subtree: internal(max) { old leaf, new }.
+            let new_leaf = Node::leaf(nmkey.clone(), Some(value.clone()));
+            let (ikey, l, r) = if nmkey < leaf.key {
+                (leaf.key.clone(), new_leaf, s.leaf.to_shared())
+            } else {
+                (nmkey.clone(), s.leaf.to_shared(), new_leaf)
+            };
+            let new_internal: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
+                key: ikey,
+                value: None,
+                left: AtomicSharedPtr::new(l),
+                right: AtomicSharedPtr::new(r),
+            });
+            let parent = s.parent.as_ref().unwrap();
+            let edge = parent.child_edge(&nmkey);
+            if edge.compare_exchange_tagged(s.leaf.tagged().with_tag(0), &new_internal, 0) {
+                return true;
+            }
+            // Failure: new_internal (and the new leaf) drop automatically.
+            let w = edge.load_tagged();
+            if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
+                self.cleanup(&cs, &nmkey, &s);
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let nmkey = NmKey::Fin(key.clone());
+        // Pins the victim's address across retries (ABA defence) once we
+        // have flagged it.
+        let mut target: Option<SharedPtr<Node<K, V, S>, S>> = None;
+        loop {
+            let s = self.seek(&cs, &nmkey);
+            match &target {
+                None => {
+                    let leaf = s.leaf.as_ref().unwrap();
+                    if leaf.key != nmkey {
+                        return false;
+                    }
+                    let parent = s.parent.as_ref().unwrap();
+                    let edge = parent.child_edge(&nmkey);
+                    let expected = s.leaf.tagged().with_tag(0);
+                    if edge.try_set_tag(expected, FLAG) {
+                        target = Some(s.leaf.to_shared());
+                        if self.cleanup(&cs, &nmkey, &s) {
+                            return true;
+                        }
+                    } else {
+                        let w = edge.load_tagged();
+                        if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
+                            self.cleanup(&cs, &nmkey, &s);
+                        }
+                    }
+                }
+                Some(t) => {
+                    if s.leaf.tagged().addr() != t.addr() {
+                        return true; // a helper finished our removal
+                    }
+                    if self.cleanup(&cs, &nmkey, &s) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn get_impl(&self, key: &K) -> Option<V> {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let nmkey = NmKey::Fin(key.clone());
+        let s = self.seek(&cs, &nmkey);
+        let leaf = s.leaf.as_ref().unwrap();
+        if leaf.key == nmkey {
+            leaf.value.clone()
+        } else {
+            None
+        }
+    }
+
+    fn range_impl(&self, from: &K, to: &K, limit: usize) -> usize {
+        let domain = S::global_domain();
+        let cs = domain.cs();
+        let lo = NmKey::Fin(from.clone());
+        let hi = NmKey::Fin(to.clone());
+        let mut found = 0usize;
+        // The entire path (in fact frontier) is protected by snapshots —
+        // exactly the behaviour Fig. 11 measures: protected-region schemes
+        // keep taking fast-path snapshots, RCHP runs out of hazard slots and
+        // falls back to reference-count increments.
+        let mut stack = vec![self.root.get_snapshot(&cs)];
+        while let Some(snap) = stack.pop() {
+            if found >= limit {
+                break;
+            }
+            let node = snap.as_ref().unwrap();
+            if node.is_leaf() {
+                if node.key >= lo && node.key < hi {
+                    found += 1;
+                }
+                continue;
+            }
+            if hi >= node.key {
+                stack.push(node.right.get_snapshot(&cs));
+            }
+            if lo < node.key {
+                stack.push(node.left.get_snapshot(&cs));
+            }
+        }
+        found
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for RcNatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn insert(&self, k: K, v: V) -> bool {
+        self.insert_impl(k, v)
+    }
+
+    fn remove(&self, k: &K) -> bool {
+        self.remove_impl(k)
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.get_impl(k)
+    }
+
+    fn range(&self, from: &K, to: &K, limit: usize) -> Option<usize> {
+        Some(self.range_impl(from, to, limit))
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        S::global_domain().in_flight()
+    }
+}
+
+impl<K, V, S> Default for RcNatarajanMittalTree<K, V, S>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: Scheme> std::fmt::Debug for RcNatarajanMittalTree<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcNatarajanMittalTree").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+    use std::sync::Arc;
+
+    fn smoke<S: Scheme>() {
+        let tree: RcNatarajanMittalTree<u64, u64, S> = RcNatarajanMittalTree::new();
+        assert_eq!(tree.get(&10), None);
+        assert!(tree.insert(10, 100));
+        assert!(tree.insert(5, 50));
+        assert!(tree.insert(15, 150));
+        assert!(!tree.insert(10, 101));
+        assert_eq!(tree.get(&10), Some(100));
+        assert!(tree.remove(&10));
+        assert!(!tree.remove(&10));
+        assert_eq!(tree.get(&10), None);
+        assert_eq!(tree.get(&15), Some(150));
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<EbrScheme>();
+        smoke::<IbrScheme>();
+        smoke::<HpScheme>();
+        smoke::<HyalineScheme>();
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        use std::collections::BTreeMap;
+        let tree: RcNatarajanMittalTree<u64, u64, EbrScheme> = RcNatarajanMittalTree::new();
+        let mut model = BTreeMap::new();
+        let mut state = 0xdeadbeefu64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % 64;
+            match (state >> 20) % 3 {
+                0 => assert_eq!(tree.insert(k, k * 2), model.insert(k, k * 2).is_none()),
+                1 => assert_eq!(tree.remove(&k), model.remove(&k).is_some()),
+                _ => assert_eq!(tree.get(&k), model.get(&k).copied()),
+            }
+        }
+    }
+
+    #[test]
+    fn range_supported_on_all_schemes_including_hp() {
+        fn run<S: Scheme>() {
+            let tree: RcNatarajanMittalTree<u64, u64, S> = RcNatarajanMittalTree::new();
+            for k in 0..100 {
+                tree.insert(k, k);
+            }
+            assert_eq!(tree.range(&10, &20, 1000), Some(10));
+            assert_eq!(tree.range(&0, &100, 7), Some(7));
+        }
+        run::<EbrScheme>();
+        // The paper's point: RCHP supports the range query unmodified (it
+        // falls back to count increments when hazard slots run out).
+        run::<HpScheme>();
+    }
+
+    fn concurrent<S: Scheme>() {
+        let tree: Arc<RcNatarajanMittalTree<u64, u64, S>> = Arc::new(RcNatarajanMittalTree::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    for j in 0..400u64 {
+                        let k = i * 1000 + j;
+                        assert!(tree.insert(k, k));
+                        assert_eq!(tree.get(&k), Some(k));
+                        if j % 2 == 0 {
+                            assert!(tree.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_all_schemes() {
+        concurrent::<EbrScheme>();
+        concurrent::<IbrScheme>();
+        concurrent::<HpScheme>();
+        concurrent::<HyalineScheme>();
+    }
+
+    #[test]
+    fn contended_mixed_with_ranges() {
+        let tree: Arc<RcNatarajanMittalTree<u64, u64, HyalineScheme>> =
+            Arc::new(RcNatarajanMittalTree::new());
+        let hs: Vec<_> = (0..8)
+            .map(|s| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    let mut state = 0x2545F491u64.wrapping_mul(s + 1) | 1;
+                    for _ in 0..1500 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % 128;
+                        match (state >> 20) % 4 {
+                            0 => {
+                                tree.insert(k, k);
+                            }
+                            1 => {
+                                tree.remove(&k);
+                            }
+                            2 => {
+                                tree.get(&k);
+                            }
+                            _ => {
+                                tree.range(&k, &(k + 16), 16);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

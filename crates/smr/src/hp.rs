@@ -1,0 +1,423 @@
+//! Hazard pointers in the *acquire-retire* formulation of Anderson et al. —
+//! the protected-pointer scheme underlying the original CDRC, extended to
+//! allow the same pointer to be retired (and hence ejected) multiple times.
+//!
+//! Each thread owns `hp_slots` announcement slots usable by
+//! [`try_acquire`](crate::AcquireRetire::try_acquire) plus one *reserved*
+//! slot that makes [`acquire`](crate::AcquireRetire::acquire) total (§3.2 of
+//! the paper: "we reserve a special guard / announcement slot that cannot be
+//! used by `try_acquire`"). Acquiring announces the pointer and re-reads the
+//! source until stable; the store-load fence this requires on every read is
+//! exactly the cost that makes protected-pointer schemes slower than
+//! protected-region ones (§2).
+//!
+//! The multi-retire rule (§3.2): a scan counts how many times each address is
+//! currently announced and keeps `min(#retired, #announced)` copies in the
+//! retired list, ejecting the surplus. Critical sections are no-ops.
+
+use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::util::{prefetch_read, CachePadded};
+use crate::{untagged, AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+
+use std::cell::UnsafeCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Protection token: the index of the announcement slot holding the pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpGuard {
+    index: usize,
+}
+
+struct Local {
+    /// Indices in `0..hp_slots` currently free for `try_acquire`.
+    free: Vec<usize>,
+    /// Whether the reserved slot (index `hp_slots`) is in use by `acquire`.
+    reserved_busy: bool,
+    retired: Vec<Retired>,
+    ready: VecDeque<Retired>,
+    depth: u32,
+}
+
+struct Slot {
+    /// `hp_slots + 1` announcement words; untagged addresses, 0 = empty.
+    anns: Box<[AtomicUsize]>,
+    local: UnsafeCell<Local>,
+}
+
+/// Hazard-pointer acquire-retire instance.
+///
+/// # Examples
+///
+/// ```
+/// use smr::{AcquireRetire, GlobalEpoch, Hp, Retired};
+/// use std::sync::atomic::AtomicUsize;
+/// use std::sync::Arc;
+///
+/// let hp = Hp::new(Arc::new(GlobalEpoch::new()), Hp::default_config());
+/// let t = smr::current_tid();
+/// let shared = AtomicUsize::new(0x1000);
+///
+/// hp.begin_critical_section(t); // no-op, uniform discipline
+/// let (value, guard) = hp.try_acquire(t, &shared).expect("slots available");
+/// assert_eq!(value, 0x1000);
+/// hp.release(t, guard);
+/// hp.end_critical_section(t);
+/// ```
+//
+// Safety invariant: `Slot::local` is only accessed by the owning thread (or
+// under `drain_all` exclusivity); `Slot::anns` is written by the owner and
+// read by scanning threads.
+pub struct Hp {
+    cfg: SmrConfig,
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+unsafe impl Send for Hp {}
+unsafe impl Sync for Hp {}
+
+impl Hp {
+    #[inline]
+    fn local(&self, t: Tid) -> *mut Local {
+        self.slots[t.index()].local.get()
+    }
+
+    /// Announce-validate loop on slot `index`; returns the validated word.
+    #[inline]
+    fn protect(&self, t: Tid, index: usize, src: &AtomicUsize) -> usize {
+        let ann = &self.slots[t.index()].anns[index];
+        let mut v = src.load(Ordering::SeqCst);
+        loop {
+            let a = untagged(v);
+            if a == 0 {
+                // Nothing to protect; clear any stale announcement so we do
+                // not spuriously pin an unrelated object.
+                ann.store(0, Ordering::SeqCst);
+                return v;
+            }
+            if self.cfg.prefetch {
+                // Start the pointee's cache line travelling before the
+                // announcement fence stalls us (§5.1).
+                prefetch_read(a);
+            }
+            // SeqCst store-then-load: the announcement must be visible to
+            // scanning threads before we validate.
+            ann.store(a, Ordering::SeqCst);
+            let v2 = src.load(Ordering::SeqCst);
+            if v2 == v {
+                return v;
+            }
+            v = v2;
+        }
+    }
+
+    /// The classic amortization bound: scan when the retired list exceeds a
+    /// multiple of the total number of announcement slots in use.
+    fn scan_threshold(&self) -> usize {
+        let capacity = registered_high_water_mark() * (self.cfg.hp_slots + 1);
+        self.cfg.eject_threshold.max(2 * capacity)
+    }
+
+    fn scan(&self, local: &mut Local) {
+        // Count current announcements per address (a multiset: the same
+        // address may be announced by several guards at once).
+        let mut announced: HashMap<usize, usize> = HashMap::new();
+        for slot in self.slots.iter().take(registered_high_water_mark()) {
+            for ann in slot.anns.iter() {
+                let a = ann.load(Ordering::SeqCst);
+                if a != 0 {
+                    *announced.entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+        // Keep at most `announced[addr]` copies of each retired address;
+        // eject the surplus (§3.2's multi-retire accounting).
+        let mut kept_counts: HashMap<usize, usize> = HashMap::new();
+        let mut kept = Vec::with_capacity(local.retired.len());
+        for r in local.retired.drain(..) {
+            let budget = announced.get(&r.addr).copied().unwrap_or(0);
+            let kept_so_far = kept_counts.entry(r.addr).or_insert(0);
+            if *kept_so_far < budget {
+                *kept_so_far += 1;
+                kept.push(r);
+            } else {
+                local.ready.push_back(r);
+            }
+        }
+        local.retired = kept;
+    }
+}
+
+unsafe impl AcquireRetire for Hp {
+    type Guard = HpGuard;
+
+    const PROTECTS_REGIONS: bool = false;
+
+    fn new(_clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self {
+        let k = config.hp_slots;
+        let slots = (0..MAX_THREADS)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    anns: (0..=k).map(|_| AtomicUsize::new(0)).collect(),
+                    local: UnsafeCell::new(Local {
+                        free: (0..k).rev().collect(),
+                        reserved_busy: false,
+                        retired: Vec::new(),
+                        ready: VecDeque::new(),
+                        depth: 0,
+                    }),
+                })
+            })
+            .collect();
+        Hp { cfg: config, slots }
+    }
+
+    fn scheme_name() -> &'static str {
+        "HP"
+    }
+
+    #[inline]
+    fn begin_critical_section(&self, t: Tid) {
+        // Protected-pointer scheme: regions carry no protection, but we keep
+        // the nesting count so misuse is caught in debug builds.
+        let local = unsafe { &mut *self.local(t) };
+        local.depth += 1;
+    }
+
+    #[inline]
+    fn end_critical_section(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        debug_assert!(local.depth > 0, "end_critical_section without begin");
+        local.depth -= 1;
+    }
+
+    #[inline]
+    fn birth_epoch(&self, _t: Tid) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn acquire(&self, t: Tid, src: &AtomicUsize) -> (usize, Self::Guard) {
+        let local = unsafe { &mut *self.local(t) };
+        assert!(
+            !local.reserved_busy,
+            "acquire while a previous acquire is still active (Definition 3.2)"
+        );
+        local.reserved_busy = true;
+        let index = self.cfg.hp_slots; // the reserved slot
+        let v = self.protect(t, index, src);
+        (v, HpGuard { index })
+    }
+
+    #[inline]
+    fn try_acquire(&self, t: Tid, src: &AtomicUsize) -> Option<(usize, Self::Guard)> {
+        let local = unsafe { &mut *self.local(t) };
+        let index = local.free.pop()?;
+        let v = self.protect(t, index, src);
+        Some((v, HpGuard { index }))
+    }
+
+    #[inline]
+    fn release(&self, t: Tid, guard: Self::Guard) {
+        self.slots[t.index()].anns[guard.index].store(0, Ordering::SeqCst);
+        let local = unsafe { &mut *self.local(t) };
+        if guard.index == self.cfg.hp_slots {
+            debug_assert!(local.reserved_busy, "double release of acquire guard");
+            local.reserved_busy = false;
+        } else {
+            debug_assert!(
+                !local.free.contains(&guard.index),
+                "double release of try_acquire guard"
+            );
+            local.free.push(guard.index);
+        }
+    }
+
+    fn retire(&self, t: Tid, r: Retired) {
+        let local = unsafe { &mut *self.local(t) };
+        local.retired.push(r);
+        if local.retired.len() >= self.scan_threshold() {
+            self.scan(local);
+        }
+    }
+
+    #[inline]
+    fn eject(&self, t: Tid) -> Option<Retired> {
+        let local = unsafe { &mut *self.local(t) };
+        local.ready.pop_front()
+    }
+
+    fn flush(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        self.scan(local);
+    }
+
+    unsafe fn drain_all(&self) -> Vec<Retired> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let local = &mut *slot.local.get();
+            out.append(&mut local.retired);
+            out.extend(local.ready.drain(..));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Hp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hp")
+            .field("hp_slots", &self.cfg.hp_slots)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current_tid;
+
+    fn new_hp() -> Hp {
+        Hp::new(Arc::new(GlobalEpoch::new()), Hp::default_config())
+    }
+
+    #[test]
+    fn try_acquire_exhausts_and_recovers_slots() {
+        let cfg = SmrConfig {
+            hp_slots: 2,
+            ..Hp::default_config()
+        };
+        let hp = Hp::new(Arc::new(GlobalEpoch::new()), cfg);
+        let t = current_tid();
+        let src = AtomicUsize::new(0x1000);
+        let (_, g1) = hp.try_acquire(t, &src).unwrap();
+        let (_, g2) = hp.try_acquire(t, &src).unwrap();
+        assert!(hp.try_acquire(t, &src).is_none(), "out of slots");
+        // The reserved slot still works.
+        let (_, gr) = hp.acquire(t, &src);
+        hp.release(t, gr);
+        hp.release(t, g1);
+        assert!(hp.try_acquire(t, &src).is_some());
+        hp.release(t, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous acquire")]
+    fn double_acquire_panics() {
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0);
+        let (_, _g) = hp.acquire(t, &src);
+        let _ = hp.acquire(t, &src);
+    }
+
+    #[test]
+    fn announced_pointer_is_not_ejected() {
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0x2000);
+        let (_, g) = hp.try_acquire(t, &src).unwrap();
+        hp.retire(t, Retired::new(0x2000, 0));
+        hp.flush(t);
+        assert_eq!(hp.eject(t), None, "announced pointer must stay");
+        hp.release(t, g);
+        hp.flush(t);
+        assert_eq!(hp.eject(t), Some(Retired::new(0x2000, 0)));
+    }
+
+    #[test]
+    fn multi_retire_keeps_only_announced_count() {
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0x3000);
+        let (_, g) = hp.try_acquire(t, &src).unwrap();
+        // Three retires, one announcement: two copies must eject.
+        for _ in 0..3 {
+            hp.retire(t, Retired::new(0x3000, 0));
+        }
+        hp.flush(t);
+        assert_eq!(hp.eject(t), Some(Retired::new(0x3000, 0)));
+        assert_eq!(hp.eject(t), Some(Retired::new(0x3000, 0)));
+        assert_eq!(hp.eject(t), None, "one copy pinned by the announcement");
+        hp.release(t, g);
+        hp.flush(t);
+        assert_eq!(hp.eject(t), Some(Retired::new(0x3000, 0)));
+    }
+
+    #[test]
+    fn acquire_validates_against_concurrent_update() {
+        // Single-threaded simulation of the retry: the value changes between
+        // the first read and validation via a sneaky AtomicUsize alias.
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0x4000);
+        let (v, g) = hp.acquire(t, &src);
+        assert_eq!(v, 0x4000);
+        assert_eq!(
+            hp.slots[t.index()].anns[hp.cfg.hp_slots].load(Ordering::SeqCst),
+            0x4000
+        );
+        hp.release(t, g);
+    }
+
+    #[test]
+    fn tagged_pointers_are_announced_untagged() {
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0x5000 | 1);
+        let (v, g) = hp.try_acquire(t, &src).unwrap();
+        assert_eq!(v, 0x5000 | 1, "value keeps its tag");
+        assert_eq!(
+            hp.slots[t.index()].anns[g.index].load(Ordering::SeqCst),
+            0x5000,
+            "announcement is untagged"
+        );
+        // A retire of the untagged address is blocked by the tagged acquire.
+        hp.retire(t, Retired::new(0x5000, 0));
+        hp.flush(t);
+        assert_eq!(hp.eject(t), None);
+        hp.release(t, g);
+        hp.flush(t);
+        assert!(hp.eject(t).is_some());
+    }
+
+    #[test]
+    fn null_acquire_allocates_and_releases_guard() {
+        let hp = new_hp();
+        let t = current_tid();
+        let src = AtomicUsize::new(0);
+        let (v, g) = hp.try_acquire(t, &src).unwrap();
+        assert_eq!(v, 0);
+        hp.release(t, g);
+    }
+
+    #[test]
+    fn cross_thread_announcement_blocks_eject() {
+        use std::sync::mpsc;
+        let hp = Arc::new(new_hp());
+        let src = Arc::new(AtomicUsize::new(0x6000));
+        let (tx, rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let reader = {
+            let hp = Arc::clone(&hp);
+            let src = Arc::clone(&src);
+            std::thread::spawn(move || {
+                let rt = current_tid();
+                let (_, g) = hp.try_acquire(rt, &src).unwrap();
+                tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+                hp.release(rt, g);
+            })
+        };
+        rx.recv().unwrap();
+        let t = current_tid();
+        hp.retire(t, Retired::new(0x6000, 0));
+        hp.flush(t);
+        assert_eq!(hp.eject(t), None, "other thread's announcement protects");
+        done_tx.send(()).unwrap();
+        reader.join().unwrap();
+        hp.flush(t);
+        assert!(hp.eject(t).is_some());
+    }
+}

@@ -1,0 +1,430 @@
+//! Hyaline-1 behind the generalized acquire-retire interface.
+//!
+//! Hyaline is a protected-region scheme without a global epoch scan: retired
+//! nodes are grouped into *batches*; a finished batch is pushed onto the
+//! in-flight list of every slot currently inside a critical section, and the
+//! batch's reference counter is set to the number of lists it joined. When an
+//! operation ends its critical section it detaches its list and decrements
+//! each batch it finds; whoever brings a batch's counter to zero claims the
+//! batch's nodes (here: moves them to its ready queue for `eject`, since in
+//! the generalized interface the deferred action belongs to the caller).
+//!
+//! Protocol details (per slot):
+//!
+//! * `head == INVALID` — the slot is not in a critical section; retirers
+//!   skip it.
+//! * `head == 0` — inside a critical section, list empty.
+//! * otherwise `head` points to a [`LinkNode`] chain.
+//!
+//! Entering stores `0`; leaving swaps in `INVALID` and walks whatever chain
+//! it got. A retirer CAS-pushes onto every non-`INVALID` head, then adds the
+//! number of successful pushes to the batch counter (which leavers may have
+//! already driven negative — the counter is signed, and the unique
+//! transition to exactly zero hands out reclamation responsibility).
+//!
+//! Safety: if a reader is inside a critical section when an object is
+//! retired, the batch containing it is pushed to the reader's slot (its head
+//! is not `INVALID`), so the object cannot be ejected until the reader
+//! leaves and decrements the batch. Readers that enter after the retire
+//! cannot reach the object, because retirement follows unlinking.
+
+use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::util::CachePadded;
+use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Slot-head sentinel: the slot's thread is not in a critical section.
+const INVALID: usize = usize::MAX;
+
+struct Batch {
+    /// pushes − leaves; reclamation goes to whoever makes this exactly zero.
+    refs: AtomicIsize,
+    items: Vec<Retired>,
+}
+
+struct LinkNode {
+    batch: *mut Batch,
+    /// Next `LinkNode` address in this slot's list, or 0.
+    next: usize,
+}
+
+struct Local {
+    /// The batch currently being filled by this thread's retires.
+    current: Vec<Retired>,
+    ready: VecDeque<Retired>,
+    depth: u32,
+}
+
+struct Slot {
+    head: AtomicUsize,
+    local: UnsafeCell<Local>,
+}
+
+/// Hyaline-1 acquire-retire instance.
+///
+/// # Examples
+///
+/// ```
+/// use smr::{AcquireRetire, GlobalEpoch, Hyaline, Retired};
+/// use std::sync::atomic::AtomicUsize;
+/// use std::sync::Arc;
+///
+/// let hy = Hyaline::new(Arc::new(GlobalEpoch::new()), Hyaline::default_config());
+/// let t = smr::current_tid();
+/// let shared = AtomicUsize::new(0x1000);
+///
+/// hy.begin_critical_section(t);
+/// let (value, _guard) = hy.acquire(t, &shared);
+/// assert_eq!(value, 0x1000);
+/// hy.end_critical_section(t);
+/// ```
+//
+// Safety invariants: `Slot::local` is only accessed by the owning thread (or
+// under `drain_all`/`Drop` exclusivity). `Slot::head` is CAS-pushed by any
+// thread but only detached (swapped to INVALID) by the owner; every pushed
+// `LinkNode` is therefore walked and freed exactly once. A `Batch` is freed
+// by the unique thread that moves its counter to zero.
+pub struct Hyaline {
+    cfg: SmrConfig,
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+unsafe impl Send for Hyaline {}
+unsafe impl Sync for Hyaline {}
+
+impl Hyaline {
+    #[inline]
+    fn local(&self, t: Tid) -> *mut Local {
+        self.slots[t.index()].local.get()
+    }
+
+    /// Walks a detached slot list, decrementing batch counters and claiming
+    /// zeroed batches into `local.ready`.
+    unsafe fn process_list(&self, mut head: usize, local: &mut Local) {
+        while head != 0 && head != INVALID {
+            let node = Box::from_raw(head as *mut LinkNode);
+            let batch = node.batch;
+            head = node.next;
+            drop(node);
+            if (*batch).refs.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let batch = Box::from_raw(batch);
+                local.ready.extend(batch.items);
+            }
+        }
+    }
+
+    /// Seals the current batch and distributes it to all active slots.
+    fn distribute(&self, local: &mut Local) {
+        if local.current.is_empty() {
+            return;
+        }
+        let batch = Box::into_raw(Box::new(Batch {
+            refs: AtomicIsize::new(0),
+            items: std::mem::take(&mut local.current),
+        }));
+        let mut pushes: isize = 0;
+        for slot in self.slots.iter().take(registered_high_water_mark()) {
+            let mut node: Option<Box<LinkNode>> = None;
+            loop {
+                let h = slot.head.load(Ordering::SeqCst);
+                if h == INVALID {
+                    break; // not in a critical section; skip this slot
+                }
+                let mut n = node.take().unwrap_or_else(|| {
+                    Box::new(LinkNode {
+                        batch,
+                        next: 0,
+                    })
+                });
+                n.next = h;
+                let raw = Box::into_raw(n);
+                match slot
+                    .head
+                    .compare_exchange(h, raw as usize, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => {
+                        pushes += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        node = Some(unsafe { Box::from_raw(raw) });
+                    }
+                }
+            }
+        }
+        // Add the push count; leavers may already have driven the counter
+        // negative. Whoever lands it on exactly zero reclaims — including us,
+        // right now, when every pushed-to section has already left (or no
+        // section was active at all).
+        let old = unsafe { &*batch }.refs.fetch_add(pushes, Ordering::SeqCst);
+        if old + pushes == 0 {
+            let batch = unsafe { Box::from_raw(batch) };
+            local.ready.extend(batch.items);
+        }
+    }
+}
+
+unsafe impl AcquireRetire for Hyaline {
+    type Guard = ();
+
+    fn new(_clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    head: AtomicUsize::new(INVALID),
+                    local: UnsafeCell::new(Local {
+                        current: Vec::new(),
+                        ready: VecDeque::new(),
+                        depth: 0,
+                    }),
+                })
+            })
+            .collect();
+        Hyaline { cfg: config, slots }
+    }
+
+    fn scheme_name() -> &'static str {
+        "Hyaline"
+    }
+
+    #[inline]
+    fn begin_critical_section(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        local.depth += 1;
+        if local.depth == 1 {
+            // SeqCst: the slot must be visibly active before we read any
+            // protected pointer — Hyaline's one fence per operation.
+            self.slots[t.index()].head.store(0, Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn end_critical_section(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        debug_assert!(local.depth > 0, "end_critical_section without begin");
+        local.depth -= 1;
+        if local.depth == 0 {
+            let head = self.slots[t.index()].head.swap(INVALID, Ordering::SeqCst);
+            unsafe { self.process_list(head, local) };
+        }
+    }
+
+    #[inline]
+    fn birth_epoch(&self, _t: Tid) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn acquire(&self, t: Tid, src: &AtomicUsize) -> (usize, Self::Guard) {
+        debug_assert!(
+            unsafe { &*self.local(t) }.depth > 0,
+            "acquire outside critical section"
+        );
+        (src.load(Ordering::SeqCst), ())
+    }
+
+    #[inline]
+    fn try_acquire(&self, t: Tid, src: &AtomicUsize) -> Option<(usize, Self::Guard)> {
+        Some(self.acquire(t, src))
+    }
+
+    #[inline]
+    fn release(&self, _t: Tid, _guard: Self::Guard) {}
+
+    fn retire(&self, t: Tid, r: Retired) {
+        let local = unsafe { &mut *self.local(t) };
+        local.current.push(r);
+        if local.current.len() >= self.cfg.batch_size {
+            self.distribute(local);
+        }
+    }
+
+    #[inline]
+    fn eject(&self, t: Tid) -> Option<Retired> {
+        let local = unsafe { &mut *self.local(t) };
+        local.ready.pop_front()
+    }
+
+    fn flush(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        self.distribute(local);
+    }
+
+    unsafe fn drain_all(&self) -> Vec<Retired> {
+        let mut out = Vec::new();
+        // Force-leave every slot: walk and free any remaining lists so every
+        // batch's counter eventually reaches zero exactly once.
+        for slot in self.slots.iter() {
+            let local = &mut *slot.local.get();
+            let head = slot.head.swap(INVALID, Ordering::SeqCst);
+            self.process_list(head, local);
+        }
+        for slot in self.slots.iter() {
+            let local = &mut *slot.local.get();
+            out.append(&mut local.current);
+            out.extend(local.ready.drain(..));
+        }
+        out
+    }
+}
+
+impl Drop for Hyaline {
+    fn drop(&mut self) {
+        // Free internal link nodes and batches; the retired records they
+        // carry are dropped (owning domains drain before dropping us).
+        unsafe {
+            let _ = self.drain_all();
+        }
+    }
+}
+
+impl fmt::Debug for Hyaline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hyaline")
+            .field("batch_size", &self.cfg.batch_size)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current_tid;
+
+    fn new_hyaline(batch: usize) -> Hyaline {
+        let cfg = SmrConfig {
+            batch_size: batch,
+            ..Hyaline::default_config()
+        };
+        Hyaline::new(Arc::new(GlobalEpoch::new()), cfg)
+    }
+
+    #[test]
+    fn retire_with_no_active_sections_ejects_after_flush() {
+        let hy = new_hyaline(4);
+        let t = current_tid();
+        hy.retire(t, Retired::new(0x1000, 0));
+        hy.flush(t);
+        assert_eq!(hy.eject(t), Some(Retired::new(0x1000, 0)));
+        assert_eq!(hy.eject(t), None);
+    }
+
+    #[test]
+    fn batch_threshold_distributes_automatically() {
+        let hy = new_hyaline(3);
+        let t = current_tid();
+        for i in 0..3 {
+            hy.retire(t, Retired::new(0x1000 + i * 8, 0));
+        }
+        // Third retire sealed the batch; nobody active, so it came straight
+        // back to us.
+        assert!(hy.eject(t).is_some());
+    }
+
+    #[test]
+    fn own_critical_section_defers_until_leave() {
+        let hy = new_hyaline(1);
+        let t = current_tid();
+        hy.begin_critical_section(t);
+        hy.retire(t, Retired::new(0x2000, 0)); // batch of 1, pushed to our own slot
+        assert_eq!(hy.eject(t), None, "own section holds the batch");
+        hy.end_critical_section(t);
+        assert_eq!(hy.eject(t), Some(Retired::new(0x2000, 0)));
+    }
+
+    #[test]
+    fn concurrent_reader_blocks_until_leaving_and_then_claims() {
+        use std::sync::mpsc;
+        let hy = Arc::new(new_hyaline(1));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (retired_tx, retired_rx) = mpsc::channel::<()>();
+        let (claimed_tx, claimed_rx) = mpsc::channel();
+        let reader = {
+            let hy = Arc::clone(&hy);
+            std::thread::spawn(move || {
+                let rt = current_tid();
+                hy.begin_critical_section(rt);
+                entered_tx.send(()).unwrap();
+                retired_rx.recv().unwrap();
+                hy.end_critical_section(rt);
+                // In Hyaline the *leaving* thread claims zeroed batches.
+                let claimed = hy.eject(rt);
+                claimed_tx.send(claimed).unwrap();
+            })
+        };
+        entered_rx.recv().unwrap();
+        let t = current_tid();
+        hy.retire(t, Retired::new(0x3000, 0));
+        // The batch was pushed to the reader's slot; we cannot eject it.
+        assert_eq!(hy.eject(t), None);
+        retired_tx.send(()).unwrap();
+        let claimed = claimed_rx.recv().unwrap();
+        reader.join().unwrap();
+        assert_eq!(claimed, Some(Retired::new(0x3000, 0)));
+    }
+
+    #[test]
+    fn batch_pushed_to_multiple_active_slots_claimed_once() {
+        use std::sync::mpsc;
+        let hy = Arc::new(new_hyaline(1));
+        let mut entered = Vec::new();
+        let mut release = Vec::new();
+        let mut claims = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..3 {
+            let hy = Arc::clone(&hy);
+            let (etx, erx) = mpsc::channel();
+            let (rtx, rrx) = mpsc::channel::<()>();
+            let (ctx, crx) = mpsc::channel();
+            entered.push(erx);
+            release.push(rtx);
+            claims.push(crx);
+            joins.push(std::thread::spawn(move || {
+                let rt = current_tid();
+                hy.begin_critical_section(rt);
+                etx.send(()).unwrap();
+                rrx.recv().unwrap();
+                hy.end_critical_section(rt);
+                let mut mine = 0;
+                while hy.eject(rt).is_some() {
+                    mine += 1;
+                }
+                ctx.send(mine).unwrap();
+            }));
+        }
+        for e in &entered {
+            e.recv().unwrap();
+        }
+        let t = current_tid();
+        hy.retire(t, Retired::new(0x4000, 0));
+        assert_eq!(hy.eject(t), None);
+        for r in &release {
+            r.send(()).unwrap();
+        }
+        let total: usize = claims.iter().map(|c| c.recv().unwrap()).sum();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(total, 1, "batch must be claimed by exactly one leaver");
+    }
+
+    #[test]
+    fn drain_all_collects_current_and_listed() {
+        let hy = new_hyaline(100);
+        let t = current_tid();
+        hy.begin_critical_section(t);
+        hy.retire(t, Retired::new(0x5000, 0));
+        hy.retire(t, Retired::new(0x6000, 0));
+        // Force a distribution while our own section is active so a link
+        // node sits in our slot list.
+        hy.flush(t);
+        hy.retire(t, Retired::new(0x7000, 0));
+        let drained = unsafe { hy.drain_all() };
+        assert_eq!(drained.len(), 3);
+    }
+}

@@ -1,0 +1,372 @@
+//! Interval-based reclamation (2GEIBR) behind the generalized acquire-retire
+//! interface — the paper's Figure 4.
+//!
+//! Every managed object carries a *birth epoch* assigned at allocation; a
+//! retired object's lifetime is the interval `[birth, retire_epoch]`. A
+//! thread announces the two-epoch interval `[begin, end]` spanning its
+//! critical section: `begin` is fixed on entry, `end` grows as the thread
+//! observes epoch advances during `acquire` (the "2GE" — two global epochs —
+//! variant). A retired object may be ejected once its lifetime interval
+//! intersects no announced interval.
+//!
+//! Compared to EBR, IBR bounds garbage by *interval intersection* instead of
+//! a global minimum: a stalled thread only protects objects born before its
+//! announced `end`, not everything retired since it went quiet.
+
+use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::util::CachePadded;
+use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const EMPTY: u64 = u64::MAX;
+
+struct Local {
+    /// Retired entries tagged with their retirement epoch (birth epochs ride
+    /// inside [`Retired`]).
+    retired: Vec<(Retired, u64)>,
+    ready: VecDeque<Retired>,
+    allocs: u64,
+    depth: u32,
+    /// Last epoch this thread observed (Fig. 4's `prev_epoch`).
+    prev_epoch: u64,
+}
+
+impl Local {
+    const fn new() -> Self {
+        Local {
+            retired: Vec::new(),
+            ready: VecDeque::new(),
+            allocs: 0,
+            depth: 0,
+            prev_epoch: EMPTY,
+        }
+    }
+}
+
+struct Slot {
+    /// Start of the announced interval (fixed at section entry).
+    begin_ann: AtomicU64,
+    /// End of the announced interval (grows during the section).
+    end_ann: AtomicU64,
+    local: UnsafeCell<Local>,
+}
+
+/// Interval-based reclamation (2GEIBR) instance.
+///
+/// # Examples
+///
+/// ```
+/// use smr::{AcquireRetire, GlobalEpoch, Ibr, Retired};
+/// use std::sync::atomic::AtomicUsize;
+/// use std::sync::Arc;
+///
+/// let ibr = Ibr::new(Arc::new(GlobalEpoch::new()), Ibr::default_config());
+/// let t = smr::current_tid();
+/// let birth = ibr.birth_epoch(t); // tag an allocation
+/// let shared = AtomicUsize::new(0x1000);
+///
+/// ibr.begin_critical_section(t);
+/// let (value, _guard) = ibr.acquire(t, &shared);
+/// assert_eq!(value, 0x1000);
+/// ibr.end_critical_section(t);
+/// ibr.retire(t, Retired::new(0x1000, birth));
+/// ```
+//
+// Safety invariant: as for `Ebr` — `Slot::local` is only touched by the
+// owning thread (or under `drain_all` exclusivity); announcements are shared.
+pub struct Ibr {
+    clock: Arc<GlobalEpoch>,
+    cfg: SmrConfig,
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+unsafe impl Send for Ibr {}
+unsafe impl Sync for Ibr {}
+
+impl Ibr {
+    #[inline]
+    fn local(&self, t: Tid) -> *mut Local {
+        self.slots[t.index()].local.get()
+    }
+
+    fn scan(&self, local: &mut Local) {
+        // Collect announced intervals. Read order matters: `begin` before
+        // `end`. If the slot transitions between critical sections while we
+        // read, pairing an older (smaller) `begin` with a newer (larger)
+        // `end` yields a superset interval — conservative. Reading in the
+        // opposite order could fabricate an empty interval and free
+        // something the new section protects.
+        let hwm = registered_high_water_mark();
+        let mut intervals = Vec::with_capacity(hwm);
+        for slot in self.slots.iter().take(hwm) {
+            let lo = slot.begin_ann.load(Ordering::SeqCst);
+            let hi = slot.end_ann.load(Ordering::SeqCst);
+            if lo != EMPTY {
+                intervals.push((lo, hi.max(lo)));
+            }
+        }
+        let mut kept = Vec::with_capacity(local.retired.len());
+        'entry: for (r, retire_epoch) in local.retired.drain(..) {
+            for &(lo, hi) in &intervals {
+                // Lifetime [r.birth, retire_epoch] intersects announcement
+                // [lo, hi]?
+                if lo <= retire_epoch && r.birth <= hi {
+                    kept.push((r, retire_epoch));
+                    continue 'entry;
+                }
+            }
+            local.ready.push_back(r);
+        }
+        local.retired = kept;
+    }
+}
+
+unsafe impl AcquireRetire for Ibr {
+    type Guard = ();
+
+    fn new(clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    begin_ann: AtomicU64::new(EMPTY),
+                    end_ann: AtomicU64::new(EMPTY),
+                    local: UnsafeCell::new(Local::new()),
+                })
+            })
+            .collect();
+        Ibr {
+            clock,
+            cfg: config,
+            slots,
+        }
+    }
+
+    fn default_config() -> SmrConfig {
+        SmrConfig {
+            epoch_freq: 40,
+            ..SmrConfig::default()
+        }
+    }
+
+    fn scheme_name() -> &'static str {
+        "IBR"
+    }
+
+    #[inline]
+    fn begin_critical_section(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        local.depth += 1;
+        if local.depth == 1 {
+            let e = self.clock.load();
+            local.prev_epoch = e;
+            let slot = &self.slots[t.index()];
+            slot.begin_ann.store(e, Ordering::SeqCst);
+            slot.end_ann.store(e, Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn end_critical_section(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        debug_assert!(local.depth > 0, "end_critical_section without begin");
+        local.depth -= 1;
+        if local.depth == 0 {
+            let slot = &self.slots[t.index()];
+            // `begin` first: a scan that tears this store sequence sees
+            // either [EMPTY, ..] (ignored) or [old_begin, old_end]
+            // (conservative).
+            slot.begin_ann.store(EMPTY, Ordering::SeqCst);
+            slot.end_ann.store(EMPTY, Ordering::SeqCst);
+            local.prev_epoch = EMPTY;
+        }
+    }
+
+    #[inline]
+    fn birth_epoch(&self, t: Tid) -> u64 {
+        let local = unsafe { &mut *self.local(t) };
+        local.allocs += 1;
+        if local.allocs % self.cfg.epoch_freq == 0 {
+            self.clock.advance();
+        }
+        self.clock.load()
+    }
+
+    #[inline]
+    fn acquire(&self, t: Tid, src: &AtomicUsize) -> (usize, Self::Guard) {
+        let local = unsafe { &mut *self.local(t) };
+        debug_assert!(local.depth > 0, "acquire outside critical section");
+        // Fig. 4: re-read until the epoch is stable across the pointer load,
+        // bumping the announced interval's upper end on each change. The
+        // returned pointer was read in an epoch ≤ end_ann, so objects it
+        // leads to (born ≤ that epoch) are covered by the interval.
+        loop {
+            let ptr = src.load(Ordering::SeqCst);
+            let cur = self.clock.load();
+            if local.prev_epoch == cur {
+                return (ptr, ());
+            }
+            local.prev_epoch = cur;
+            self.slots[t.index()].end_ann.store(cur, Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn try_acquire(&self, t: Tid, src: &AtomicUsize) -> Option<(usize, Self::Guard)> {
+        Some(self.acquire(t, src))
+    }
+
+    #[inline]
+    fn release(&self, _t: Tid, _guard: Self::Guard) {}
+
+    fn retire(&self, t: Tid, r: Retired) {
+        let local = unsafe { &mut *self.local(t) };
+        local.retired.push((r, self.clock.load()));
+        if local.retired.len() >= self.cfg.eject_threshold {
+            self.scan(local);
+        }
+    }
+
+    #[inline]
+    fn eject(&self, t: Tid) -> Option<Retired> {
+        let local = unsafe { &mut *self.local(t) };
+        local.ready.pop_front()
+    }
+
+    fn flush(&self, t: Tid) {
+        let local = unsafe { &mut *self.local(t) };
+        self.scan(local);
+    }
+
+    unsafe fn drain_all(&self) -> Vec<Retired> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let local = &mut *slot.local.get();
+            out.extend(local.retired.drain(..).map(|(r, _)| r));
+            out.extend(local.ready.drain(..));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Ibr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ibr")
+            .field("epoch", &self.clock.load())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current_tid;
+
+    fn new_ibr() -> Ibr {
+        Ibr::new(Arc::new(GlobalEpoch::new()), Ibr::default_config())
+    }
+
+    #[test]
+    fn birth_epochs_are_current() {
+        let clock = Arc::new(GlobalEpoch::new());
+        let ibr = Ibr::new(Arc::clone(&clock), Ibr::default_config());
+        let t = current_tid();
+        assert_eq!(ibr.birth_epoch(t), 0);
+        clock.advance();
+        assert_eq!(ibr.birth_epoch(t), 1);
+    }
+
+    #[test]
+    fn interval_disjoint_objects_eject_despite_active_reader() {
+        // The defining IBR behaviour: a reader's announced interval does NOT
+        // protect objects whose lifetime ended before the reader began.
+        use std::sync::mpsc;
+        let clock = Arc::new(GlobalEpoch::new());
+        let ibr = Arc::new(Ibr::new(Arc::clone(&clock), Ibr::default_config()));
+        let t = current_tid();
+
+        // Object born and retired in epoch 0.
+        let r_old = Retired::new(0x1000, ibr.birth_epoch(t));
+        ibr.retire(t, r_old);
+        clock.advance(); // epoch 1
+
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let reader = {
+            let ibr = Arc::clone(&ibr);
+            std::thread::spawn(move || {
+                let rt = current_tid();
+                ibr.begin_critical_section(rt); // interval [1, 1]
+                entered_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+                ibr.end_critical_section(rt);
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        // Old object: lifetime [0, 0], reader interval [1, 1]: disjoint.
+        ibr.flush(t);
+        assert_eq!(ibr.eject(t), Some(r_old), "disjoint interval must eject");
+
+        // New object retired *during* the reader's section: lifetime [1, 1]
+        // intersects [1, 1]: must stay.
+        let r_new = Retired::new(0x2000, clock.load());
+        ibr.retire(t, r_new);
+        ibr.flush(t);
+        assert_eq!(ibr.eject(t), None, "intersecting interval must block");
+
+        done_tx.send(()).unwrap();
+        reader.join().unwrap();
+        ibr.flush(t);
+        assert_eq!(ibr.eject(t), Some(r_new));
+    }
+
+    #[test]
+    fn acquire_extends_interval_on_epoch_change() {
+        let clock = Arc::new(GlobalEpoch::new());
+        let ibr = Ibr::new(Arc::clone(&clock), Ibr::default_config());
+        let t = current_tid();
+        let src = AtomicUsize::new(0xabc0);
+        ibr.begin_critical_section(t); // [0, 0]
+        clock.advance();
+        clock.advance();
+        let (v, _) = ibr.acquire(t, &src);
+        assert_eq!(v, 0xabc0);
+        assert_eq!(ibr.slots[t.index()].end_ann.load(Ordering::SeqCst), 2);
+        assert_eq!(ibr.slots[t.index()].begin_ann.load(Ordering::SeqCst), 0);
+        ibr.end_critical_section(t);
+    }
+
+    #[test]
+    fn multi_retire_multi_eject() {
+        let ibr = new_ibr();
+        let t = current_tid();
+        let r = Retired::new(0x3000, 0);
+        ibr.retire(t, r);
+        ibr.retire(t, r);
+        ibr.flush(t);
+        assert_eq!(ibr.eject(t), Some(r));
+        assert_eq!(ibr.eject(t), Some(r));
+        assert_eq!(ibr.eject(t), None);
+    }
+
+    #[test]
+    fn drain_all_recovers_everything() {
+        let ibr = new_ibr();
+        let t = current_tid();
+        ibr.begin_critical_section(t);
+        ibr.retire(t, Retired::new(0x4000, 0));
+        ibr.end_critical_section(t);
+        assert_eq!(unsafe { ibr.drain_all() }.len(), 1);
+    }
+
+    #[test]
+    fn default_epoch_freq_is_paper_value() {
+        assert_eq!(Ibr::default_config().epoch_freq, 40);
+        assert_eq!(<crate::Ebr as AcquireRetire>::default_config().epoch_freq, 10);
+    }
+}

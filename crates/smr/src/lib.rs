@@ -1,0 +1,334 @@
+//! Manual safe-memory-reclamation (SMR) substrate with a *generalized
+//! acquire-retire* interface.
+//!
+//! This crate implements the manual reclamation schemes that the CDRC paper
+//! ("Turning Manual Concurrent Memory Reclamation into Automatic Reference
+//! Counting", PLDI 2022) converts into automatic reference counting:
+//!
+//! * [`Ebr`] — epoch-based reclamation (protected-region; paper Fig. 3),
+//! * [`Ibr`] — interval-based reclamation, specifically 2GEIBR (Fig. 4),
+//! * [`Hp`] — hazard pointers in the acquire-retire formulation of Anderson
+//!   et al., which permits a pointer to be retired multiple times
+//!   (protected-pointer),
+//! * [`Hyaline`] — Hyaline-1, a protected-region scheme in which retired
+//!   batches carry reference counters decremented by departing operations.
+//!
+//! All four implement the [`AcquireRetire`] trait — the *generalized
+//! acquire-retire interface* of the paper's Figure 2. The interface serves
+//! two masters:
+//!
+//! 1. **Manual use**: a lock-free data structure calls
+//!    [`retire`](AcquireRetire::retire) on unlinked nodes and frees whatever
+//!    [`eject`](AcquireRetire::eject) hands back (a retire is a *delayed
+//!    free*).
+//! 2. **Automatic use**: the `cdrc` crate retires pointers whose deferred
+//!    operation is a reference-count decrement (or a weak decrement, or a
+//!    disposal), which is exactly how a manual scheme becomes an automatic
+//!    one.
+//!
+//! Unlike classical formulations, [`eject`](AcquireRetire::eject) *returns*
+//! the retired pointer rather than freeing it, and the same pointer may be
+//! retired many times before being ejected as many times — the two features
+//! §3.2 of the paper identifies as necessary for reference counting.
+//!
+//! # Threads
+//!
+//! Threads interact with scheme instances through a process-wide slot
+//! registry: the first call to [`current_tid`] on a thread assigns it a
+//! [`Tid`] (released, and later recycled, when the thread exits). Per-thread
+//! scheme state is stored per *slot*, so a thread that inherits a recycled
+//! slot simply continues draining its predecessor's retired lists.
+//!
+//! # Safety contract
+//!
+//! Implementations of [`AcquireRetire`] are `unsafe` to write: they promise
+//! the linearizable acquire-retire specification (Definition 3.3 of the
+//! paper) under *proper executions* (Definition 3.2): every acquire happens
+//! inside a critical section, each guard is released at most once, a thread
+//! holds at most one `acquire`-guard at a time, and a thread never exits
+//! while inside a critical section or holding a guard.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ebr;
+pub mod hp;
+pub mod hyaline;
+pub mod ibr;
+mod registry;
+pub mod util;
+
+pub use ebr::Ebr;
+pub use hp::Hp;
+pub use hyaline::Hyaline;
+pub use ibr::Ibr;
+pub use registry::{active_threads, current_tid, registered_high_water_mark, Tid, MAX_THREADS};
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Low bits of a pointer word reserved for data-structure tags (marks).
+///
+/// Schemes mask these off before announcing or comparing pointers, so a
+/// marked pointer and its unmarked form protect the same object. Control
+/// blocks and nodes must therefore be aligned to at least 8 bytes (any
+/// `Box`-allocated struct with a word-sized field is).
+pub const TAG_MASK: usize = 0b111;
+
+/// Strips [`TAG_MASK`] bits from a pointer word.
+#[inline]
+pub fn untagged(word: usize) -> usize {
+    word & !TAG_MASK
+}
+
+/// A type-erased retired pointer: the address of the object (sans tag bits)
+/// plus the birth-epoch metadata that interval-based schemes tagged it with
+/// at allocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// Untagged address of the retired object.
+    pub addr: usize,
+    /// Birth epoch recorded by [`AcquireRetire::birth_epoch`] at allocation.
+    pub birth: u64,
+}
+
+impl Retired {
+    /// Creates a retired record for `addr` born at `birth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `addr` carries tag bits or is null —
+    /// retiring a tagged or null pointer is always a caller bug.
+    #[inline]
+    pub fn new(addr: usize, birth: u64) -> Self {
+        debug_assert!(addr != 0, "cannot retire a null pointer");
+        debug_assert_eq!(addr & TAG_MASK, 0, "cannot retire a tagged pointer");
+        Retired { addr, birth }
+    }
+}
+
+/// The shared epoch clock. One clock may back several [`AcquireRetire`]
+/// instances (the `cdrc` domain shares a clock between its strong, weak and
+/// dispose instances so that birth epochs are comparable across them).
+#[derive(Debug, Default)]
+pub struct GlobalEpoch {
+    epoch: AtomicU64,
+}
+
+impl GlobalEpoch {
+    /// Creates a clock at epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current epoch.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the epoch by one.
+    #[inline]
+    pub fn advance(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Tuning knobs for a scheme instance. Obtain a scheme's preferred defaults
+/// from [`AcquireRetire::default_config`] and adjust from there.
+#[derive(Debug, Clone)]
+pub struct SmrConfig {
+    /// Advance the global epoch every `epoch_freq` allocations (per thread).
+    /// The paper tunes this to 10 for EBR and 40 for IBR (§5.1).
+    pub epoch_freq: u64,
+    /// Scan the retired list for ejectable entries once it holds this many
+    /// items (protected-region schemes and the floor for HP).
+    pub eject_threshold: usize,
+    /// Announcement slots per thread available to `try_acquire` (HP only).
+    /// One extra reserved slot makes `acquire` total.
+    pub hp_slots: usize,
+    /// Retired nodes per Hyaline batch.
+    pub batch_size: usize,
+    /// Prefetch the pointee cache line before announcing (HP only) — the
+    /// paper's §5.1 optimization that hides the announcement fence latency.
+    pub prefetch: bool,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        SmrConfig {
+            epoch_freq: 10,
+            eject_threshold: 128,
+            hp_slots: 16,
+            batch_size: 32,
+            prefetch: true,
+        }
+    }
+}
+
+/// The generalized acquire-retire interface (paper Fig. 2).
+///
+/// One value of an implementing type is one *instance* of the scheme: it has
+/// its own announcements and retired lists, but may share a [`GlobalEpoch`]
+/// with sibling instances.
+///
+/// # Safety
+///
+/// Implementations must satisfy the acquire-retire specification
+/// (Definition 3.3): under proper use, an [`eject`](Self::eject) may return a
+/// pointer only when, for some valid mapping of acquires and ejects to
+/// retires, every acquire mapped to the same retire has been released; and a
+/// pointer is ejected at most as many times as it was retired. Protected-
+/// region implementations must ensure no pointer retired during an active
+/// critical section is ejected until that section ends.
+///
+/// # Proper use (caller obligations)
+///
+/// * Every `acquire`/`try_acquire` happens inside a critical section of this
+///   instance (for protected-pointer schemes critical sections are no-ops,
+///   but the discipline is uniform).
+/// * Guards are released exactly once, by the thread that acquired them.
+/// * A thread holds at most one plain-`acquire` guard at a time.
+/// * `src` locations passed to `acquire`/`try_acquire` must remain readable
+///   for the duration of the call (e.g. they live in an object the caller
+///   has protected, or on the caller's stack).
+/// * Threads do not exit inside critical sections or while holding guards.
+pub unsafe trait AcquireRetire: Send + Sync + 'static {
+    /// Token witnessing the protection of one acquired pointer.
+    type Guard: Copy + Debug + Send;
+
+    /// Whether critical sections protect *all* reads (protected-region
+    /// schemes: EBR, IBR, Hyaline). Protected-pointer schemes (HP) set this
+    /// to `false`: only acquired pointers are protected, so unbounded
+    /// traversals (range queries) cannot be protected manually.
+    const PROTECTS_REGIONS: bool = true;
+
+    /// Creates an instance backed by `clock` with tuning `config`.
+    fn new(clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self;
+
+    /// The scheme's preferred tuning (paper §5.1 values).
+    fn default_config() -> SmrConfig {
+        SmrConfig::default()
+    }
+
+    /// Short human-readable scheme name (for benchmark tables).
+    fn scheme_name() -> &'static str;
+
+    /// Enters a read critical section. Nestable: only the outermost call has
+    /// effect.
+    fn begin_critical_section(&self, t: Tid);
+
+    /// Leaves the current read critical section (outermost call only).
+    fn end_critical_section(&self, t: Tid);
+
+    /// Hook invoked once per allocation of a managed object: advances the
+    /// epoch according to `epoch_freq` and returns the object's birth epoch
+    /// (zero for schemes that do not use one). This is the paper's `alloc`
+    /// customization point, needed by IBR-style schemes.
+    fn birth_epoch(&self, t: Tid) -> u64;
+
+    /// Reads the pointer word at `src` and protects it until the returned
+    /// guard is released. Always succeeds; a thread may hold only one such
+    /// guard at a time (use [`try_acquire`](Self::try_acquire) for more).
+    fn acquire(&self, t: Tid, src: &AtomicUsize) -> (usize, Self::Guard);
+
+    /// Reads the pointer word at `src` and tries to protect it. Returns
+    /// `None` if the scheme is out of protection resources (e.g. hazard
+    /// slots); protected-region schemes never fail.
+    fn try_acquire(&self, t: Tid, src: &AtomicUsize) -> Option<(usize, Self::Guard)>;
+
+    /// Releases the protection witnessed by `guard`.
+    fn release(&self, t: Tid, guard: Self::Guard);
+
+    /// Registers `r` for deferred hand-back. The same address may be retired
+    /// any number of times; each retire will be matched by (at most) one
+    /// eject. The deferred operation (free, decrement, dispose, …) is the
+    /// caller's business — this crate never dereferences `r.addr`.
+    fn retire(&self, t: Tid, r: Retired);
+
+    /// Returns a previously retired pointer that is no longer protected, if
+    /// one is ready. Callers apply the deferred operation themselves and
+    /// must not call `eject` recursively from within it.
+    fn eject(&self, t: Tid) -> Option<Retired>;
+
+    /// Forces a scan so that everything ejectable becomes ready. Costlier
+    /// than waiting for the amortized threshold; meant for tests, teardown
+    /// and benchmark phase changes.
+    fn flush(&self, t: Tid);
+
+    /// Takes *every* retired record out of the instance, protected or not.
+    ///
+    /// # Safety
+    ///
+    /// Callable only when no other thread is concurrently using this
+    /// instance and no critical section is active (typically: after joining
+    /// all worker threads, or from `Drop` of an owning domain).
+    unsafe fn drain_all(&self) -> Vec<Retired>;
+}
+
+/// Convenience RAII guard for a critical section on one instance.
+///
+/// # Examples
+///
+/// ```
+/// use smr::{AcquireRetire, CriticalSection, Ebr, GlobalEpoch};
+/// use std::sync::Arc;
+///
+/// let ebr = Ebr::new(Arc::new(GlobalEpoch::new()), Ebr::default_config());
+/// let t = smr::current_tid();
+/// let _cs = CriticalSection::begin(&ebr, t);
+/// // ... acquire and read protected pointers ...
+/// ```
+pub struct CriticalSection<'a, S: AcquireRetire> {
+    scheme: &'a S,
+    t: Tid,
+}
+
+impl<'a, S: AcquireRetire> CriticalSection<'a, S> {
+    /// Begins a critical section ended when the guard drops.
+    pub fn begin(scheme: &'a S, t: Tid) -> Self {
+        scheme.begin_critical_section(t);
+        CriticalSection { scheme, t }
+    }
+}
+
+impl<S: AcquireRetire> Drop for CriticalSection<'_, S> {
+    fn drop(&mut self) {
+        self.scheme.end_critical_section(self.t);
+    }
+}
+
+impl<S: AcquireRetire> Debug for CriticalSection<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CriticalSection").field("tid", &self.t).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_strips_low_bits() {
+        assert_eq!(untagged(0x1000 | 0b101), 0x1000);
+        assert_eq!(untagged(0x1000), 0x1000);
+        assert_eq!(untagged(0), 0);
+    }
+
+    #[test]
+    fn global_epoch_monotone() {
+        let e = GlobalEpoch::new();
+        assert_eq!(e.load(), 0);
+        e.advance();
+        e.advance();
+        assert_eq!(e.load(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tagged")]
+    fn retired_rejects_tagged() {
+        let _ = Retired::new(0x1000 | 1, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Process-wide thread slot registry.
+//!
+//! Every scheme instance keeps per-thread state in a fixed array of
+//! [`MAX_THREADS`] slots. The registry hands each OS thread a slot index
+//! ([`Tid`]) on first use and recycles it when the thread exits. Because the
+//! per-slot state (retired lists, announcement caches) lives inside the
+//! scheme instances, a recycled slot's new owner transparently inherits and
+//! eventually drains its predecessor's retired lists — no orphan lists are
+//! needed.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Maximum number of concurrently live threads that may use SMR schemes.
+///
+/// The paper's experiments use up to 192 threads; we provision 256. Exceeding
+/// this panics with a clear message.
+pub const MAX_THREADS: usize = 256;
+
+/// A thread's slot index in every scheme instance's per-thread arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tid(pub(crate) usize);
+
+impl Tid {
+    /// The slot index, in `0..MAX_THREADS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct Registry {
+    in_use: [AtomicBool; MAX_THREADS],
+    /// One past the highest slot ever used: scans iterate only `0..hwm`.
+    hwm: AtomicUsize,
+    active: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const FREE: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: Registry = Registry {
+    in_use: [FREE; MAX_THREADS],
+    hwm: AtomicUsize::new(0),
+    active: AtomicUsize::new(0),
+};
+
+impl Registry {
+    fn acquire_slot(&self) -> usize {
+        for i in 0..MAX_THREADS {
+            if !self.in_use[i].load(Ordering::Relaxed)
+                && self.in_use[i]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.hwm.fetch_max(i + 1, Ordering::SeqCst);
+                self.active.fetch_add(1, Ordering::SeqCst);
+                return i;
+            }
+        }
+        panic!(
+            "more than MAX_THREADS ({MAX_THREADS}) concurrent threads are using SMR schemes"
+        );
+    }
+
+    fn release_slot(&self, i: usize) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.in_use[i].store(false, Ordering::Release);
+    }
+}
+
+struct SlotGuard(usize);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        REGISTRY.release_slot(self.0);
+    }
+}
+
+thread_local! {
+    static SLOT: SlotGuard = SlotGuard(REGISTRY.acquire_slot());
+    /// Cached index so the hot path is a plain thread-local read.
+    static CACHED: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Returns the calling thread's [`Tid`], registering the thread on first use.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_THREADS`] threads are concurrently registered,
+/// or if called during thread teardown after the slot was already released.
+#[inline]
+pub fn current_tid() -> Tid {
+    let cached = CACHED.with(|c| c.get());
+    if cached != usize::MAX {
+        return Tid(cached);
+    }
+    let idx = SLOT.with(|s| s.0);
+    CACHED.with(|c| c.set(idx));
+    Tid(idx)
+}
+
+/// Number of threads currently registered.
+pub fn active_threads() -> usize {
+    REGISTRY.active.load(Ordering::SeqCst)
+}
+
+/// One past the highest slot index ever handed out — the bound scheme scans
+/// iterate to, so scan cost tracks actual parallelism rather than
+/// [`MAX_THREADS`].
+pub fn registered_high_water_mark() -> usize {
+    REGISTRY.hwm.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_is_stable_within_a_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        assert!(a.index() < MAX_THREADS);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_tids() {
+        let mine = current_tid();
+        let theirs = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_exit() {
+        // Run enough short-lived threads that slots must be reused.
+        for _ in 0..(2 * MAX_THREADS) {
+            std::thread::spawn(|| {
+                let t = current_tid();
+                assert!(t.index() < MAX_THREADS);
+            })
+            .join()
+            .unwrap();
+        }
+        assert!(registered_high_water_mark() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn hwm_covers_all_active_tids() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let t = current_tid();
+                    assert!(t.index() < registered_high_water_mark());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Small shared utilities.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that per-thread slots sharing an
+/// array never share a cache line (128 covers adjacent-line prefetchers on
+/// modern x86).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Issues a best-effort prefetch of the cache line containing `addr`.
+///
+/// Used by the hazard-pointer scheme before announcing (paper §5.1): the
+/// line starts travelling before the announcement fence stalls the pipeline.
+/// On non-x86 targets this is a no-op.
+#[inline]
+pub fn prefetch_read(addr: usize) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        if addr != 0 {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                addr as *const i8,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = addr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_at_least_128_bytes_and_aligned() {
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let v = CachePadded::new(7u32);
+        assert_eq!(*v, 7);
+        assert_eq!(v.into_inner(), 7);
+    }
+
+    #[test]
+    fn prefetch_is_safe_on_arbitrary_addresses() {
+        prefetch_read(0);
+        let x = 5u64;
+        prefetch_read(&x as *const _ as usize);
+    }
+}

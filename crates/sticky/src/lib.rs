@@ -1,0 +1,496 @@
+//! Wait-free *sticky* reference counters.
+//!
+//! This crate implements the constant-time, wait-free counter of Anderson,
+//! Blelloch and Wei ("Turning Manual Concurrent Memory Reclamation into
+//! Automatic Reference Counting", PLDI 2022, Figure 7). A sticky counter is an
+//! atomic counter supporting three operations, each taking *O(1)* time in the
+//! worst case using single-word atomic instructions:
+//!
+//! * [`increment_if_not_zero`](Counter::increment_if_not_zero) — add one,
+//!   unless the counter has already reached zero, in which case the counter
+//!   is left at zero ("stuck") and `false` is returned;
+//! * [`decrement`](Counter::decrement) — subtract one, reporting whether this
+//!   call was the one that brought the counter to zero;
+//! * [`load`](Counter::load) — a linearizable read of the current value.
+//!
+//! Once a sticky counter reaches zero it stays at zero forever; this is
+//! exactly the semantics needed by a *strong* reference count in the presence
+//! of weak pointers: upgrading a weak pointer must never resurrect an object
+//! whose count already hit zero.
+//!
+//! The traditional implementation of increment-if-not-zero is a CAS loop
+//! (provided here as [`CasCounter`] for comparison), which is lock-free but
+//! not wait-free and degrades under contention. The sticky counter instead
+//! reserves the two highest bits of the word: the *zero flag* (the counter is
+//! zero iff this bit is set — note that a stored value of numeric `0` does
+//! **not** mean the counter is zero!) and the *help flag* used by readers to
+//! help a pending decrement-to-zero complete.
+//!
+//! # Examples
+//!
+//! ```
+//! use sticky::{Counter, StickyCounter};
+//!
+//! let c = StickyCounter::new(1);
+//! assert!(c.increment_if_not_zero()); // 2
+//! assert!(!c.decrement());            // 1: not the last
+//! assert!(c.decrement());             // 0: this call zeroed it
+//! assert!(!c.increment_if_not_zero()); // stuck at zero
+//! assert_eq!(c.load(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The interface shared by the wait-free [`StickyCounter`] and the CAS-loop
+/// [`CasCounter`] baseline.
+///
+/// Implementations are *sticky*: after a [`decrement`](Counter::decrement)
+/// brings the value to zero, every later
+/// [`increment_if_not_zero`](Counter::increment_if_not_zero) fails and every
+/// [`load`](Counter::load) returns `0`.
+pub trait Counter: Send + Sync {
+    /// Creates a counter holding `initial` references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or exceeds [`MAX_COUNT`]: a counter is
+    /// born alive — a "dead" counter can only arise by decrementing to zero.
+    fn with_count(initial: u64) -> Self;
+
+    /// Atomically increments the counter unless it is zero.
+    ///
+    /// Returns `true` if the increment took effect, `false` if the counter
+    /// had already reached zero (in which case it remains zero).
+    fn increment_if_not_zero(&self) -> bool;
+
+    /// Atomically decrements the counter.
+    ///
+    /// Returns `true` iff this call brought the counter to zero; exactly one
+    /// of the calls that race to zero a counter observes `true`. Callers must
+    /// own one reference: calling `decrement` more times than the counter was
+    /// incremented is a logic error.
+    fn decrement(&self) -> bool;
+
+    /// A linearizable read of the current count (zero once stuck).
+    fn load(&self) -> u64;
+}
+
+/// Highest bit: set iff the counter has reached zero (is "stuck").
+const ZERO_FLAG: u64 = 1 << 63;
+/// Second-highest bit: set by a helping `load` so that one racing
+/// `decrement` can still claim responsibility for the zero transition.
+const HELP_FLAG: u64 = 1 << 62;
+
+/// Largest representable reference count: two bits are reserved for flags.
+pub const MAX_COUNT: u64 = HELP_FLAG - 1;
+
+/// The wait-free sticky counter of PLDI 2022, Figure 7.
+///
+/// All three operations ([`increment_if_not_zero`](Counter::increment_if_not_zero),
+/// [`decrement`](Counter::decrement), [`load`](Counter::load)) take constant
+/// time in the worst case. A 64-bit word stores the count in the low 62 bits;
+/// the two high bits are the zero flag and the help flag.
+///
+/// Memory ordering: read-modify-write operations use `SeqCst`, matching the
+/// sequentially-consistent model the paper's proof is carried out in. (On
+/// x86-64 this costs nothing over `AcqRel` — all locked RMWs are already
+/// sequentially consistent.) The `true`-returning `decrement` additionally
+/// synchronizes-with every earlier `decrement`, so it is safe to destroy the
+/// managed object after observing `true`.
+///
+/// # Examples
+///
+/// ```
+/// use sticky::{Counter, StickyCounter};
+///
+/// let c = StickyCounter::new(2);
+/// assert_eq!(c.load(), 2);
+/// assert!(!c.decrement());
+/// assert!(c.decrement());
+/// assert!(!c.increment_if_not_zero());
+/// ```
+pub struct StickyCounter {
+    x: AtomicU64,
+}
+
+impl StickyCounter {
+    /// Creates a counter holding `initial` references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial == 0` or `initial > MAX_COUNT`.
+    pub fn new(initial: u64) -> Self {
+        <Self as Counter>::with_count(initial)
+    }
+
+    /// Reads the raw representation (flags included). Test/debug aid.
+    #[doc(hidden)]
+    pub fn raw(&self) -> u64 {
+        self.x.load(Ordering::SeqCst)
+    }
+}
+
+impl Counter for StickyCounter {
+    fn with_count(initial: u64) -> Self {
+        assert!(initial > 0, "sticky counter must be born alive");
+        assert!(initial <= MAX_COUNT, "initial count exceeds MAX_COUNT");
+        StickyCounter {
+            x: AtomicU64::new(initial),
+        }
+    }
+
+    #[inline]
+    fn increment_if_not_zero(&self) -> bool {
+        // One unconditional fetch-add: if the zero flag was set, the counter
+        // is stuck at zero and the stray +1 below the flag bits is harmless
+        // (every reader interprets any value with ZERO_FLAG as zero).
+        let val = self.x.fetch_add(1, Ordering::SeqCst);
+        (val & ZERO_FLAG) == 0
+    }
+
+    #[inline]
+    fn decrement(&self) -> bool {
+        if self.x.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // We brought the stored value to numeric 0: attempt to make the
+            // zero official by installing the zero flag.
+            let mut e = 0u64;
+            match self
+                .x
+                .compare_exchange(e, ZERO_FLAG, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(cur) => e = cur,
+            }
+            // The CAS failed: either an increment resurrected the transient
+            // zero (we then linearize after that increment and report false),
+            // or a helping `load` already installed ZERO_FLAG | HELP_FLAG. In
+            // the latter case one decrement must still take credit: remove
+            // the help flag with an exchange; whoever observes the flag owns
+            // the zero transition.
+            if (e & HELP_FLAG) != 0 && (self.x.swap(ZERO_FLAG, Ordering::SeqCst) & HELP_FLAG) != 0
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        let e = self.x.load(Ordering::SeqCst);
+        if e == 0 {
+            // Transient zero: a decrement is between its fetch-sub and its
+            // flag CAS. To stay wait-free we *help*: try to install the zero
+            // flag ourselves (with the help flag so a decrement can still
+            // claim credit). Success means the counter is now officially
+            // zero; failure gives us the current value to decode instead.
+            match self.x.compare_exchange(
+                0,
+                ZERO_FLAG | HELP_FLAG,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return 0,
+                Err(cur) => {
+                    return if (cur & ZERO_FLAG) != 0 { 0 } else { cur };
+                }
+            }
+        }
+        if (e & ZERO_FLAG) != 0 {
+            0
+        } else {
+            e
+        }
+    }
+}
+
+impl fmt::Debug for StickyCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let raw = self.x.load(Ordering::Relaxed);
+        f.debug_struct("StickyCounter")
+            .field("value", &self.load())
+            .field("stuck", &((raw & ZERO_FLAG) != 0))
+            .finish()
+    }
+}
+
+/// The traditional CAS-loop implementation of increment-if-not-zero.
+///
+/// Lock-free but not wait-free: under contention from `P` concurrent
+/// upgraders an increment can take `O(P)` amortized time (each failed CAS
+/// retries against a fresh value). Included as the baseline for the §4.3
+/// ablation benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use sticky::{CasCounter, Counter};
+///
+/// let c = CasCounter::with_count(1);
+/// assert!(c.increment_if_not_zero());
+/// assert!(!c.decrement());
+/// assert!(c.decrement());
+/// assert!(!c.increment_if_not_zero());
+/// ```
+pub struct CasCounter {
+    x: AtomicU64,
+}
+
+impl Counter for CasCounter {
+    fn with_count(initial: u64) -> Self {
+        assert!(initial > 0, "counter must be born alive");
+        assert!(initial <= MAX_COUNT, "initial count exceeds MAX_COUNT");
+        CasCounter {
+            x: AtomicU64::new(initial),
+        }
+    }
+
+    #[inline]
+    fn increment_if_not_zero(&self) -> bool {
+        let mut cur = self.x.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match self
+                .x
+                .compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    #[inline]
+    fn decrement(&self) -> bool {
+        self.x.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        self.x.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for CasCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CasCounter").field("value", &self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn counters_are_send_sync() {
+        assert_send_sync::<StickyCounter>();
+        assert_send_sync::<CasCounter>();
+    }
+
+    #[test]
+    fn basic_lifecycle_sticky() {
+        let c = StickyCounter::new(1);
+        assert_eq!(c.load(), 1);
+        assert!(c.increment_if_not_zero());
+        assert_eq!(c.load(), 2);
+        assert!(!c.decrement());
+        assert_eq!(c.load(), 1);
+        assert!(c.decrement());
+        assert_eq!(c.load(), 0);
+        // Stuck: further increments fail, loads stay zero.
+        for _ in 0..10 {
+            assert!(!c.increment_if_not_zero());
+            assert_eq!(c.load(), 0);
+        }
+    }
+
+    #[test]
+    fn basic_lifecycle_cas() {
+        let c = CasCounter::with_count(1);
+        assert_eq!(c.load(), 1);
+        assert!(c.increment_if_not_zero());
+        assert!(!c.decrement());
+        assert!(c.decrement());
+        assert!(!c.increment_if_not_zero());
+        assert_eq!(c.load(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "born alive")]
+    fn zero_initial_panics() {
+        let _ = StickyCounter::new(0);
+    }
+
+    #[test]
+    fn stored_zero_is_not_counter_zero() {
+        // A freshly decremented-to-stored-zero counter must still admit a
+        // racing increment; sequentially, the load() helper path makes the
+        // zero official.
+        let c = StickyCounter::new(1);
+        assert!(c.decrement());
+        assert_eq!(c.raw() & ZERO_FLAG, ZERO_FLAG);
+    }
+
+    #[test]
+    fn load_helps_transient_zero() {
+        // Simulate the window inside decrement(): stored value is numeric 0
+        // but the zero flag is not yet installed.
+        let c = StickyCounter::new(1);
+        c.x.store(0, Ordering::SeqCst);
+        assert_eq!(c.load(), 0);
+        // The helper installed both flags.
+        assert_eq!(c.raw() & (ZERO_FLAG | HELP_FLAG), ZERO_FLAG | HELP_FLAG);
+        // A lagging decrement (whose fetch_sub already happened) now runs its
+        // recovery path: it must take credit exactly once.
+        let mut e = 0u64;
+        let r = c
+            .x
+            .compare_exchange(e, ZERO_FLAG, Ordering::SeqCst, Ordering::SeqCst);
+        assert!(r.is_err());
+        e = r.unwrap_err();
+        assert_ne!(e & HELP_FLAG, 0);
+        assert_ne!(c.x.swap(ZERO_FLAG, Ordering::SeqCst) & HELP_FLAG, 0);
+        // Help flag cleared; nobody else can also claim it.
+        assert_eq!(c.raw(), ZERO_FLAG);
+    }
+
+    #[test]
+    fn increment_after_stuck_keeps_zero_interpretation() {
+        let c = StickyCounter::new(1);
+        assert!(c.decrement());
+        // Stray increments below the flag bits do not unstick the counter.
+        for _ in 0..1000 {
+            assert!(!c.increment_if_not_zero());
+        }
+        assert_eq!(c.load(), 0);
+    }
+
+    fn concurrent_ownership_discipline<C: Counter + 'static>() {
+        // Each thread repeatedly "clones" (increment) and "drops" (decrement)
+        // a reference it owns; the main thread owns the initial reference.
+        // Exactly one decrement across the whole run may return true, and it
+        // must be the final one.
+        for _ in 0..20 {
+            let c = Arc::new(C::with_count(1));
+            let zeroed = Arc::new(AtomicU64::new(0));
+            let threads: Vec<_> = (0..8)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    let zeroed = Arc::clone(&zeroed);
+                    std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            if c.increment_if_not_zero() {
+                                if c.decrement() {
+                                    zeroed.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // Main still owns its reference: nobody can have zeroed it.
+            assert_eq!(zeroed.load(Ordering::SeqCst), 0);
+            assert_eq!(c.load(), 1);
+            assert!(c.decrement());
+            assert_eq!(c.load(), 0);
+            assert!(!c.increment_if_not_zero());
+        }
+    }
+
+    #[test]
+    fn concurrent_ownership_sticky() {
+        concurrent_ownership_discipline::<StickyCounter>();
+    }
+
+    #[test]
+    fn concurrent_ownership_cas() {
+        concurrent_ownership_discipline::<CasCounter>();
+    }
+
+    #[test]
+    fn racing_decrements_and_upgrades_unique_zero() {
+        // P threads each own one reference and drop it while Q threads
+        // spin upgrading. Exactly one true decrement must be observed, and
+        // every successful upgrade must be matched by its own decrement.
+        for _ in 0..20 {
+            let p = 4u64;
+            let c = Arc::new(StickyCounter::new(p));
+            let zeroed = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..p {
+                let c = Arc::clone(&c);
+                let zeroed = Arc::clone(&zeroed);
+                handles.push(std::thread::spawn(move || {
+                    if c.decrement() {
+                        zeroed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let zeroed = Arc::clone(&zeroed);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        if c.increment_if_not_zero() {
+                            if c.decrement() {
+                                zeroed.fetch_add(1, Ordering::SeqCst);
+                            }
+                        } else {
+                            // Once zero, always zero.
+                            assert_eq!(c.load(), 0);
+                            assert!(!c.increment_if_not_zero());
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(zeroed.load(Ordering::SeqCst), 1, "exactly one zeroing decrement");
+            assert_eq!(c.load(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_loads_never_see_garbage() {
+        // Loads racing with the transient-zero window must only ever report
+        // either a plausible count or zero — never a flag-polluted value.
+        for _ in 0..10 {
+            let c = Arc::new(StickyCounter::new(2));
+            let loader = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let v = c.load();
+                        assert!(v <= 16, "load leaked flag bits: {v:#x}");
+                    }
+                })
+            };
+            let churner = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        if c.increment_if_not_zero() {
+                            c.decrement();
+                        }
+                    }
+                })
+            };
+            loader.join().unwrap();
+            churner.join().unwrap();
+        }
+    }
+}

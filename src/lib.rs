@@ -1,0 +1,13 @@
+//! Umbrella crate for the CDRC reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the [`cdrc`] crate for the reference-counted
+//! pointer library (the paper's primary contribution), [`smr`] for the
+//! manual reclamation substrate, [`lockfree`] for the evaluation data
+//! structures and [`bench_harness`] for workload drivers.
+
+pub use bench_harness;
+pub use cdrc;
+pub use lockfree;
+pub use smr;
+pub use sticky;

