@@ -164,7 +164,11 @@ pub fn prefill<M: ConcurrentMap<u64, u64>>(map: &M, spec: &Workload) {
 ///
 /// The map must already be prefilled; its current `in_flight_nodes` is
 /// taken as the live baseline for the memory metric.
-pub fn run_map<M: ConcurrentMap<u64, u64>>(map: &M, spec: &Workload, threads: usize) -> (f64, u64, u64) {
+pub fn run_map<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    spec: &Workload,
+    threads: usize,
+) -> (f64, u64, u64) {
     let dur = Duration::from_millis(bench_millis());
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
@@ -272,8 +276,8 @@ pub fn run_queue<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lockfree::manual::HarrisMichaelList;
     use lockfree::manual::DoubleLinkQueue;
+    use lockfree::manual::HarrisMichaelList;
     use smr::Ebr;
 
     #[test]

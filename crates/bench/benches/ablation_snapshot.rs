@@ -39,9 +39,7 @@ fn run<S: Scheme>(scheme: &str, held: usize) {
         Row {
             figure: "ablation_snapshot".into(),
             structure: "atomic_shared_ptr".into(),
-            scheme: format!(
-                "{scheme} held={held} pinned_fast={fast} probe_fast={last_fast}"
-            ),
+            scheme: format!("{scheme} held={held} pinned_fast={fast} probe_fast={last_fast}"),
             threads: 1,
             mops,
             extra_nodes_avg: 0,

@@ -16,7 +16,9 @@ fn counters(c: &mut Criterion) {
             }
         })
     });
-    g.bench_function("sticky/load", |b| b.iter(|| std::hint::black_box(sticky.load())));
+    g.bench_function("sticky/load", |b| {
+        b.iter(|| std::hint::black_box(sticky.load()))
+    });
     let cas = CasCounter::with_count(1);
     g.bench_function("cas/inc_dec", |b| {
         b.iter(|| {

@@ -77,6 +77,11 @@ impl<T> Counted<T> {
     }
 }
 
+/// Ownership marker shared by the pointer types: owns a `T` (for drop
+/// check / auto-trait purposes) while staying `Send`/`Sync`-neutral in the
+/// scheme parameter `S`.
+pub(crate) type PtrMarker<T, S> = std::marker::PhantomData<(Box<T>, fn(S))>;
+
 /// Views an erased header address as a typed control block pointer.
 #[inline]
 pub(crate) fn as_counted<T>(addr: usize) -> *mut Counted<T> {

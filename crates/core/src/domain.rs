@@ -508,7 +508,9 @@ impl<S: AcquireRetire> Drop for WeakCsGuard<'_, S> {
 
 impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("WeakCsGuard").field("tid", &self.inner.t).finish()
+        f.debug_struct("WeakCsGuard")
+            .field("tid", &self.inner.t)
+            .finish()
     }
 }
 

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, AcquireRetire};
 
-use crate::counted::as_counted;
+use crate::counted::{as_counted, PtrMarker};
 use crate::domain::{load_and_increment, with_strong_cs, CsGuard, Scheme, StrongRef};
 use crate::tagged::TaggedPtr;
 use crate::weak::WeakPtr;
@@ -44,7 +44,7 @@ use crate::weak::WeakPtr;
 /// ```
 pub struct SharedPtr<T, S: Scheme> {
     addr: usize,
-    _marker: PhantomData<(Box<T>, fn(S))>,
+    _marker: PtrMarker<T, S>,
 }
 
 // Safety: like `Arc` — a SharedPtr hands out `&T` and can be dropped from
@@ -193,7 +193,7 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
 /// ```
 pub struct AtomicSharedPtr<T, S: Scheme> {
     word: AtomicUsize,
-    _marker: PhantomData<(Box<T>, fn(S))>,
+    _marker: PtrMarker<T, S>,
 }
 
 unsafe impl<T: Send + Sync, S: Scheme> Send for AtomicSharedPtr<T, S> {}
@@ -230,9 +230,7 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
         let addr = with_strong_cs(d, t, || {
             // Safety: this location owns a strong reference to whatever it
             // stores, with decrements deferred via the strong instance.
-            unsafe {
-                load_and_increment(&d.strong_ar, t, &self.word, |a| d.increment_alive(a))
-            }
+            unsafe { load_and_increment(&d.strong_ar, t, &self.word, |a| d.increment_alive(a)) }
         });
         SharedPtr::from_addr(addr)
     }

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, AcquireRetire};
 
-use crate::counted::{as_counted, as_header};
+use crate::counted::{as_counted, as_header, PtrMarker};
 use crate::domain::{load_and_increment, with_full_cs, Scheme, StrongRef, WeakCsGuard};
 use crate::strong::SharedPtr;
 use crate::tagged::TaggedPtr;
@@ -41,7 +41,7 @@ use crate::tagged::TaggedPtr;
 /// ```
 pub struct WeakPtr<T, S: Scheme> {
     addr: usize,
-    _marker: PhantomData<(Box<T>, fn(S))>,
+    _marker: PtrMarker<T, S>,
 }
 
 unsafe impl<T: Send + Sync, S: Scheme> Send for WeakPtr<T, S> {}
@@ -170,7 +170,7 @@ impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
 /// ```
 pub struct AtomicWeakPtr<T, S: Scheme> {
     word: AtomicUsize,
-    _marker: PhantomData<(Box<T>, fn(S))>,
+    _marker: PtrMarker<T, S>,
 }
 
 unsafe impl<T: Send + Sync, S: Scheme> Send for AtomicWeakPtr<T, S> {}

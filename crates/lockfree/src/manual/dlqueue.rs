@@ -37,7 +37,7 @@ pub struct DoubleLinkQueue<V, S: AcquireRetire> {
     tail: AtomicUsize,
     smr: Arc<S>,
     stats: Arc<NodeStats>,
-    _marker: PhantomData<(Box<Node<V>>, fn(S))>,
+    _marker: super::NodeMarker<Node<V>, S>,
 }
 
 unsafe impl<V: Send + Sync, S: AcquireRetire> Send for DoubleLinkQueue<V, S> {}
@@ -105,7 +105,11 @@ where
                 // advance past it.
                 // Safety: ltail protected by the guard and by the argument
                 // above.
-                unsafe { (*(ltail as *mut Node<V>)).next.store(node as usize, Ordering::SeqCst) };
+                unsafe {
+                    (*(ltail as *mut Node<V>))
+                        .next
+                        .store(node as usize, Ordering::SeqCst)
+                };
                 self.smr.release(t, g);
                 return;
             }

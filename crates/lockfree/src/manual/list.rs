@@ -37,7 +37,7 @@ pub struct HarrisMichaelList<K, V, S: AcquireRetire> {
     head: AtomicUsize,
     smr: Arc<S>,
     stats: Arc<NodeStats>,
-    _marker: PhantomData<(Box<Node<K, V>>, fn(S))>,
+    _marker: super::NodeMarker<Node<K, V>, S>,
 }
 
 // Safety: nodes are only dereferenced under scheme protection; values cross
@@ -431,7 +431,7 @@ mod tests {
                 let list = Arc::clone(&list);
                 std::thread::spawn(move || {
                     for j in 0..300u64 {
-                        let k = (i * 300 + j) as u64;
+                        let k = i * 300 + j;
                         assert!(list.insert(k, k * 10));
                         assert_eq!(list.get(&k), Some(k * 10));
                         if j % 2 == 0 {

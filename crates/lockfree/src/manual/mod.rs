@@ -11,3 +11,8 @@ pub use dlqueue::DoubleLinkQueue;
 pub use hash::MichaelHashMap;
 pub use list::HarrisMichaelList;
 pub use nmtree::NatarajanMittalTree;
+
+/// Ownership marker shared by the manual structures: owns its nodes (for
+/// drop check / auto-trait purposes) while staying neutral in the scheme
+/// parameter `S`.
+pub(crate) type NodeMarker<N, S> = std::marker::PhantomData<(Box<N>, fn(S))>;

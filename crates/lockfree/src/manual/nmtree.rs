@@ -102,7 +102,7 @@ pub struct NatarajanMittalTree<K, V, S: AcquireRetire> {
     s_node: *mut Node<K, V>,
     smr: Arc<S>,
     stats: Arc<NodeStats>,
-    _marker: PhantomData<(Box<Node<K, V>>, fn(S))>,
+    _marker: super::NodeMarker<Node<K, V>, S>,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Send

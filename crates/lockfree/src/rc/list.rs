@@ -187,7 +187,8 @@ where
 
 impl<K, V, S: Scheme> std::fmt::Debug for RcHarrisMichaelList<K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RcHarrisMichaelList").finish_non_exhaustive()
+        f.debug_struct("RcHarrisMichaelList")
+            .finish_non_exhaustive()
     }
 }
 

@@ -124,11 +124,7 @@ where
             } else {
                 parent = child;
             }
-            child = parent
-                .as_ref()
-                .unwrap()
-                .child_edge(key)
-                .get_snapshot(cs);
+            child = parent.as_ref().unwrap().child_edge(key).get_snapshot(cs);
         }
     }
 
@@ -322,7 +318,8 @@ where
 
 impl<K, V, S: Scheme> std::fmt::Debug for RcNatarajanMittalTree<K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RcNatarajanMittalTree").finish_non_exhaustive()
+        f.debug_struct("RcNatarajanMittalTree")
+            .finish_non_exhaustive()
     }
 }
 

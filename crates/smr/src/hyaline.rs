@@ -135,18 +135,17 @@ impl Hyaline {
                 if h == INVALID {
                     break; // not in a critical section; skip this slot
                 }
-                let mut n = node.take().unwrap_or_else(|| {
-                    Box::new(LinkNode {
-                        batch,
-                        next: 0,
-                    })
-                });
+                let mut n = node
+                    .take()
+                    .unwrap_or_else(|| Box::new(LinkNode { batch, next: 0 }));
                 n.next = h;
                 let raw = Box::into_raw(n);
-                match slot
-                    .head
-                    .compare_exchange(h, raw as usize, Ordering::SeqCst, Ordering::SeqCst)
-                {
+                match slot.head.compare_exchange(
+                    h,
+                    raw as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
                     Ok(_) => {
                         pushes += 1;
                         break;

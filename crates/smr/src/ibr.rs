@@ -367,6 +367,9 @@ mod tests {
     #[test]
     fn default_epoch_freq_is_paper_value() {
         assert_eq!(Ibr::default_config().epoch_freq, 40);
-        assert_eq!(<crate::Ebr as AcquireRetire>::default_config().epoch_freq, 10);
+        assert_eq!(
+            <crate::Ebr as AcquireRetire>::default_config().epoch_freq,
+            10
+        );
     }
 }

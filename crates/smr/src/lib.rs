@@ -301,7 +301,9 @@ impl<S: AcquireRetire> Drop for CriticalSection<'_, S> {
 
 impl<S: AcquireRetire> Debug for CriticalSection<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CriticalSection").field("tid", &self.t).finish()
+        f.debug_struct("CriticalSection")
+            .field("tid", &self.t)
+            .finish()
     }
 }
 

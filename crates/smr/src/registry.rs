@@ -58,9 +58,7 @@ impl Registry {
                 return i;
             }
         }
-        panic!(
-            "more than MAX_THREADS ({MAX_THREADS}) concurrent threads are using SMR schemes"
-        );
+        panic!("more than MAX_THREADS ({MAX_THREADS}) concurrent threads are using SMR schemes");
     }
 
     fn release_slot(&self, i: usize) {

@@ -171,8 +171,7 @@ impl Counter for StickyCounter {
             // the latter case one decrement must still take credit: remove
             // the help flag with an exchange; whoever observes the flag owns
             // the zero transition.
-            if (e & HELP_FLAG) != 0 && (self.x.swap(ZERO_FLAG, Ordering::SeqCst) & HELP_FLAG) != 0
-            {
+            if (e & HELP_FLAG) != 0 && (self.x.swap(ZERO_FLAG, Ordering::SeqCst) & HELP_FLAG) != 0 {
                 return true;
             }
         }
@@ -279,7 +278,9 @@ impl Counter for CasCounter {
 
 impl fmt::Debug for CasCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CasCounter").field("value", &self.load()).finish()
+        f.debug_struct("CasCounter")
+            .field("value", &self.load())
+            .finish()
     }
 }
 
@@ -353,9 +354,8 @@ mod tests {
         // A lagging decrement (whose fetch_sub already happened) now runs its
         // recovery path: it must take credit exactly once.
         let mut e = 0u64;
-        let r = c
-            .x
-            .compare_exchange(e, ZERO_FLAG, Ordering::SeqCst, Ordering::SeqCst);
+        let r =
+            c.x.compare_exchange(e, ZERO_FLAG, Ordering::SeqCst, Ordering::SeqCst);
         assert!(r.is_err());
         e = r.unwrap_err();
         assert_ne!(e & HELP_FLAG, 0);
@@ -389,10 +389,8 @@ mod tests {
                     let zeroed = Arc::clone(&zeroed);
                     std::thread::spawn(move || {
                         for _ in 0..1000 {
-                            if c.increment_if_not_zero() {
-                                if c.decrement() {
-                                    zeroed.fetch_add(1, Ordering::SeqCst);
-                                }
+                            if c.increment_if_not_zero() && c.decrement() {
+                                zeroed.fetch_add(1, Ordering::SeqCst);
                             }
                         }
                     })
@@ -459,7 +457,11 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            assert_eq!(zeroed.load(Ordering::SeqCst), 1, "exactly one zeroing decrement");
+            assert_eq!(
+                zeroed.load(Ordering::SeqCst),
+                1,
+                "exactly one zeroing decrement"
+            );
             assert_eq!(c.load(), 0);
         }
     }

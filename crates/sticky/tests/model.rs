@@ -79,11 +79,7 @@ fn run_against_model<C: Counter>(initial: u64, ops: &[Op]) {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::IncIfNotZero),
-        Just(Op::Decrement),
-        Just(Op::Load),
-    ]
+    prop_oneof![Just(Op::IncIfNotZero), Just(Op::Decrement), Just(Op::Load),]
 }
 
 proptest! {

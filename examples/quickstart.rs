@@ -72,6 +72,9 @@ fn main() {
     drop(last);
     drop(current);
     S::global_domain().process_deferred(smr::current_tid());
-    assert!(weak.upgrade().is_none(), "config collected once unreachable");
+    assert!(
+        weak.upgrade().is_none(),
+        "config collected once unreachable"
+    );
     println!("weak pointer observed collection — no leaks");
 }

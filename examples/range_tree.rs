@@ -34,7 +34,7 @@ fn main() {
                 for _ in 0..50_000 {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let k = (state >> 33) % KEYS;
-                    if state % 2 == 0 {
+                    if state.is_multiple_of(2) {
                         inserted += tree.insert(k, k * 10) as u32;
                     } else {
                         removed += tree.remove(&k) as u32;

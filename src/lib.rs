@@ -5,6 +5,21 @@
 //! pointer library (the paper's primary contribution), [`smr`] for the
 //! manual reclamation substrate, [`lockfree`] for the evaluation data
 //! structures and [`bench_harness`] for workload drivers.
+//!
+//! ```
+//! use cdrc_suite::cdrc::{EbrScheme, Scheme, SharedPtr};
+//! use cdrc_suite::lockfree::{rc, ConcurrentMap};
+//!
+//! let p: SharedPtr<u32, EbrScheme> = SharedPtr::new(1);
+//! assert_eq!(p.as_ref(), Some(&1));
+//!
+//! let map: rc::RcHarrisMichaelList<u64, u64, EbrScheme> = rc::RcHarrisMichaelList::new();
+//! assert!(map.insert(7, 7));
+//! assert_eq!(map.get(&7), Some(7));
+//!
+//! let t = cdrc_suite::smr::current_tid();
+//! EbrScheme::global_domain().process_deferred(t);
+//! ```
 
 pub use bench_harness;
 pub use cdrc;

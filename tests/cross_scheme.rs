@@ -6,9 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme};
-use lockfree::manual::{
-    DoubleLinkQueue, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree,
-};
+use lockfree::manual::{DoubleLinkQueue, HarrisMichaelList, MichaelHashMap, NatarajanMittalTree};
 use lockfree::rc::{
     RcDoubleLinkQueue, RcHarrisMichaelList, RcMichaelHashMap, RcNatarajanMittalTree,
 };
@@ -16,7 +14,9 @@ use lockfree::{ConcurrentMap, ConcurrentQueue};
 use smr::AcquireRetire;
 
 fn lcg(state: &mut u64) -> u64 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *state >> 33
 }
 
