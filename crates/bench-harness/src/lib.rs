@@ -10,7 +10,14 @@
 //! * `BENCH_THREADS` — comma-separated thread counts (default: a power-of-
 //!   two sweep up to 2× the hardware parallelism, exercising the paper's
 //!   oversubscribed regime);
-//! * `BENCH_SAMPLE_MS` — memory sampling period (default 10).
+//! * `BENCH_SAMPLE_MS` — memory sampling period (default 10);
+//! * `GUARD_BATCH` — operations per guard re-acquisition in the worker
+//!   loops (default 64; 1 degenerates to one critical section per
+//!   operation, the pre-guard-API behaviour).
+//!
+//! The environment knobs are read once per run by the `run_*` entry points;
+//! tests and embedders should call the `*_for` variants with explicit
+//! durations instead of mutating the process environment.
 
 #![warn(missing_docs)]
 
@@ -115,6 +122,17 @@ pub fn bench_millis() -> u64 {
         .unwrap_or(300)
 }
 
+/// Operations per guard re-acquisition in the worker loops
+/// (`GUARD_BATCH`, default 64 — the paper's methodology: one critical
+/// section amortized over a batch of operations).
+pub fn guard_batch() -> usize {
+    std::env::var("GUARD_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(64)
+}
+
 fn sample_millis() -> u64 {
     std::env::var("BENCH_SAMPLE_MS")
         .ok()
@@ -160,16 +178,49 @@ pub fn prefill<M: ConcurrentMap<u64, u64>>(map: &M, spec: &Workload) {
 }
 
 /// Runs `spec` over `map` with `threads` workers for the configured
-/// duration; returns (Mop/s, extra-nodes mean, extra-nodes peak).
-///
-/// The map must already be prefilled; its current `in_flight_nodes` is
-/// taken as the live baseline for the memory metric.
+/// (`BENCH_MS`) duration; returns (Mop/s, extra-nodes mean, extra-nodes
+/// peak). See [`run_map_for`] for an explicit duration.
 pub fn run_map<M: ConcurrentMap<u64, u64>>(
     map: &M,
     spec: &Workload,
     threads: usize,
 ) -> (f64, u64, u64) {
-    let dur = Duration::from_millis(bench_millis());
+    run_map_for(map, spec, threads, Duration::from_millis(bench_millis()))
+}
+
+/// Runs `spec` over `map` with `threads` workers for `dur`; returns
+/// (Mop/s, extra-nodes mean, extra-nodes peak).
+///
+/// Worker loops are *guard-batched*: each worker re-acquires an operation
+/// guard ([`ConcurrentMap::pin`]) every [`guard_batch`] operations (default
+/// 64, the paper's methodology), amortizing the scheme's per-critical-
+/// section fence while still letting reclamation proceed between batches.
+pub fn run_map_for<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    spec: &Workload,
+    threads: usize,
+    dur: Duration,
+) -> (f64, u64, u64) {
+    run_map_batched(map, spec, threads, dur, guard_batch())
+}
+
+/// As [`run_map_for`] with an explicit guard batch size (`batch` = 1 means
+/// one critical section per operation — the guard-free wrappers' cost —
+/// which the guard-API micro-benchmark compares against larger batches).
+///
+/// The map must already be prefilled; its current `in_flight_nodes` is
+/// taken as the live baseline for the memory metric. For RC structures that
+/// metric reads the scheme's process-global domain (see the caveat on
+/// [`ConcurrentMap::in_flight_nodes`]), so run one structure per scheme at
+/// a time and settle the domain between cells.
+pub fn run_map_batched<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    spec: &Workload,
+    threads: usize,
+    dur: Duration,
+    batch: usize,
+) -> (f64, u64, u64) {
+    let batch = batch.max(1);
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
@@ -186,23 +237,27 @@ pub fn run_map<M: ConcurrentMap<u64, u64>>(
                 barrier.wait();
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    for _ in 0..64 {
+                    // One guard per batch: the per-section fence is paid
+                    // once for `batch` operations (§3.4).
+                    let guard = map.pin();
+                    for _ in 0..batch {
                         let k = rng.gen_range(0..spec.key_range);
                         let dice = rng.gen_range(0..100u32);
                         if dice < spec.update_pct {
                             if dice % 2 == 0 {
-                                map.insert(k, k);
+                                map.insert_with(k, k, &guard);
                             } else {
-                                map.remove(&k);
+                                map.remove_with(&k, &guard);
                             }
                         } else if dice < spec.update_pct + spec.rq_pct {
                             let hi = k.saturating_add(spec.rq_size);
-                            map.range(&k, &hi, spec.rq_size as usize);
+                            map.range_with(&k, &hi, spec.rq_size as usize, &guard);
                         } else {
-                            map.get(&k);
+                            map.get_with(&k, &guard);
                         }
                         ops += 1;
                     }
+                    drop(guard);
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
@@ -231,19 +286,43 @@ pub fn run_map<M: ConcurrentMap<u64, u64>>(
     (mops, avg, peak)
 }
 
-/// Runs the Fig. 12 workload: each thread repeatedly pops an element and
-/// reinserts it; the queue is seeded with one element per thread.
-/// Returns Mop/s (each pop+push pair counts as two operations, matching the
-/// paper's "operations per second").
+/// Runs the Fig. 12 workload for the configured (`BENCH_MS`) duration; see
+/// [`run_queue_for`].
 pub fn run_queue<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize) -> f64 {
+    run_queue_for(queue, threads, Duration::from_millis(bench_millis()))
+}
+
+/// Runs the Fig. 12 workload for `dur`: each thread repeatedly pops an
+/// element and reinserts it; the queue is seeded with one element per
+/// thread. Returns Mop/s over the *measured* elapsed time (each pop+push
+/// pair counts as two operations, matching the paper's "operations per
+/// second").
+///
+/// Workers re-acquire an operation guard ([`ConcurrentQueue::pin`]) every
+/// [`guard_batch`] operations, as in [`run_map_for`].
+pub fn run_queue_for<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize, dur: Duration) -> f64 {
+    run_queue_batched(queue, threads, dur, guard_batch())
+}
+
+/// As [`run_queue_for`] with an explicit guard batch size (in operations;
+/// each pop+push pair is two). `batch <= 1` drives the guard-free wrappers
+/// directly — one critical section per *operation*, two per pair — so it is
+/// a faithful baseline for what unbatched callers pay.
+pub fn run_queue_batched<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    dur: Duration,
+    batch: usize,
+) -> f64 {
     for i in 0..threads as u64 {
         queue.enqueue(i);
     }
-    let dur = Duration::from_millis(bench_millis());
+    let pairs_per_batch = (batch / 2).max(1);
+    let unbatched = batch <= 1;
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
-    std::thread::scope(|s| {
+    let elapsed = std::thread::scope(|s| {
         for _ in 0..threads {
             let stop = &stop;
             let total_ops = &total_ops;
@@ -253,7 +332,7 @@ pub fn run_queue<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize) -> f64 {
                 barrier.wait();
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    for _ in 0..32 {
+                    if unbatched {
                         loop {
                             if let Some(v) = queue.dequeue() {
                                 queue.enqueue(v);
@@ -261,16 +340,34 @@ pub fn run_queue<Q: ConcurrentQueue<u64>>(queue: &Q, threads: usize) -> f64 {
                                 break;
                             }
                         }
+                    } else {
+                        let guard = queue.pin();
+                        for _ in 0..pairs_per_batch {
+                            loop {
+                                if let Some(v) = queue.dequeue_with(&guard) {
+                                    queue.enqueue_with(v, &guard);
+                                    ops += 2;
+                                    break;
+                                }
+                            }
+                        }
+                        drop(guard);
                     }
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
         barrier.wait();
+        let started = Instant::now();
         std::thread::sleep(dur);
         stop.store(true, Ordering::Relaxed);
+        // Divide by the *measured* window, as `run_map` does: `sleep` can
+        // overshoot `dur` arbitrarily on a loaded machine, and dividing by
+        // the configured duration overstated throughput by that overshoot.
+        started.elapsed()
+        // Scope joins the workers on exit; total_ops is complete after.
     });
-    total_ops.load(Ordering::Relaxed) as f64 / dur.as_secs_f64() / 1.0e6
+    total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1.0e6
 }
 
 #[cfg(test)]
@@ -295,22 +392,44 @@ mod tests {
         assert_eq!(list.iter_count(), 100);
     }
 
+    // Explicit durations throughout: mutating `BENCH_MS` via `set_var`
+    // raced with sibling tests under the parallel test runner.
     #[test]
     fn run_map_produces_throughput() {
-        std::env::set_var("BENCH_MS", "50");
         let spec = Workload::points(64, 20);
         let list: HarrisMichaelList<u64, u64, Ebr> = HarrisMichaelList::new();
         prefill(&list, &spec);
-        let (mops, _, _) = run_map(&list, &spec, 2);
+        let (mops, _, _) = run_map_for(&list, &spec, 2, Duration::from_millis(50));
         assert!(mops > 0.0);
     }
 
     #[test]
     fn run_queue_produces_throughput() {
-        std::env::set_var("BENCH_MS", "50");
         let q: DoubleLinkQueue<u64, Ebr> = DoubleLinkQueue::new();
-        let mops = run_queue(&q, 2);
+        let mops = run_queue_for(&q, 2, Duration::from_millis(50));
         assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn guard_batched_and_guard_free_results_agree() {
+        // Drive the same structure through both call styles and check the
+        // final contents agree with a sequential model.
+        let list: HarrisMichaelList<u64, u64, Ebr> = HarrisMichaelList::new();
+        let guard = list.pin();
+        for k in 0..128u64 {
+            assert!(list.insert_with(k, k, &guard));
+        }
+        drop(guard);
+        for k in 0..128u64 {
+            if k % 2 == 0 {
+                assert!(list.remove(&k)); // guard-free wrapper
+            }
+        }
+        let guard = list.pin();
+        for k in 0..128u64 {
+            let expect = if k % 2 == 0 { None } else { Some(k) };
+            assert_eq!(list.get_with(&k, &guard), expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Guard-API micro-benchmark: quantifies the §3.4 amortization the
+//! guard-centric operation API enables, per scheme.
+//!
+//! Every cell runs the same read-heavy workload twice: with `batch=1` (one
+//! critical section per operation — exactly what the guard-free wrappers
+//! pay) and with `batch=64` (one [`pin`](lockfree::ConcurrentMap::pin) per
+//! 64 operations, the paper's methodology). The ratio is the measured win
+//! of holding a guard across a batch; the HP-backed variants gain the most
+//! because every section of theirs costs announcement traffic on both the
+//! strong pointer reads and the section bookkeeping.
+//!
+//! Doubles as the CI regression gate for the guard API: after printing its
+//! cells it *fails the process* if any measured throughput is not strictly
+//! positive — an API regression that deadlocks inside a held guard (e.g. a
+//! structure operation that blocks on its own open section) shows up as a
+//! hung or zero-throughput cell. `GUARD_API_SMOKE=1` restricts the run to
+//! one fast cell for CI.
+//!
+//! Environment: `BENCH_MS`, `BENCH_JSON` (append one JSON line per cell),
+//! `GUARD_API_THREADS` (default 4), `GUARD_API_SMOKE`.
+
+use std::time::Duration;
+
+use bench::settle_scheme;
+use bench_harness::{
+    bench_millis, prefill, print_header, run_map_batched, run_queue_batched, Row, Workload,
+};
+use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+use lockfree::manual::{DoubleLinkQueue, MichaelHashMap};
+use lockfree::rc::{RcDoubleLinkQueue, RcMichaelHashMap};
+use lockfree::{ConcurrentMap, ConcurrentQueue};
+
+const BATCHES: [usize; 2] = [1, 64];
+
+fn threads() -> usize {
+    std::env::var("GUARD_API_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(4)
+}
+
+fn emit(structure: &str, scheme: &str, batch: usize, threads: usize, mops: f64) {
+    let row = Row {
+        figure: "guard_api".into(),
+        structure: structure.into(),
+        scheme: format!("{scheme} batch={batch}"),
+        threads,
+        mops,
+        extra_nodes_avg: 0,
+        extra_nodes_peak: 0,
+    };
+    println!("{}", row.csv());
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let ns_per_op = if mops > 0.0 { 1e3 / mops } else { f64::NAN };
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"guard_api/{structure}/{scheme}/batch{batch}\",\"mops\":{mops:.3},\"ns_per_op\":{ns_per_op:.3}}}"
+            );
+        }
+    }
+}
+
+/// One (structure, scheme) pair across both batch sizes; returns the
+/// measured throughputs for the final positivity gate.
+fn map_cells<M: ConcurrentMap<u64, u64>>(
+    structure: &str,
+    scheme: &str,
+    spec: &Workload,
+    make: impl Fn() -> M,
+    settle: impl Fn(),
+    out: &mut Vec<f64>,
+) {
+    let dur = Duration::from_millis(bench_millis());
+    let threads = threads();
+    for batch in BATCHES {
+        let map = make();
+        prefill(&map, spec);
+        let (mops, _, _) = run_map_batched(&map, spec, threads, dur, batch);
+        drop(map);
+        settle();
+        emit(structure, scheme, batch, threads, mops);
+        out.push(mops);
+    }
+}
+
+fn queue_cells<Q: ConcurrentQueue<u64>>(
+    scheme: &str,
+    make: impl Fn() -> Q,
+    settle: impl Fn(),
+    out: &mut Vec<f64>,
+) {
+    let dur = Duration::from_millis(bench_millis());
+    let threads = threads();
+    for batch in BATCHES {
+        let q = make();
+        let mops = run_queue_batched(&q, threads, dur, batch);
+        drop(q);
+        settle();
+        emit("dlqueue", scheme, batch, threads, mops);
+        out.push(mops);
+    }
+}
+
+fn main() {
+    print_header();
+    let spec = Workload::points(16_384, 10);
+    let buckets = 16_384usize;
+    let mut mops = Vec::new();
+
+    // The one-cell CI smoke: the HP-backed RC hash map, the variant the
+    // guard API helps most and the one most likely to deadlock if an
+    // operation re-entered its own section incorrectly.
+    map_cells(
+        "hash",
+        "RC (HP)",
+        &spec,
+        || RcMichaelHashMap::<u64, u64, HpScheme>::with_buckets(buckets),
+        settle_scheme::<HpScheme>,
+        &mut mops,
+    );
+
+    if std::env::var("GUARD_API_SMOKE").is_err() {
+        map_cells(
+            "hash",
+            "RC (EBR)",
+            &spec,
+            || RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets(buckets),
+            settle_scheme::<EbrScheme>,
+            &mut mops,
+        );
+        map_cells(
+            "hash",
+            "RC (IBR)",
+            &spec,
+            || RcMichaelHashMap::<u64, u64, IbrScheme>::with_buckets(buckets),
+            settle_scheme::<IbrScheme>,
+            &mut mops,
+        );
+        map_cells(
+            "hash",
+            "RC (Hyaline)",
+            &spec,
+            || RcMichaelHashMap::<u64, u64, HyalineScheme>::with_buckets(buckets),
+            settle_scheme::<HyalineScheme>,
+            &mut mops,
+        );
+        map_cells(
+            "hash",
+            "HP",
+            &spec,
+            || MichaelHashMap::<u64, u64, smr::Hp>::with_buckets(buckets),
+            || {},
+            &mut mops,
+        );
+        map_cells(
+            "hash",
+            "EBR",
+            &spec,
+            || MichaelHashMap::<u64, u64, smr::Ebr>::with_buckets(buckets),
+            || {},
+            &mut mops,
+        );
+        queue_cells(
+            "RC (HP)",
+            RcDoubleLinkQueue::<u64, HpScheme>::new,
+            settle_scheme::<HpScheme>,
+            &mut mops,
+        );
+        queue_cells(
+            "EBR",
+            DoubleLinkQueue::<u64, smr::Ebr>::new,
+            || {},
+            &mut mops,
+        );
+    }
+
+    // Regression gate: every cell must have made forward progress (NaN is
+    // caught too: it fails the `> 0.0` test).
+    if let Some(bad) = mops
+        .iter()
+        .find(|&&m| m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
+    {
+        eprintln!("guard_api: non-positive throughput measured ({bad}); failing");
+        std::process::exit(1);
+    }
+    eprintln!("guard_api: all {} cells strictly positive", mops.len());
+}

@@ -8,6 +8,14 @@ use lockfree::ConcurrentMap;
 /// CSV row per thread count. `make` builds a fresh structure per cell;
 /// `settle` runs after each cell (RC schemes drain their global domain here
 /// so garbage does not leak into the next cell's memory baseline).
+///
+/// **Metric validity:** RC structures report `in_flight_nodes` from their
+/// scheme's *process-global* domain, so two live RC structures on one
+/// scheme pollute each other's "extra nodes" numbers. This driver is only
+/// correct because it runs exactly one structure at a time, drops it, and
+/// settles the domain before the next cell — keep that discipline in any
+/// new bench binary that compares variants (see
+/// `lockfree::ConcurrentMap::in_flight_nodes`).
 pub fn map_series<M, F, G>(
     figure: &str,
     structure: &str,

@@ -514,6 +514,36 @@ impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<'_, S> {
     }
 }
 
+/// Uniform view over the two critical-section guard flavours.
+///
+/// Code that only needs *strong* protection (snapshots of
+/// [`AtomicSharedPtr`](crate::AtomicSharedPtr) locations) can accept any
+/// `impl OpGuard` and work under either a plain [`CsGuard`] or a full
+/// [`WeakCsGuard`] — this is what lets a weak-edge structure (the paper's
+/// Fig. 10 queue, whose `prev` pointers need the full section) share one
+/// guard-taking operation interface with the strong-only structures.
+///
+/// Hold one guard across a batch of operations to pay the scheme's
+/// per-section announcement fence once instead of per operation (§3.4).
+pub trait OpGuard<'d, S: AcquireRetire> {
+    /// The strong-section view of this guard, accepted by every
+    /// snapshot-taking strong-pointer operation (the domain is reachable
+    /// from it via [`CsGuard::domain`]).
+    fn strong_cs(&self) -> &CsGuard<'d, S>;
+}
+
+impl<'d, S: AcquireRetire> OpGuard<'d, S> for CsGuard<'d, S> {
+    fn strong_cs(&self) -> &CsGuard<'d, S> {
+        self
+    }
+}
+
+impl<'d, S: AcquireRetire> OpGuard<'d, S> for WeakCsGuard<'d, S> {
+    fn strong_cs(&self) -> &CsGuard<'d, S> {
+        self.as_cs()
+    }
+}
+
 /// Internal helper: runs `f` inside a temporary strong critical section.
 #[inline]
 pub(crate) fn with_strong_cs<S: AcquireRetire, R>(

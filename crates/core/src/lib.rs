@@ -62,6 +62,46 @@
 //! assert_eq!(snap.as_ref(), Some(&3));
 //! ```
 //!
+//! ## Amortizing critical sections
+//!
+//! Entering a section costs one announcement fence (a SeqCst store-load
+//! round trip for the region schemes). That fence closes the gap to manual
+//! reclamation **only when amortized over many operations** (§3.4), so the
+//! data-structure layer exposes guard-taking operation variants: open one
+//! guard, run a batch, drop the guard. Before — one section per operation:
+//!
+//! ```
+//! use cdrc::{AtomicSharedPtr, EbrScheme, Scheme, SharedPtr};
+//!
+//! let slot: AtomicSharedPtr<u64, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(1));
+//! for _ in 0..64 {
+//!     let _ = slot.load(); // each load opens + closes its own section
+//! }
+//! ```
+//!
+//! After — one section per batch:
+//!
+//! ```
+//! use cdrc::{AtomicSharedPtr, EbrScheme, Scheme, SharedPtr};
+//!
+//! let slot: AtomicSharedPtr<u64, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(1));
+//! let cs = EbrScheme::global_domain().cs();
+//! for _ in 0..64 {
+//!     let snap = slot.get_snapshot(&cs); // fence already paid by `cs()`
+//!     assert_eq!(snap.as_ref(), Some(&1));
+//! }
+//! drop(cs); // reclamation of the batch's garbage resumes here
+//! ```
+//!
+//! Sections nest, so mixing both styles is always safe; holding a guard too
+//! long delays reclamation (the announcement pins the epoch), which is why
+//! the bench harness re-pins every 64 operations, as in the paper's
+//! methodology. The [`OpGuard`] trait lets generic code accept either a
+//! strong [`CsGuard`] or a full [`WeakCsGuard`] uniformly, and the
+//! `lockfree` crate threads exactly this guard through every structure
+//! operation (`get_with`, `insert_with`, `enqueue_with`, … on its
+//! `ConcurrentMap`/`ConcurrentQueue` traits).
+//!
 //! ## Reference cycles
 //!
 //! Strong cycles leak (as in every reference-counting system); break them
@@ -77,7 +117,7 @@ mod strong;
 mod tagged;
 mod weak;
 
-pub use domain::{CsGuard, Domain, Scheme, StrongRef, WeakCsGuard};
+pub use domain::{CsGuard, Domain, OpGuard, Scheme, StrongRef, WeakCsGuard};
 pub use strong::{AtomicSharedPtr, SharedPtr, SnapshotPtr};
 pub use tagged::TaggedPtr;
 pub use weak::{AtomicWeakPtr, WeakPtr, WeakSnapshotPtr};

@@ -29,30 +29,135 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Implementations are linearizable for point operations; `range` may be
 /// sequentially (non-linearizably) collected, as in the paper (§5.1,
 /// footnote 5).
+///
+/// # Guard-centric operation API
+///
+/// Every operation exists in two forms: a guard-taking variant (`get_with`,
+/// `insert_with`, …) that runs under a caller-held [`Guard`](Self::Guard),
+/// and a guard-free convenience wrapper (`get`, `insert`, …) that opens a
+/// section internally for its own duration. The per-critical-section fence
+/// (one SeqCst announcement round trip for the region schemes) closes the
+/// gap to manual reclamation **only when amortized over many operations**
+/// (paper §3.4), so hot loops should [`pin`](Self::pin) once per batch:
+///
+/// ```
+/// use cdrc::EbrScheme;
+/// use lockfree::rc::RcHarrisMichaelList;
+/// use lockfree::ConcurrentMap;
+///
+/// let map: RcHarrisMichaelList<u64, u64, EbrScheme> = RcHarrisMichaelList::new();
+/// let guard = map.pin();
+/// for k in 0..64u64 {
+///     map.insert_with(k, k, &guard);
+///     assert_eq!(map.get_with(&k, &guard), Some(k));
+/// }
+/// drop(guard); // reclamation of the batch's garbage resumes here
+/// ```
+///
+/// Critical sections nest, so both call styles may be mixed freely on one
+/// structure, even within a held guard. Holding a guard *too* long delays
+/// reclamation (the announcement pins the scheme's epoch); the benchmark
+/// harness re-pins every 64 operations, matching the paper's methodology.
 pub trait ConcurrentMap<K, V>: Send + Sync {
+    /// RAII token holding this thread's critical section(s) open across a
+    /// batch of operations. Dropping it ends the section and lets deferred
+    /// reclamation of the batch's garbage proceed.
+    ///
+    /// Guards are thread-bound (not `Send`) and must only be passed to
+    /// operations on the structure that created them (or on structures
+    /// sharing its reclamation instance, e.g. a hash table's own buckets);
+    /// debug builds assert this where it is not guaranteed by construction.
+    type Guard;
+
+    /// Opens an operation guard for the current thread.
+    fn pin(&self) -> Self::Guard;
+
+    /// As [`insert`](Self::insert), under a caller-held guard.
+    fn insert_with(&self, k: K, v: V, guard: &Self::Guard) -> bool;
+
+    /// As [`remove`](Self::remove), under a caller-held guard.
+    fn remove_with(&self, k: &K, guard: &Self::Guard) -> bool;
+
+    /// As [`get`](Self::get), under a caller-held guard.
+    fn get_with(&self, k: &K, guard: &Self::Guard) -> Option<V>;
+
+    /// As [`range`](Self::range), under a caller-held guard.
+    fn range_with(&self, _from: &K, _to: &K, _limit: usize, _guard: &Self::Guard) -> Option<usize> {
+        None
+    }
+
     /// Inserts `k → v`; `false` if `k` was already present.
-    fn insert(&self, k: K, v: V) -> bool;
+    fn insert(&self, k: K, v: V) -> bool {
+        self.insert_with(k, v, &self.pin())
+    }
+
     /// Removes `k`; `false` if absent.
-    fn remove(&self, k: &K) -> bool;
+    fn remove(&self, k: &K) -> bool {
+        self.remove_with(k, &self.pin())
+    }
+
     /// Looks up `k`.
-    fn get(&self, k: &K) -> Option<V>;
+    fn get(&self, k: &K) -> Option<V> {
+        self.get_with(k, &self.pin())
+    }
+
     /// Collects up to `limit` keys in `[from, to)`, returning how many were
     /// seen. Returns `None` if the structure does not support range queries.
+    ///
+    /// The default returns `None` without opening a section (pinning just to
+    /// discover "unsupported" would waste a fence); structures overriding
+    /// [`range_with`](Self::range_with) override this too, as
+    /// `self.range_with(from, to, limit, &self.pin())`.
     fn range(&self, _from: &K, _to: &K, _limit: usize) -> Option<usize> {
         None
     }
+
     /// Nodes currently allocated and not yet freed (live + deferred
     /// garbage) — the paper's "extra nodes" metric is this minus the live
     /// count.
+    ///
+    /// **Caveat (RC variants):** the automatic structures report their
+    /// *scheme's global domain* counter, which is shared by every RC
+    /// structure on the same scheme in the process. Concurrent structures on
+    /// one scheme therefore pollute each other's "extra nodes" metric; a
+    /// benchmark comparing variants must run one structure per scheme at a
+    /// time and settle the domain between cells (as `bench::map_series`
+    /// does). Manual structures meter their own private [`NodeStats`] and
+    /// are immune.
     fn in_flight_nodes(&self) -> u64;
 }
 
 /// The uniform queue interface for the Fig. 12 benchmark.
+///
+/// Mirrors [`ConcurrentMap`]'s guard-centric design: `enqueue_with` /
+/// `dequeue_with` run under a caller-held [`Guard`](Self::Guard) obtained
+/// from [`pin`](Self::pin); the guard-free methods are thin wrappers that
+/// open a section per call.
 pub trait ConcurrentQueue<V>: Send + Sync {
+    /// RAII token holding this thread's critical section(s) open across a
+    /// batch of operations (see [`ConcurrentMap::Guard`]). For the weak-edge
+    /// queue this is the domain's *full* guard, covering the weak and
+    /// dispose instances too.
+    type Guard;
+
+    /// Opens an operation guard for the current thread.
+    fn pin(&self) -> Self::Guard;
+
+    /// As [`enqueue`](Self::enqueue), under a caller-held guard.
+    fn enqueue_with(&self, v: V, guard: &Self::Guard);
+
+    /// As [`dequeue`](Self::dequeue), under a caller-held guard.
+    fn dequeue_with(&self, guard: &Self::Guard) -> Option<V>;
+
     /// Appends `v` at the tail.
-    fn enqueue(&self, v: V);
+    fn enqueue(&self, v: V) {
+        self.enqueue_with(v, &self.pin());
+    }
+
     /// Removes the head element, if any.
-    fn dequeue(&self) -> Option<V>;
+    fn dequeue(&self) -> Option<V> {
+        self.dequeue_with(&self.pin())
+    }
 }
 
 /// Allocation / free counters for the manual structures (the RC variants

@@ -174,6 +174,21 @@ impl<V: Clone + Send + Sync> LockedDoubleLinkQueue<V> {
 }
 
 impl<V: Clone + Send + Sync> ConcurrentQueue<V> for LockedDoubleLinkQueue<V> {
+    /// Lock-based pointers need no reclamation protection, so the guard is a
+    /// unit token: `pin` is free and the `_with` variants are identical to
+    /// the guard-free calls.
+    type Guard = ();
+
+    fn pin(&self) -> Self::Guard {}
+
+    fn enqueue_with(&self, v: V, _guard: &Self::Guard) {
+        self.enqueue(v);
+    }
+
+    fn dequeue_with(&self, _guard: &Self::Guard) -> Option<V> {
+        self.dequeue()
+    }
+
     fn enqueue(&self, v: V) {
         let new_node = Arc::new(Node {
             value: Some(v),

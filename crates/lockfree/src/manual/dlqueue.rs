@@ -160,19 +160,23 @@ where
     V: Clone + Send + Sync,
     S: AcquireRetire,
 {
-    fn enqueue(&self, v: V) {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+    type Guard = smr::SectionGuard<S>;
+
+    fn pin(&self) -> Self::Guard {
+        smr::SectionGuard::enter(Arc::clone(&self.smr))
+    }
+
+    fn enqueue_with(&self, v: V, guard: &Self::Guard) {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
         self.enqueue_impl(t, v);
-        self.smr.end_critical_section(t);
         self.collect(t);
     }
 
-    fn dequeue(&self) -> Option<V> {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+    fn dequeue_with(&self, guard: &Self::Guard) -> Option<V> {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
         let r = self.dequeue_impl(t);
-        self.smr.end_critical_section(t);
         self.collect(t);
         r
     }

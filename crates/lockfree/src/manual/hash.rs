@@ -15,6 +15,12 @@ use crate::{ConcurrentMap, NodeStats};
 pub struct MichaelHashMap<K, V, S: AcquireRetire> {
     buckets: Vec<HarrisMichaelList<K, V, S>>,
     hasher: RandomState,
+    /// The scheme instance shared by every bucket; one [`pin`] covers them
+    /// all, so a guard-batched sequence of operations pays the section fence
+    /// once regardless of which buckets it hits.
+    ///
+    /// [`pin`]: ConcurrentMap::pin
+    smr: Arc<S>,
     stats: Arc<NodeStats>,
 }
 
@@ -36,6 +42,7 @@ where
                 .map(|_| HarrisMichaelList::with_shared(Arc::clone(&smr), Arc::clone(&stats)))
                 .collect(),
             hasher: RandomState::new(),
+            smr,
             stats,
         }
     }
@@ -52,16 +59,22 @@ where
     V: Clone + Send + Sync,
     S: AcquireRetire,
 {
-    fn insert(&self, k: K, v: V) -> bool {
-        self.bucket(&k).insert(k, v)
+    type Guard = smr::SectionGuard<S>;
+
+    fn pin(&self) -> Self::Guard {
+        smr::SectionGuard::enter(Arc::clone(&self.smr))
     }
 
-    fn remove(&self, k: &K) -> bool {
-        self.bucket(k).remove(k)
+    fn insert_with(&self, k: K, v: V, guard: &Self::Guard) -> bool {
+        self.bucket(&k).insert_with(k, v, guard)
     }
 
-    fn get(&self, k: &K) -> Option<V> {
-        self.bucket(k).get(k)
+    fn remove_with(&self, k: &K, guard: &Self::Guard) -> bool {
+        self.bucket(k).remove_with(k, guard)
+    }
+
+    fn get_with(&self, k: &K, guard: &Self::Guard) -> Option<V> {
+        self.bucket(k).get_with(k, guard)
     }
 
     fn in_flight_nodes(&self) -> u64 {

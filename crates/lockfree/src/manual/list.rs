@@ -323,29 +323,32 @@ where
     V: Clone + Send + Sync,
     S: AcquireRetire,
 {
-    fn insert(&self, k: K, v: V) -> bool {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+    type Guard = smr::SectionGuard<S>;
+
+    fn pin(&self) -> Self::Guard {
+        smr::SectionGuard::enter(Arc::clone(&self.smr))
+    }
+
+    fn insert_with(&self, k: K, v: V, guard: &Self::Guard) -> bool {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
         let r = self.insert_impl(t, k, v);
-        self.smr.end_critical_section(t);
         self.collect(t);
         r
     }
 
-    fn remove(&self, k: &K) -> bool {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+    fn remove_with(&self, k: &K, guard: &Self::Guard) -> bool {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
         let r = self.remove_impl(t, k);
-        self.smr.end_critical_section(t);
         self.collect(t);
         r
     }
 
-    fn get(&self, k: &K) -> Option<V> {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+    fn get_with(&self, k: &K, guard: &Self::Guard) -> Option<V> {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
         let r = self.get_impl(t, k);
-        self.smr.end_critical_section(t);
         self.collect(t);
         r
     }

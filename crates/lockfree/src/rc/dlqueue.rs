@@ -9,7 +9,7 @@
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, AtomicWeakPtr, Scheme, SharedPtr};
+use cdrc::{AtomicSharedPtr, AtomicWeakPtr, OpGuard, Scheme, SharedPtr, WeakCsGuard};
 
 use crate::ConcurrentQueue;
 
@@ -52,22 +52,27 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
+    /// The *full* guard: `prev` operations go through the weak and dispose
+    /// instances, so a strong-only section would not suffice. [`OpGuard`]
+    /// gives the strong view the `next`-edge snapshots need.
+    type Guard = WeakCsGuard<'static, S>;
+
+    fn pin(&self) -> Self::Guard {
+        S::global_domain().weak_cs()
+    }
+
     // Fig. 10, enqueue.
-    fn enqueue(&self, v: V) {
-        let domain = S::global_domain();
+    fn enqueue_with(&self, v: V, guard: &Self::Guard) {
         let new_node: SharedPtr<Node<V, S>, S> = SharedPtr::new(Node {
             value: Some(v),
             next: AtomicSharedPtr::null(),
             prev: AtomicWeakPtr::null(),
         });
-        // The paper's critical_section_guard — full flavour, since `prev`
-        // operations go through the weak and dispose instances.
-        let guard = domain.weak_cs();
         loop {
-            let ltail = self.tail.get_snapshot(guard.as_cs());
+            let ltail = self.tail.get_snapshot(guard.strong_cs());
             new_node.as_ref().unwrap().prev.store_strong(&ltail);
             // Help the previous enqueue set its next pointer.
-            let lprev = ltail.as_ref().unwrap().prev.get_snapshot(&guard);
+            let lprev = ltail.as_ref().unwrap().prev.get_snapshot(guard);
             if let Some(prev_node) = lprev.as_ref() {
                 if prev_node.next.load_tagged().is_null() {
                     prev_node.next.store_from(&ltail);
@@ -81,12 +86,10 @@ where
     }
 
     // Fig. 10, dequeue.
-    fn dequeue(&self) -> Option<V> {
-        let domain = S::global_domain();
-        let guard = domain.weak_cs();
+    fn dequeue_with(&self, guard: &Self::Guard) -> Option<V> {
         loop {
-            let lhead = self.head.get_snapshot(guard.as_cs());
-            let lnext = lhead.as_ref().unwrap().next.get_snapshot(guard.as_cs());
+            let lhead = self.head.get_snapshot(guard.strong_cs());
+            let lnext = lhead.as_ref().unwrap().next.get_snapshot(guard.strong_cs());
             let Some(next_node) = lnext.as_ref() else {
                 return None; // queue is empty
             };

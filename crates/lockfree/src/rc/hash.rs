@@ -42,18 +42,26 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    fn insert(&self, k: K, v: V) -> bool {
-        self.bucket(&k).insert(k, v)
+    type Guard = cdrc::CsGuard<'static, S>;
+
+    fn pin(&self) -> Self::Guard {
+        S::global_domain().cs()
     }
 
-    fn remove(&self, k: &K) -> bool {
-        self.bucket(k).remove(k)
+    fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
+        self.bucket(&k).insert_with(k, v, cs)
     }
 
-    fn get(&self, k: &K) -> Option<V> {
-        self.bucket(k).get(k)
+    fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
+        self.bucket(k).remove_with(k, cs)
     }
 
+    fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        self.bucket(k).get_with(k, cs)
+    }
+
+    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
+    /// so concurrent RC structures on the same scheme share the counter.
     fn in_flight_nodes(&self) -> u64 {
         S::global_domain().in_flight()
     }

@@ -109,16 +109,20 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    fn insert(&self, k: K, v: V) -> bool {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    type Guard = CsGuard<'static, S>;
+
+    fn pin(&self) -> Self::Guard {
+        S::global_domain().cs()
+    }
+
+    fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
         let new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
             key: k,
             value: v,
             next: AtomicSharedPtr::null(),
         });
         loop {
-            let c = self.find(&cs, &new_node.as_ref().unwrap().key);
+            let c = self.find(cs, &new_node.as_ref().unwrap().key);
             if c.found {
                 return false; // new_node drops; no manual free needed
             }
@@ -133,11 +137,9 @@ where
         }
     }
 
-    fn remove(&self, k: &K) -> bool {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
         loop {
-            let c = self.find(&cs, k);
+            let c = self.find(cs, k);
             if !c.found {
                 return false;
             }
@@ -150,7 +152,7 @@ where
                 continue;
             }
             // Marked: attempt the physical unlink; find() helps otherwise.
-            let next_snap = node.next.get_snapshot(&cs);
+            let next_snap = node.next.get_snapshot(cs);
             let _ = self
                 .edge(&c.prev)
                 .compare_exchange_tagged(c.cur.tagged(), &next_snap, 0);
@@ -158,10 +160,8 @@ where
         }
     }
 
-    fn get(&self, k: &K) -> Option<V> {
-        let domain = S::global_domain();
-        let cs = domain.cs();
-        let c = self.find(&cs, k);
+    fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        let c = self.find(cs, k);
         if c.found {
             Some(c.cur.as_ref().unwrap().value.clone())
         } else {
@@ -169,6 +169,8 @@ where
         }
     }
 
+    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
+    /// so concurrent RC structures on the same scheme share the counter.
     fn in_flight_nodes(&self) -> u64 {
         S::global_domain().in_flight()
     }

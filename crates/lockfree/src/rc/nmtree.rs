@@ -154,12 +154,10 @@ where
             .compare_exchange_tagged(s.successor, &sibling, sib_w.tag() & FLAG)
     }
 
-    fn insert_impl(&self, key: K, value: V) -> bool {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    fn insert_impl(&self, cs: &CsGuard<'static, S>, key: K, value: V) -> bool {
         let nmkey = NmKey::Fin(key);
         loop {
-            let s = self.seek(&cs, &nmkey);
+            let s = self.seek(cs, &nmkey);
             let leaf = s.leaf.as_ref().unwrap();
             if leaf.key == nmkey {
                 return false;
@@ -185,20 +183,18 @@ where
             // Failure: new_internal (and the new leaf) drop automatically.
             let w = edge.load_tagged();
             if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
-                self.cleanup(&cs, &nmkey, &s);
+                self.cleanup(cs, &nmkey, &s);
             }
         }
     }
 
-    fn remove_impl(&self, key: &K) -> bool {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    fn remove_impl(&self, cs: &CsGuard<'static, S>, key: &K) -> bool {
         let nmkey = NmKey::Fin(key.clone());
         // Pins the victim's address across retries (ABA defence) once we
         // have flagged it.
         let mut target: Option<SharedPtr<Node<K, V, S>, S>> = None;
         loop {
-            let s = self.seek(&cs, &nmkey);
+            let s = self.seek(cs, &nmkey);
             match &target {
                 None => {
                     let leaf = s.leaf.as_ref().unwrap();
@@ -210,13 +206,13 @@ where
                     let expected = s.leaf.tagged().with_tag(0);
                     if edge.try_set_tag(expected, FLAG) {
                         target = Some(s.leaf.to_shared());
-                        if self.cleanup(&cs, &nmkey, &s) {
+                        if self.cleanup(cs, &nmkey, &s) {
                             return true;
                         }
                     } else {
                         let w = edge.load_tagged();
                         if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
-                            self.cleanup(&cs, &nmkey, &s);
+                            self.cleanup(cs, &nmkey, &s);
                         }
                     }
                 }
@@ -224,7 +220,7 @@ where
                     if s.leaf.tagged().addr() != t.addr() {
                         return true; // a helper finished our removal
                     }
-                    if self.cleanup(&cs, &nmkey, &s) {
+                    if self.cleanup(cs, &nmkey, &s) {
                         return true;
                     }
                 }
@@ -232,11 +228,9 @@ where
         }
     }
 
-    fn get_impl(&self, key: &K) -> Option<V> {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    fn get_impl(&self, cs: &CsGuard<'static, S>, key: &K) -> Option<V> {
         let nmkey = NmKey::Fin(key.clone());
-        let s = self.seek(&cs, &nmkey);
+        let s = self.seek(cs, &nmkey);
         let leaf = s.leaf.as_ref().unwrap();
         if leaf.key == nmkey {
             leaf.value.clone()
@@ -245,9 +239,7 @@ where
         }
     }
 
-    fn range_impl(&self, from: &K, to: &K, limit: usize) -> usize {
-        let domain = S::global_domain();
-        let cs = domain.cs();
+    fn range_impl(&self, cs: &CsGuard<'static, S>, from: &K, to: &K, limit: usize) -> usize {
         let lo = NmKey::Fin(from.clone());
         let hi = NmKey::Fin(to.clone());
         let mut found = 0usize;
@@ -255,7 +247,7 @@ where
         // exactly the behaviour Fig. 11 measures: protected-region schemes
         // keep taking fast-path snapshots, RCHP runs out of hazard slots and
         // falls back to reference-count increments.
-        let mut stack = vec![self.root.get_snapshot(&cs)];
+        let mut stack = vec![self.root.get_snapshot(cs)];
         while let Some(snap) = stack.pop() {
             if found >= limit {
                 break;
@@ -268,10 +260,10 @@ where
                 continue;
             }
             if hi >= node.key {
-                stack.push(node.right.get_snapshot(&cs));
+                stack.push(node.right.get_snapshot(cs));
             }
             if lo < node.key {
-                stack.push(node.left.get_snapshot(&cs));
+                stack.push(node.left.get_snapshot(cs));
             }
         }
         found
@@ -284,22 +276,34 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    fn insert(&self, k: K, v: V) -> bool {
-        self.insert_impl(k, v)
+    type Guard = CsGuard<'static, S>;
+
+    fn pin(&self) -> Self::Guard {
+        S::global_domain().cs()
     }
 
-    fn remove(&self, k: &K) -> bool {
-        self.remove_impl(k)
+    fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
+        self.insert_impl(cs, k, v)
     }
 
-    fn get(&self, k: &K) -> Option<V> {
-        self.get_impl(k)
+    fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
+        self.remove_impl(cs, k)
+    }
+
+    fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        self.get_impl(cs, k)
+    }
+
+    fn range_with(&self, from: &K, to: &K, limit: usize, cs: &Self::Guard) -> Option<usize> {
+        Some(self.range_impl(cs, from, to, limit))
     }
 
     fn range(&self, from: &K, to: &K, limit: usize) -> Option<usize> {
-        Some(self.range_impl(from, to, limit))
+        self.range_with(from, to, limit, &self.pin())
     }
 
+    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
+    /// so concurrent RC structures on the same scheme share the counter.
     fn in_flight_nodes(&self) -> u64 {
         S::global_domain().in_flight()
     }

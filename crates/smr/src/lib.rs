@@ -307,6 +307,76 @@ impl<S: AcquireRetire> Debug for CriticalSection<'_, S> {
     }
 }
 
+/// An *owned* re-entrant critical-section guard over a shared scheme
+/// instance — the amortized-section facility for guard-centric operation
+/// APIs (§3.4: the per-section fence only pays off when amortized over many
+/// operations).
+///
+/// Unlike [`CriticalSection`], which borrows the scheme, a `SectionGuard`
+/// clones the instance's `Arc`, so a data structure can hand one out without
+/// tying the guard's lifetime to a borrow of itself. Critical sections nest
+/// (only the outermost `begin`/`end` pair touches the announcement), so
+/// operations invoked under a held guard may still open their own inner
+/// section safely — they just no longer pay the announcement fence.
+///
+/// Not `Send`: the guard captures the calling thread's [`Tid`] and the
+/// matching `end_critical_section` must run on that same thread.
+pub struct SectionGuard<S: AcquireRetire> {
+    scheme: Arc<S>,
+    t: Tid,
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl<S: AcquireRetire> SectionGuard<S> {
+    /// Enters a critical section on `scheme` for the current thread, held
+    /// open until the guard drops.
+    pub fn enter(scheme: Arc<S>) -> Self {
+        let t = current_tid();
+        scheme.begin_critical_section(t);
+        SectionGuard {
+            scheme,
+            t,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// The thread id the section was opened under.
+    #[inline]
+    pub fn tid(&self) -> Tid {
+        self.t
+    }
+
+    /// The scheme instance this guard's section protects.
+    #[inline]
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Whether this guard's section protects reads against `instance` —
+    /// i.e. both refer to the same scheme instance. Structure operations
+    /// taking a caller-provided guard assert this in debug builds: a guard
+    /// over a *different* instance provides no protection at all.
+    #[inline]
+    pub fn covers(&self, instance: &Arc<S>) -> bool {
+        Arc::ptr_eq(&self.scheme, instance)
+    }
+}
+
+impl<S: AcquireRetire> Drop for SectionGuard<S> {
+    fn drop(&mut self) {
+        self.scheme.end_critical_section(self.t);
+    }
+}
+
+impl<S: AcquireRetire> Debug for SectionGuard<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectionGuard")
+            .field("scheme", &S::scheme_name())
+            .field("tid", &self.t)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +402,32 @@ mod tests {
     #[should_panic(expected = "tagged")]
     fn retired_rejects_tagged() {
         let _ = Retired::new(0x1000 | 1, 0);
+    }
+
+    #[test]
+    fn section_guard_nests_and_covers() {
+        let ebr = Arc::new(Ebr::new(
+            Arc::new(GlobalEpoch::new()),
+            Ebr::default_config(),
+        ));
+        let other = Arc::new(Ebr::new(
+            Arc::new(GlobalEpoch::new()),
+            Ebr::default_config(),
+        ));
+        let t = current_tid();
+        let outer = SectionGuard::enter(Arc::clone(&ebr));
+        assert!(outer.covers(&ebr));
+        assert!(!outer.covers(&other));
+        assert_eq!(outer.tid(), t);
+        {
+            // Inner sections under a held guard are fine: begin/end nest.
+            let inner = SectionGuard::enter(Arc::clone(&ebr));
+            assert!(inner.covers(&ebr));
+        }
+        // Acquire still works under the (outer) section after inner exits.
+        let src = std::sync::atomic::AtomicUsize::new(0x2000);
+        let (w, g) = outer.scheme().acquire(t, &src);
+        assert_eq!(w, 0x2000);
+        outer.scheme().release(t, g);
     }
 }

@@ -16,28 +16,38 @@ use std::time::Instant;
 
 fn drive<M: ConcurrentMap<u64, u64>>(store: &M, label: &str) {
     const OPS: u64 = 60_000;
+    const BATCH: u64 = 64;
     let started = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..4u64 {
             let store = &store;
             scope.spawn(move || {
                 let mut state = t.wrapping_mul(0xA076_1D64_78BD_642F) | 1;
-                for i in 0..OPS {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let k = (state >> 33) % 4096;
-                    match i % 10 {
-                        0 => {
-                            store.insert(k, k * 3);
-                        }
-                        1 => {
-                            store.remove(&k);
-                        }
-                        _ => {
-                            if let Some(v) = store.get(&k) {
-                                assert_eq!(v, k * 3);
+                let mut i = 0u64;
+                // Guard-batched loop: one `pin` per 64 operations amortizes
+                // the scheme's per-critical-section fence (paper §3.4) —
+                // the guard-free calls would open a section per operation.
+                while i < OPS {
+                    let guard = store.pin();
+                    for _ in 0..BATCH.min(OPS - i) {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % 4096;
+                        match i % 10 {
+                            0 => {
+                                store.insert_with(k, k * 3, &guard);
+                            }
+                            1 => {
+                                store.remove_with(&k, &guard);
+                            }
+                            _ => {
+                                if let Some(v) = store.get_with(&k, &guard) {
+                                    assert_eq!(v, k * 3);
+                                }
                             }
                         }
+                        i += 1;
                     }
+                    drop(guard); // reclamation catches up between batches
                 }
             });
         }
