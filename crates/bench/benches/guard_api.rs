@@ -9,6 +9,24 @@
 //! because every section of theirs costs announcement traffic on both the
 //! strong pointer reads and the section bookkeeping.
 //!
+//! # The PR-2 `dlqueue/EBR/batch64` inversion, diagnosed
+//!
+//! The first recording of this bench showed batched EBR dlqueue *losing*
+//! to unbatched (984 ns vs 789 ns per op) — batching should never lose.
+//! The mechanism: every engine used to trigger a scan whenever
+//! `retired.len() >= eject_threshold`, re-checking on *each* retire. A
+//! batched dlqueue worker retires one node per pop while holding its own
+//! section open, and its own announcement pins every entry retired during
+//! the section (for EBR, `min_ann <= retire epoch` always), so once the
+//! list reached the threshold it could not shrink until the guard dropped —
+//! and from then on *every retire* paid a full slot-array scan plus a
+//! retired-list rebuild (with allocation). Unbatched workers close their
+//! section between operations, so their scans actually ejected and the
+//! list stayed short: the batched run was strictly adding work. The fix
+//! (smr engines' `Local::next_scan`) spaces automatic scans a full
+//! threshold apart regardless of outcome and retains the list in place;
+//! see BENCH_guard_api.json's note for the before/after cells.
+//!
 //! Doubles as the CI regression gate for the guard API: after printing its
 //! cells it *fails the process* if any measured throughput is not strictly
 //! positive — an API regression that deadlocks inside a held guard (e.g. a

@@ -1,0 +1,330 @@
+//! Hot-path micro-benchmark: threads × schemes over the three pointer
+//! operations every workload is built from (`load`, `snapshot`, `store`)
+//! plus a guard-batched hash-map mixed-ops cell per scheme.
+//!
+//! This is the regression harness for the fence-discipline overhaul: the
+//! single-threaded (`t1`) pointer cells use the same tight-loop methodology
+//! as the `micro` bench behind `BENCH_seed.json`, so each JSON line carries
+//! the seed measurement as its `before` field and the before/after delta is
+//! read directly off the file. The multi-threaded cells measure aggregate
+//! ns/op over N threads hammering one shared `AtomicSharedPtr`, which is
+//! where the relaxed orderings and sharded `Domain` counters pay off.
+//!
+//! The hash cells replay the `guard_api` bench's batch=64 workload
+//! (16384-key Michael hash map, 10% updates, 4 threads), with that bench's
+//! recorded throughput as the `before` field — the "no mixed-ops
+//! regression" gate of the overhaul.
+//!
+//! Doubles as a CI smoke with the same contract as `guard_api`: after
+//! printing its cells the process exits nonzero if any measured latency or
+//! throughput is not strictly positive and finite. `HOT_PATH_SMOKE=1`
+//! restricts the run to a handful of fast cells.
+//!
+//! Environment: `BENCH_MS` (per cell, default 300), `BENCH_JSON` (append
+//! one JSON line per cell), `HOT_PATH_THREADS` (comma list, default
+//! `1,2,4`), `HOT_PATH_SMOKE`.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use bench::settle_scheme;
+use bench_harness::{bench_millis, prefill, run_map_batched, Workload};
+use cdrc::{AtomicSharedPtr, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme, SharedPtr};
+use lockfree::rc::RcMichaelHashMap;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Load,
+    Snapshot,
+    Store,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Load => "load",
+            Op::Snapshot => "snapshot",
+            Op::Store => "store",
+        }
+    }
+}
+
+/// Single-threaded baselines recorded in `BENCH_seed.json` (ns/iter), the
+/// pre-overhaul "before" cells: (scheme, load, snapshot, store).
+const SEED_PTR_NS: [(&str, f64, f64, f64); 4] = [
+    ("ebr", 33.949, 1.003, 81.459),
+    ("ibr", 47.222, 1.508, 84.970),
+    ("hp", 36.034, 19.063, 157.757),
+    ("hyaline", 34.335, 1.119, 86.091),
+];
+
+/// Batch=64 hash-map throughput of the pre-overhaul code (Mop/s), the
+/// "before" cells for the mixed-ops regression gate. Re-measured on the
+/// same machine as the after cells (commit 6be2d19, `BENCH_MS=1000
+/// GUARD_API_THREADS=4 cargo bench --bench guard_api`) rather than taken
+/// from `BENCH_guard_api.json`, whose PR 2 numbers were recorded under
+/// different machine load and are not comparable run-to-run.
+const GUARD_API_HASH_MOPS: [(&str, f64); 4] = [
+    ("RC (EBR)", 6.799),
+    ("RC (IBR)", 6.654),
+    ("RC (HP)", 10.433),
+    ("RC (Hyaline)", 13.744),
+];
+
+fn thread_sweep() -> Vec<usize> {
+    if let Ok(v) = std::env::var("HOT_PATH_THREADS") {
+        return v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+    }
+    vec![1, 2, 4]
+}
+
+fn emit_json(line: String) {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Runs `op` with `threads` workers hammering one shared location for
+/// `dur`; returns aggregate ns per completed operation.
+///
+/// The single-thread cells run *inline* on the calling thread with a
+/// warm-up pass — the same chunked-loop methodology the criterion shim used
+/// for `BENCH_seed.json`, so `t1` after-numbers compare directly against
+/// the seed's before-numbers. Multi-thread cells use a spawn-and-signal
+/// harness whose scheduling overhead (worker threads + sleeping timer) is
+/// shared by every scheme equally.
+fn run_ptr_op<S: Scheme>(op: Op, threads: usize, dur: Duration) -> f64 {
+    if threads == 1 {
+        run_ptr_op_inline::<S>(op, dur)
+    } else {
+        // Run twice, report the second: the first run warms caches, thread
+        // registration and the scheme's retired-list capacity.
+        run_ptr_op_spawned::<S>(op, threads, dur);
+        run_ptr_op_spawned::<S>(op, threads, dur)
+    }
+}
+
+/// Warm-up then timed chunked loop on the calling thread (the criterion
+/// shim's `Bencher::iter`, with `dur` as both phases' budget).
+fn run_ptr_op_inline<S: Scheme>(op: Op, dur: Duration) -> f64 {
+    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::new(SharedPtr::new(7));
+    let body = |budget: Duration, timed: bool| -> f64 {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        match op {
+            Op::Load => loop {
+                for _ in 0..64 {
+                    black_box(slot.load());
+                }
+                iters += 64;
+                if started.elapsed() >= budget {
+                    break;
+                }
+            },
+            Op::Snapshot => {
+                let cs = S::global_domain().cs();
+                loop {
+                    for _ in 0..64 {
+                        let snap = slot.get_snapshot(&cs);
+                        black_box(snap.as_ref());
+                    }
+                    iters += 64;
+                    if started.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+            Op::Store => loop {
+                for _ in 0..64 {
+                    slot.store(SharedPtr::new(9));
+                }
+                iters += 64;
+                if started.elapsed() >= budget {
+                    break;
+                }
+            },
+        }
+        if timed {
+            started.elapsed().as_nanos() as f64 / iters as f64
+        } else {
+            0.0
+        }
+    };
+    body(dur, false); // warm-up
+    let ns = body(dur, true);
+    drop(slot);
+    settle_scheme::<S>();
+    ns
+}
+
+fn run_ptr_op_spawned<S: Scheme>(op: Op, threads: usize, dur: Duration) -> f64 {
+    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::new(SharedPtr::new(7));
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let elapsed = std::thread::scope(|s| {
+        for _ in 0..threads {
+            let slot = &slot;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let mut ops = 0u64;
+                match op {
+                    Op::Load => {
+                        while !stop.load(Ordering::Relaxed) {
+                            for _ in 0..64 {
+                                black_box(slot.load());
+                            }
+                            ops += 64;
+                        }
+                    }
+                    Op::Snapshot => {
+                        // One section for the whole cell, matching the
+                        // `micro` bench the seed numbers came from.
+                        let cs = S::global_domain().cs();
+                        while !stop.load(Ordering::Relaxed) {
+                            for _ in 0..64 {
+                                let snap = slot.get_snapshot(&cs);
+                                black_box(snap.as_ref());
+                            }
+                            ops += 64;
+                        }
+                    }
+                    Op::Store => {
+                        while !stop.load(Ordering::Relaxed) {
+                            for _ in 0..64 {
+                                slot.store(SharedPtr::new(9));
+                            }
+                            ops += 64;
+                        }
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        let started = Instant::now();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        started.elapsed()
+        // Scope joins the workers; total_ops is complete afterwards.
+    });
+    drop(slot);
+    settle_scheme::<S>();
+    // Aggregate latency: thread-seconds spent divided by operations done.
+    elapsed.as_nanos() as f64 * threads as f64 / total_ops.load(Ordering::Relaxed).max(1) as f64
+}
+
+/// One (scheme, thread-count) row: the three pointer ops in sequence.
+fn ptr_cells_at<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mut Vec<f64>) {
+    let seed = SEED_PTR_NS
+        .iter()
+        .find(|(s, ..)| *s == scheme)
+        .copied()
+        .expect("seed row");
+    for op in [Op::Load, Op::Snapshot, Op::Store] {
+        let ns = run_ptr_op::<S>(op, threads, dur);
+        let name = format!("hot_path/ptr/{scheme}/{}/t{threads}", op.name());
+        println!("{name:<44} {ns:>9.1} ns/op");
+        // The t1 cells are methodology-compatible with the seed run: attach
+        // the before value so the delta is in the file.
+        if threads == 1 {
+            let before = match op {
+                Op::Load => seed.1,
+                Op::Snapshot => seed.2,
+                Op::Store => seed.3,
+            };
+            emit_json(format!(
+                "{{\"name\":\"{name}\",\"ns_per_op\":{ns:.3},\"before_ns_per_op\":{before:.3}}}"
+            ));
+        } else {
+            emit_json(format!("{{\"name\":\"{name}\",\"ns_per_op\":{ns:.3}}}"));
+        }
+        out.push(ns);
+    }
+}
+
+/// All four schemes at one thread count. Sweeping threads in the *outer*
+/// loop matters: the t1 cells must all run before any cell spawns worker
+/// threads, because spawned workers raise the registry high-water mark for
+/// the rest of the process and inflate every later single-thread scan —
+/// which would make the t1 cells incomparable with the seed baseline.
+fn ptr_row(threads: usize, dur: Duration, out: &mut Vec<f64>, smoke: bool) {
+    ptr_cells_at::<EbrScheme>("ebr", threads, dur, out);
+    if !smoke {
+        ptr_cells_at::<IbrScheme>("ibr", threads, dur, out);
+        ptr_cells_at::<HpScheme>("hp", threads, dur, out);
+        ptr_cells_at::<HyalineScheme>("hyaline", threads, dur, out);
+    }
+}
+
+fn hash_cell<S: Scheme>(scheme: &str, dur: Duration, out: &mut Vec<f64>) {
+    let spec = Workload::points(16_384, 10);
+    // Best of two runs: on a small shared box, scheduler interference can
+    // only *lower* a throughput measurement, so the max is the better
+    // estimate of the code's capability (the first run also serves as the
+    // warm-up the ptr cells get).
+    let mut mops = 0.0f64;
+    for _ in 0..2 {
+        let map = RcMichaelHashMap::<u64, u64, S>::with_buckets(16_384);
+        prefill(&map, &spec);
+        let (m, _, _) = run_map_batched(&map, &spec, 4, dur, 64);
+        drop(map);
+        settle_scheme::<S>();
+        mops = mops.max(m);
+    }
+    let before = GUARD_API_HASH_MOPS
+        .iter()
+        .find(|(s, _)| *s == scheme)
+        .map(|(_, m)| *m)
+        .expect("guard_api row");
+    let name = format!("hot_path/hash/{scheme}/t4");
+    println!("{name:<44} {mops:>9.3} Mop/s");
+    emit_json(format!(
+        "{{\"name\":\"{name}\",\"mops\":{mops:.3},\"before_mops\":{before:.3}}}"
+    ));
+    out.push(mops);
+}
+
+fn main() {
+    let dur = Duration::from_millis(bench_millis());
+    let smoke = std::env::var("HOT_PATH_SMOKE").is_ok();
+    let sweep = if smoke { vec![1] } else { thread_sweep() };
+    let mut measured = Vec::new();
+
+    for &threads in &sweep {
+        ptr_row(threads, dur, &mut measured, smoke);
+    }
+    if !smoke {
+        hash_cell::<EbrScheme>("RC (EBR)", dur, &mut measured);
+        hash_cell::<IbrScheme>("RC (IBR)", dur, &mut measured);
+        hash_cell::<HpScheme>("RC (HP)", dur, &mut measured);
+        hash_cell::<HyalineScheme>("RC (Hyaline)", dur, &mut measured);
+    } else {
+        hash_cell::<EbrScheme>("RC (EBR)", dur, &mut measured);
+    }
+
+    // Regression gate (same contract as `guard_api`): every cell must be a
+    // strictly positive, finite measurement — a stall, deadlock or div-by-
+    // zero shows up as 0, NaN or infinity and fails CI.
+    if let Some(bad) = measured.iter().find(|&&v| !(v > 0.0 && v.is_finite())) {
+        eprintln!("hot_path: non-positive or non-finite measurement ({bad}); failing");
+        std::process::exit(1);
+    }
+    eprintln!("hot_path: all {} cells strictly positive", measured.len());
+}

@@ -5,10 +5,10 @@
 use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
-use smr::util::CachePadded;
+use smr::util::{CachePadded, ShardedCounter};
 use smr::{AcquireRetire, GlobalEpoch, Retired, SmrConfig, Tid, MAX_THREADS};
 use sticky::Counter;
 
@@ -63,8 +63,12 @@ pub struct Domain<S: AcquireRetire> {
     pub(crate) weak_ar: S,
     pub(crate) dispose_ar: S,
     clock: Arc<GlobalEpoch>,
-    allocs: AtomicU64,
-    frees: AtomicU64,
+    /// Control-block allocation count, sharded per thread: a shared
+    /// `fetch_add` on the allocation path serializes every allocating core
+    /// on one cache line.
+    allocs: ShardedCounter,
+    /// Control-block free count, sharded likewise.
+    frees: ShardedCounter,
     locals: Box<[CachePadded<DomainLocal>]>,
 }
 
@@ -93,8 +97,8 @@ impl<S: AcquireRetire> Domain<S> {
             weak_ar: S::new(Arc::clone(&clock), cfg.clone()),
             dispose_ar: S::new(Arc::clone(&clock), cfg),
             clock,
-            allocs: AtomicU64::new(0),
-            frees: AtomicU64::new(0),
+            allocs: ShardedCounter::new(),
+            frees: ShardedCounter::new(),
             locals: (0..MAX_THREADS)
                 .map(|_| {
                     CachePadded::new(DomainLocal {
@@ -106,13 +110,18 @@ impl<S: AcquireRetire> Domain<S> {
     }
 
     /// Control blocks allocated through this domain so far.
+    ///
+    /// Monotone diagnostic counter: the sum over per-thread lanes observes
+    /// every allocation that happened-before the call (e.g. via a join) and
+    /// needs no ordering beyond that — see [`ShardedCounter::sum`].
     pub fn allocated(&self) -> u64 {
-        self.allocs.load(Ordering::SeqCst)
+        self.allocs.sum()
     }
 
-    /// Control blocks freed so far.
+    /// Control blocks freed so far. Same contract as
+    /// [`allocated`](Self::allocated).
     pub fn freed(&self) -> u64 {
-        self.frees.load(Ordering::SeqCst)
+        self.frees.sum()
     }
 
     /// Control blocks currently alive (allocated − freed): live objects plus
@@ -133,7 +142,7 @@ impl<S: AcquireRetire> Domain<S> {
 
     pub(crate) fn allocate<T>(&self, t: Tid, value: T) -> *mut Counted<T> {
         let birth = self.strong_ar.birth_epoch(t);
-        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.allocs.add(t, 1);
         Counted::allocate(value, birth)
     }
 
@@ -198,10 +207,10 @@ impl<S: AcquireRetire> Domain<S> {
     /// # Safety
     ///
     /// Caller owns one weak reference to `addr` and forfeits it.
-    pub(crate) unsafe fn weak_decrement(&self, _t: Tid, addr: usize) {
+    pub(crate) unsafe fn weak_decrement(&self, t: Tid, addr: usize) {
         let h = as_header(addr);
         if (*h).weak.decrement() {
-            self.frees.fetch_add(1, Ordering::Relaxed);
+            self.frees.add(t, 1);
             ((*h).vtable.dealloc)(h);
         }
     }
@@ -290,6 +299,16 @@ impl<S: AcquireRetire> Domain<S> {
     /// As [`collect`](Self::collect) but reports how many deferred
     /// operations were applied (0 when re-entered).
     fn collect_counted(&self, t: Tid) -> usize {
+        // Fast path: nothing is ready on any instance — the overwhelmingly
+        // common case for the per-retire calls (ready queues only fill when
+        // a threshold scan runs). Three thread-local peeks instead of the
+        // re-entrancy bookkeeping and triple eject loop below.
+        if !self.strong_ar.has_ready(t)
+            && !self.weak_ar.has_ready(t)
+            && !self.dispose_ar.has_ready(t)
+        {
+            return 0;
+        }
         let local = &self.locals[t.index()];
         if local.applying.get() {
             return 0;

@@ -220,7 +220,11 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// `expected` values only; the result must never be dereferenced.
     #[inline]
     pub fn load_tagged(&self) -> TaggedPtr<T> {
-        TaggedPtr::from_word(self.word.load(Ordering::SeqCst))
+        // Ordering: Relaxed — the word is an opaque comparison token here:
+        // it is never dereferenced, and any CAS that uses it as `expected`
+        // re-validates against the live word with its own (AcqRel)
+        // ordering.
+        TaggedPtr::from_word(self.word.load(Ordering::Relaxed))
     }
 
     /// Loads the pointer and takes a strong reference to it (tag ignored).
@@ -284,6 +288,15 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
             // Safety: the strong borrow keeps the object alive.
             unsafe { S::global_domain().increment_alive(addr) };
         }
+        // Ordering: SeqCst swap — the Release half publishes the pointee
+        // and its pre-incremented count to readers' Acquire loads, and the
+        // Acquire half makes the displaced occupant's header readable for
+        // the deferred decrement; it must additionally be SeqCst because
+        // `delayed_decrement` stamps the retire with a clock value read
+        // *after* this unlink, and the epoch-based eject rules are only
+        // sound if that read cannot be ordered before the swap (see
+        // `GlobalEpoch::load`). On x86-64 every swap is a `lock xchg`
+        // regardless of ordering, so this costs nothing over AcqRel.
         let old = self.word.swap(addr, Ordering::SeqCst);
         let old_addr = untagged(old);
         if old_addr != 0 {
@@ -301,6 +314,9 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     pub fn store_tagged(&self, desired: SharedPtr<T, S>, tag: usize) {
         debug_assert_eq!(tag & !smr::TAG_MASK, 0);
         let new = desired.into_addr() | tag;
+        // Ordering: SeqCst swap — as in [`store_from`](Self::store_from):
+        // publishes the new pointee, acquires the old header, and keeps the
+        // subsequent retire's epoch stamp ordered after the unlink.
         let old = self.word.swap(new, Ordering::SeqCst);
         let old_addr = untagged(old);
         if old_addr != 0 {
@@ -331,11 +347,18 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
             // Safety: `desired` guarantees liveness for the borrow.
             unsafe { d.increment_alive(new_addr) };
         }
+        // Ordering: SeqCst on success — publishes the new pointee (and its
+        // pre-increment), acquires the displaced occupant's header for the
+        // deferred decrement, and keeps that retire's epoch stamp ordered
+        // after this unlink (see `GlobalEpoch::load`; free on x86-64, where
+        // the CAS is `lock cmpxchg` at any ordering). Relaxed on failure —
+        // the observed word is discarded (we only roll back our own
+        // pre-increment).
         match self.word.compare_exchange(
             expected.word(),
             new_addr | new_tag,
             Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Relaxed,
         ) {
             Ok(_) => {
                 let old = expected.addr();
@@ -366,7 +389,13 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// counts change: the location keeps the same pointer.
     pub fn fetch_or_tag(&self, tag_bits: usize) -> TaggedPtr<T> {
         debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
-        TaggedPtr::from_word(self.word.fetch_or(tag_bits, Ordering::SeqCst))
+        // Ordering: AcqRel — tag edges linearize structure mutations
+        // (Natarajan-Mittal flag/tag, Harris marks): Release orders the
+        // caller's prior writes before the mark becomes visible, Acquire
+        // orders the caller's subsequent cleanup after the word it
+        // observed. The pointer bits do not change, so no publication of a
+        // new pointee is involved.
+        TaggedPtr::from_word(self.word.fetch_or(tag_bits, Ordering::AcqRel))
     }
 
     /// Atomically ORs tag bits into the word if it still equals `expected`
@@ -376,12 +405,16 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Returns `true` on success.
     pub fn try_set_tag(&self, expected: TaggedPtr<T>, tag_bits: usize) -> bool {
         debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
+        // Ordering: AcqRel on success — as in
+        // [`fetch_or_tag`](Self::fetch_or_tag); the mark is a linearization
+        // point, not a pointer publication. Relaxed on failure — the
+        // observed word is discarded.
         self.word
             .compare_exchange(
                 expected.word(),
                 expected.word() | tag_bits,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
             )
             .is_ok()
     }

@@ -196,7 +196,9 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// An unprotected read of the raw word, for comparisons only.
     #[inline]
     pub fn load_tagged(&self) -> TaggedPtr<T> {
-        TaggedPtr::from_word(self.word.load(Ordering::SeqCst))
+        // Ordering: Relaxed — a comparison token, never dereferenced; any
+        // CAS using it as `expected` re-validates with its own ordering.
+        TaggedPtr::from_word(self.word.load(Ordering::Relaxed))
     }
 
     /// Stores a copy of `desired` (Fig. 9 `store`): increments its weak
@@ -228,6 +230,10 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     }
 
     fn replace_word(&self, new: usize) {
+        // Ordering: SeqCst swap — publishes the new control block (and its
+        // weak pre-increment), acquires the displaced occupant's header,
+        // and keeps the deferred weak decrement's epoch stamp ordered after
+        // this unlink (see `GlobalEpoch::load`; free on x86-64).
         let old = self.word.swap(new, Ordering::SeqCst);
         let old_addr = untagged(old);
         if old_addr != 0 {
@@ -269,11 +275,16 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
             // Safety: `desired` keeps the block alive for the borrow.
             unsafe { d.weak_increment(new_addr) };
         }
+        // Ordering: SeqCst on success / Relaxed on failure — as for the
+        // strong pointer's CAS: publish the new occupant, acquire the old
+        // one's header, and keep the deferred decrement's epoch stamp
+        // ordered after the unlink; a failed CAS only rolls back our own
+        // pre-increment.
         match self.word.compare_exchange(
             expected.word(),
             new_addr | new_tag,
             Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Relaxed,
         ) {
             Ok(_) => {
                 let old = expected.addr();
@@ -347,7 +358,12 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
                 d.dispose_ar.release(t, g);
             }
             d.weak_ar.release(t, weak_guard);
-            if self.word.load(Ordering::SeqCst) == w {
+            // Ordering: Acquire — the nullity decision linearizes here: we
+            // may only report "expired ⇒ null" if the location *still*
+            // holds the expired occupant, so this re-validation must not be
+            // satisfied by a value older than the expiry we just observed
+            // (§4.5). The value itself is never dereferenced.
+            if self.word.load(Ordering::Acquire) == w {
                 return WeakSnapshotPtr::null(cs);
             }
         }

@@ -55,7 +55,7 @@ where
             S::default_config(),
         ));
         let stats = Arc::new(NodeStats::new());
-        stats.on_alloc();
+        stats.on_alloc(smr::current_tid());
         let sentinel = Box::into_raw(Box::new(Node::<V> {
             birth: 0,
             value: None,
@@ -73,7 +73,7 @@ where
 
     fn collect(&self, t: Tid) {
         while let Some(r) = self.smr.eject(t) {
-            self.stats.on_free();
+            self.stats.on_free(t);
             // Safety: ejected addresses are our nodes, retired once.
             unsafe { drop(Box::from_raw(r.addr as *mut Node<V>)) };
         }
@@ -81,7 +81,7 @@ where
 
     fn enqueue_impl(&self, t: Tid, v: V) {
         let birth = self.smr.birth_epoch(t);
-        self.stats.on_alloc();
+        self.stats.on_alloc(t);
         let node = Box::into_raw(Box::new(Node {
             birth,
             value: Some(v),
@@ -194,17 +194,18 @@ where
 
 impl<V, S: AcquireRetire> Drop for DoubleLinkQueue<V, S> {
     fn drop(&mut self) {
+        let t = smr::current_tid();
         let mut n = self.head.load(Ordering::SeqCst);
         while n != 0 {
             // Safety: exclusive access; linked nodes are not retired.
             let node = unsafe { Box::from_raw(n as *mut Node<V>) };
-            self.stats.on_free();
+            self.stats.on_free(t);
             n = node.next.load(Ordering::SeqCst);
         }
         if Arc::strong_count(&self.smr) == 1 {
             // Safety: exclusive access.
             for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free();
+                self.stats.on_free(t);
                 unsafe { drop(Box::from_raw(r.addr as *mut Node<V>)) };
             }
         }

@@ -86,7 +86,7 @@ where
     /// Applies every ready eject: frees the node memory.
     fn collect(&self, t: Tid) {
         while let Some(r) = self.smr.eject(t) {
-            self.stats.on_free();
+            self.stats.on_free(t);
             // Safety: ejected addresses were allocated by us as Node<K, V>
             // and retired exactly once after being unlinked.
             unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
@@ -205,7 +205,7 @@ where
 
     fn insert_impl(&self, t: Tid, key: K, value: V) -> bool {
         let birth = self.smr.birth_epoch(t);
-        self.stats.on_alloc();
+        self.stats.on_alloc(t);
         let new_node = Box::into_raw(Box::new(Node {
             birth,
             key,
@@ -218,7 +218,7 @@ where
             let mut c = self.find(t, key_ref);
             if c.found {
                 self.release_cursor(t, &mut c);
-                self.stats.on_free();
+                self.stats.on_free(t);
                 // Safety: never published.
                 unsafe { drop(Box::from_raw(new_node)) };
                 return false;
@@ -371,12 +371,13 @@ where
 
 impl<K, V, S: AcquireRetire> Drop for HarrisMichaelList<K, V, S> {
     fn drop(&mut self) {
+        let t = smr::current_tid();
         // Free reachable nodes (marked-but-linked included)...
         let mut w = untagged(self.head.load(Ordering::SeqCst));
         while w != 0 {
             // Safety: exclusive access; nodes in the chain are not retired.
             let node = unsafe { Box::from_raw(w as *mut Node<K, V>) };
-            self.stats.on_free();
+            self.stats.on_free(t);
             w = untagged(node.next.load(Ordering::SeqCst));
         }
         // ...then everything sitting in retired lists, if we own the scheme
@@ -385,7 +386,7 @@ impl<K, V, S: AcquireRetire> Drop for HarrisMichaelList<K, V, S> {
         if Arc::strong_count(&self.smr) == 1 {
             // Safety: strong_count == 1 plus &mut self = exclusivity.
             for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free();
+                self.stats.on_free(t);
                 unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
             }
         }

@@ -129,8 +129,9 @@ where
         let stats = Arc::new(NodeStats::new());
         // Initial shape (paper [21]): R(∞₂){ S(∞₁){ leaf ∞₀, leaf ∞₁ },
         // leaf ∞₂ }. Real keys all route left of S.
+        let t = smr::current_tid();
         for _ in 0..5 {
-            stats.on_alloc();
+            stats.on_alloc(t);
         }
         let l0 = Box::into_raw(Node::<K, V>::leaf(0, NmKey::Inf0, None));
         let l1 = Box::into_raw(Node::<K, V>::leaf(0, NmKey::Inf1, None));
@@ -160,7 +161,7 @@ where
 
     fn collect(&self, t: Tid) {
         while let Some(r) = self.smr.eject(t) {
-            self.stats.on_free();
+            self.stats.on_free(t);
             // Safety: ejected addresses were allocated here as Node<K, V>
             // and retired exactly once after being unlinked.
             unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
@@ -332,8 +333,8 @@ where
             // Safety: leaf protected; keys immutable.
             let leaf_key = unsafe { (*(s.leaf as *const Node<K, V>)).key.clone() };
             let birth = self.smr.birth_epoch(t);
-            self.stats.on_alloc();
-            self.stats.on_alloc();
+            self.stats.on_alloc(t);
+            self.stats.on_alloc(t);
             let new_leaf = Box::into_raw(Node::leaf(birth, nmkey.clone(), Some(value.clone())));
             let (ikey, l, r) = if nmkey < leaf_key {
                 (leaf_key, new_leaf as usize, s.leaf)
@@ -370,8 +371,8 @@ where
                 drop(Box::from_raw(new_internal));
                 drop(Box::from_raw(new_leaf));
             }
-            self.stats.on_free();
-            self.stats.on_free();
+            self.stats.on_free(t);
+            self.stats.on_free(t);
             let w = unsafe { (*edge).load(Ordering::SeqCst) };
             if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
                 self.cleanup(t, &nmkey, &s);
@@ -560,6 +561,7 @@ impl<K, V, S: AcquireRetire> Drop for NatarajanMittalTree<K, V, S> {
         // Free everything reachable (flag/tag bits notwithstanding), then
         // whatever is parked in retired lists; the sets are disjoint since
         // retired nodes are unlinked first.
+        let t = smr::current_tid();
         let mut stack = vec![self.root as usize];
         while let Some(n) = stack.pop() {
             // Safety: exclusive access.
@@ -573,14 +575,14 @@ impl<K, V, S: AcquireRetire> Drop for NatarajanMittalTree<K, V, S> {
                 if r != 0 {
                     stack.push(r);
                 }
-                self.stats.on_free();
+                self.stats.on_free(t);
                 drop(Box::from_raw(node));
             }
         }
         if Arc::strong_count(&self.smr) == 1 {
             // Safety: exclusive access.
             for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free();
+                self.stats.on_free(t);
                 unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
             }
         }

@@ -13,13 +13,13 @@
 //! than one per *read* (§2).
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
-use crate::util::CachePadded;
+use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Announcement value meaning "not in a critical section".
@@ -34,6 +34,14 @@ struct Local {
     allocs: u64,
     /// Critical-section nesting depth.
     depth: u32,
+    /// Retired-list length at which the next automatic scan fires. Spacing
+    /// scans a full `eject_threshold` apart (instead of re-scanning on every
+    /// retire once the list is long) keeps the cost amortized even when an
+    /// open section — often the retiring thread's own — pins every entry:
+    /// without the spacing, a pinned list ≥ threshold degenerates to one
+    /// whole-slot-array scan plus list rebuild *per retire* (the
+    /// `guard_api/dlqueue/EBR/batch64` inversion).
+    next_scan: usize,
 }
 
 impl Local {
@@ -43,6 +51,7 @@ impl Local {
             ready: VecDeque::new(),
             allocs: 0,
             depth: 0,
+            next_scan: 0,
         }
     }
 }
@@ -93,21 +102,38 @@ impl Ebr {
     }
 
     /// Moves every retired entry whose epoch precedes all announcements into
-    /// the ready queue.
+    /// the ready queue. Allocation-free: the retired list is retained in
+    /// place rather than rebuilt.
     fn scan(&self, local: &mut Local) {
+        // Ordering: fence(SeqCst) — pairs with the fence in
+        // `begin_critical_section`. For any reader, one of the two fences is
+        // first in the SeqCst total order: if the reader's is, our
+        // announcement loads below must observe its announcement (stored
+        // before its fence) and we keep its epoch's entries; if ours is, the
+        // reader's post-fence pointer loads observe every unlink that
+        // preceded this fence, so it cannot reach anything we eject.
+        fence(Ordering::SeqCst);
         let mut min_ann = u64::MAX;
         for slot in self.slots.iter().take(registered_high_water_mark()) {
-            min_ann = min_ann.min(slot.ann.load(Ordering::SeqCst));
+            // Ordering: Relaxed — safety rests entirely on the fence
+            // pairing above, in both staleness directions: reading an old
+            // *epoch* (smaller) only lowers `min_ann` and keeps entries
+            // longer, and missing a live announcement (reading a stale
+            // EMPTY) is exactly the "announcer fenced after us" case — that
+            // reader's post-fence traversal observes every unlink preceding
+            // this scan, so nothing we eject is reachable to it.
+            min_ann = min_ann.min(slot.ann.load(Ordering::Relaxed));
         }
-        let mut kept = Vec::with_capacity(local.retired.len());
-        for (r, epoch) in local.retired.drain(..) {
+        let Local { retired, ready, .. } = local;
+        retired.retain(|&(r, epoch)| {
             if epoch < min_ann {
-                local.ready.push_back(r);
+                ready.push_back(r);
+                false
             } else {
-                kept.push((r, epoch));
+                true
             }
-        }
-        local.retired = kept;
+        });
+        local.next_scan = local.retired.len() + self.cfg.eject_threshold;
     }
 }
 
@@ -146,11 +172,13 @@ unsafe impl AcquireRetire for Ebr {
         let local = unsafe { &mut *self.local(t) };
         local.depth += 1;
         if local.depth == 1 {
-            // SeqCst store: the announcement must be globally visible before
-            // any protected read — this is EBR's one fence per operation.
-            self.slots[t.index()]
-                .ann
-                .store(self.clock.load(), Ordering::SeqCst);
+            // The one full fence EBR pays per outermost section (§2's "one
+            // fence per operation"): `announce_u64` stores the epoch and
+            // fences so the announcement is visible before every protected
+            // read of the section; pairs with the fence at the head of
+            // `scan` (a scanner that misses this announcement fenced
+            // *before* us, so our reads see all of its unlinks).
+            announce_u64(&self.slots[t.index()].ann, self.clock.load());
         }
     }
 
@@ -160,15 +188,22 @@ unsafe impl AcquireRetire for Ebr {
         debug_assert!(local.depth > 0, "end_critical_section without begin");
         local.depth -= 1;
         if local.depth == 0 {
-            self.slots[t.index()].ann.store(EMPTY, Ordering::SeqCst);
+            // Ordering: Release — every protected read of the section is
+            // sequenced before this store and cannot sink below it, so a
+            // scanner that sees EMPTY knows the section's reads are done.
+            self.slots[t.index()].ann.store(EMPTY, Ordering::Release);
         }
     }
 
     #[inline]
     fn birth_epoch(&self, t: Tid) -> u64 {
         let local = unsafe { &mut *self.local(t) };
+        // Counted up to `epoch_freq` and reset, rather than `allocs %
+        // epoch_freq`: this runs once per allocation and the modulo is an
+        // integer division on the hot path.
         local.allocs += 1;
-        if local.allocs % self.cfg.epoch_freq == 0 {
+        if local.allocs >= self.cfg.epoch_freq {
+            local.allocs = 0;
             self.clock.advance();
         }
         0
@@ -180,7 +215,11 @@ unsafe impl AcquireRetire for Ebr {
             unsafe { &*self.local(t) }.depth > 0,
             "acquire outside critical section"
         );
-        (src.load(Ordering::SeqCst), ())
+        // Ordering: Acquire — pairs with the Release store/CAS that
+        // published the pointee, making its initialized contents visible to
+        // the dereferencing caller. Protection against reclamation comes
+        // from the section's announcement fence, not from this load.
+        (src.load(Ordering::Acquire), ())
     }
 
     #[inline]
@@ -194,7 +233,9 @@ unsafe impl AcquireRetire for Ebr {
     fn retire(&self, t: Tid, r: Retired) {
         let local = unsafe { &mut *self.local(t) };
         local.retired.push((r, self.clock.load()));
-        if local.retired.len() >= self.cfg.eject_threshold {
+        // Scan only once a full threshold of retires has accumulated since
+        // the last scan (see `Local::next_scan`), never on every retire.
+        if local.retired.len() >= self.cfg.eject_threshold.max(local.next_scan) {
             self.scan(local);
         }
     }
@@ -203,6 +244,11 @@ unsafe impl AcquireRetire for Ebr {
     fn eject(&self, t: Tid) -> Option<Retired> {
         let local = unsafe { &mut *self.local(t) };
         local.ready.pop_front()
+    }
+
+    #[inline]
+    fn has_ready(&self, t: Tid) -> bool {
+        !unsafe { &*self.local(t) }.ready.is_empty()
     }
 
     fn flush(&self, t: Tid) {

@@ -16,13 +16,13 @@
 //! retired list, ejecting the surplus. Critical sections are no-ops.
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
-use crate::util::{prefetch_read, CachePadded};
+use crate::util::{announce_usize, prefetch_read, CachePadded};
 use crate::{untagged, AcquireRetire, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Protection token: the index of the announcement slot holding the pointer.
@@ -39,6 +39,15 @@ struct Local {
     retired: Vec<Retired>,
     ready: VecDeque<Retired>,
     depth: u32,
+    /// Retired-list length at which the next automatic scan fires (spaced a
+    /// full threshold past the previous scan's survivors, so a pinned list
+    /// never degenerates to a scan per retire).
+    next_scan: usize,
+    /// Scratch multiset of current announcements, reused across scans so the
+    /// scan path stops allocating once warm.
+    announced: HashMap<usize, usize>,
+    /// Scratch per-address kept-copy counts, reused likewise.
+    kept_counts: HashMap<usize, usize>,
 }
 
 struct Slot {
@@ -88,13 +97,23 @@ impl Hp {
     #[inline]
     fn protect(&self, t: Tid, index: usize, src: &AtomicUsize) -> usize {
         let ann = &self.slots[t.index()].anns[index];
-        let mut v = src.load(Ordering::SeqCst);
+        // Ordering: Acquire — pairs with the Release publication of the
+        // pointee; this first read is only a candidate until validated.
+        let mut v = src.load(Ordering::Acquire);
         loop {
             let a = untagged(v);
             if a == 0 {
                 // Nothing to protect; clear any stale announcement so we do
                 // not spuriously pin an unrelated object.
-                ann.store(0, Ordering::SeqCst);
+                // Ordering: Release — `protect` only ever runs on a slot
+                // the free-list/reserved bookkeeping says is unheld, so any
+                // value here is either already 0 (cleared by `release`) or
+                // an unvalidated candidate from a previous loop iteration
+                // that was never dereferenced; Release is belt-and-braces
+                // (free on x86-64, a plain `mov`) so no prior access can
+                // sink below the un-announcement even if a caller violates
+                // the single-use guard discipline.
+                ann.store(0, Ordering::Release);
                 return v;
             }
             if self.cfg.prefetch {
@@ -102,10 +121,18 @@ impl Hp {
                 // announcement fence stalls us (§5.1).
                 prefetch_read(a);
             }
-            // SeqCst store-then-load: the announcement must be visible to
-            // scanning threads before we validate.
-            ann.store(a, Ordering::SeqCst);
-            let v2 = src.load(Ordering::SeqCst);
+            // The hazard-publication point, HP's per-read cost (§2): the
+            // announcement must be globally visible *before* the validating
+            // re-read below — `announce_usize` stores and fences. Pairs
+            // with the fence at the head of `scan`: a scanner that misses
+            // this announcement fenced before it, so our re-read observes
+            // that scanner's pre-fence unlinks and validation fails instead
+            // of trusting a retired pointer (announce-then-revalidate, as
+            // in oliver-giersch/reclaim).
+            announce_usize(ann, a);
+            // Ordering: Acquire — same publication pairing as the first
+            // read; ordered after the announcement by the fence above.
+            let v2 = src.load(Ordering::Acquire);
             if v2 == v {
                 return v;
             }
@@ -121,32 +148,48 @@ impl Hp {
     }
 
     fn scan(&self, local: &mut Local) {
+        // Ordering: fence(SeqCst) — pairs with the publication fence in
+        // `protect`: any announcement we miss below was published after
+        // this fence, so its owner's validating re-read sees our caller's
+        // unlinks and rejects the pointer. See `protect`.
+        fence(Ordering::SeqCst);
         // Count current announcements per address (a multiset: the same
-        // address may be announced by several guards at once).
-        let mut announced: HashMap<usize, usize> = HashMap::new();
+        // address may be announced by several guards at once). The scratch
+        // maps live in `Local` so a warm scan allocates nothing.
+        let Local {
+            announced,
+            kept_counts,
+            retired,
+            ready,
+            ..
+        } = local;
+        announced.clear();
         for slot in self.slots.iter().take(registered_high_water_mark()) {
             for ann in slot.anns.iter() {
-                let a = ann.load(Ordering::SeqCst);
+                // Ordering: Relaxed — ordered by the fence pairing above; a
+                // stale nonzero value only pins an object longer.
+                let a = ann.load(Ordering::Relaxed);
                 if a != 0 {
                     *announced.entry(a).or_insert(0) += 1;
                 }
             }
         }
         // Keep at most `announced[addr]` copies of each retired address;
-        // eject the surplus (§3.2's multi-retire accounting).
-        let mut kept_counts: HashMap<usize, usize> = HashMap::new();
-        let mut kept = Vec::with_capacity(local.retired.len());
-        for r in local.retired.drain(..) {
+        // eject the surplus (§3.2's multi-retire accounting). Retained in
+        // place: no rebuild allocation.
+        kept_counts.clear();
+        retired.retain(|r| {
             let budget = announced.get(&r.addr).copied().unwrap_or(0);
             let kept_so_far = kept_counts.entry(r.addr).or_insert(0);
             if *kept_so_far < budget {
                 *kept_so_far += 1;
-                kept.push(r);
+                true
             } else {
-                local.ready.push_back(r);
+                ready.push_back(*r);
+                false
             }
-        }
-        local.retired = kept;
+        });
+        local.next_scan = local.retired.len() + self.scan_threshold();
     }
 }
 
@@ -167,6 +210,9 @@ unsafe impl AcquireRetire for Hp {
                         retired: Vec::new(),
                         ready: VecDeque::new(),
                         depth: 0,
+                        next_scan: 0,
+                        announced: HashMap::new(),
+                        kept_counts: HashMap::new(),
                     }),
                 })
             })
@@ -221,7 +267,10 @@ unsafe impl AcquireRetire for Hp {
 
     #[inline]
     fn release(&self, t: Tid, guard: Self::Guard) {
-        self.slots[t.index()].anns[guard.index].store(0, Ordering::SeqCst);
+        // Ordering: Release — the guard holder's reads of the pointee are
+        // sequenced before this clear and cannot sink past it, so a scanner
+        // that observes the empty slot knows those reads are done.
+        self.slots[t.index()].anns[guard.index].store(0, Ordering::Release);
         let local = unsafe { &mut *self.local(t) };
         if guard.index == self.cfg.hp_slots {
             debug_assert!(local.reserved_busy, "double release of acquire guard");
@@ -238,7 +287,8 @@ unsafe impl AcquireRetire for Hp {
     fn retire(&self, t: Tid, r: Retired) {
         let local = unsafe { &mut *self.local(t) };
         local.retired.push(r);
-        if local.retired.len() >= self.scan_threshold() {
+        // Threshold-spaced scans: see `Local::next_scan`.
+        if local.retired.len() >= self.scan_threshold().max(local.next_scan) {
             self.scan(local);
         }
     }
@@ -247,6 +297,11 @@ unsafe impl AcquireRetire for Hp {
     fn eject(&self, t: Tid) -> Option<Retired> {
         let local = unsafe { &mut *self.local(t) };
         local.ready.pop_front()
+    }
+
+    #[inline]
+    fn has_ready(&self, t: Tid) -> bool {
+        !unsafe { &*self.local(t) }.ready.is_empty()
     }
 
     fn flush(&self, t: Tid) {

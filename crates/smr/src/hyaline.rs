@@ -29,13 +29,13 @@
 //! cannot reach the object, because retirement follows unlinking.
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
-use crate::util::CachePadded;
+use crate::util::{announce_usize, CachePadded};
 use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Slot-head sentinel: the slot's thread is not in a critical section.
@@ -111,7 +111,13 @@ impl Hyaline {
             let batch = node.batch;
             head = node.next;
             drop(node);
-            if (*batch).refs.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Ordering: AcqRel — Release publishes this thread's finished
+            // section (its protected reads precede the decrement); Acquire
+            // on the zero transition synchronizes with every other
+            // decrementer's Release, so the claimer of the batch sees all
+            // sections done (and the retirer's item writes) before reusing
+            // the nodes.
+            if (*batch).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let batch = Box::from_raw(batch);
                 local.ready.extend(batch.items);
             }
@@ -127,11 +133,20 @@ impl Hyaline {
             refs: AtomicIsize::new(0),
             items: std::mem::take(&mut local.current),
         }));
+        // Ordering: fence(SeqCst) — pairs with the fence in
+        // `begin_critical_section`: a reader whose active head we miss below
+        // fenced after us, so its protected reads observe the unlinks that
+        // preceded this distribution and it cannot reach the batch's
+        // objects.
+        fence(Ordering::SeqCst);
         let mut pushes: isize = 0;
         for slot in self.slots.iter().take(registered_high_water_mark()) {
             let mut node: Option<Box<LinkNode>> = None;
             loop {
-                let h = slot.head.load(Ordering::SeqCst);
+                // Ordering: Relaxed — ordered by the fence pairing above
+                // (first iteration) and by the failed CAS below (retries);
+                // the push CAS re-validates the value either way.
+                let h = slot.head.load(Ordering::Relaxed);
                 if h == INVALID {
                     break; // not in a critical section; skip this slot
                 }
@@ -140,11 +155,17 @@ impl Hyaline {
                     .unwrap_or_else(|| Box::new(LinkNode { batch, next: 0 }));
                 n.next = h;
                 let raw = Box::into_raw(n);
+                // Ordering: Release on success — publishes the link node's
+                // contents (batch pointer, next) to the slot owner, whose
+                // detaching Acquire swap in `end_critical_section` pairs
+                // with it. Acquire on failure — the reloaded head is pushed
+                // onto next iteration, so it needs the same edge the
+                // initial load got from the fence.
                 match slot.head.compare_exchange(
                     h,
                     raw as usize,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::Release,
+                    Ordering::Acquire,
                 ) {
                     Ok(_) => {
                         pushes += 1;
@@ -160,7 +181,11 @@ impl Hyaline {
         // negative. Whoever lands it on exactly zero reclaims — including us,
         // right now, when every pushed-to section has already left (or no
         // section was active at all).
-        let old = unsafe { &*batch }.refs.fetch_add(pushes, Ordering::SeqCst);
+        // Ordering: AcqRel — Release publishes the batch items to racing
+        // decrementers; Acquire on the zero case synchronizes with every
+        // leaver's Release decrement so their sections are over before we
+        // reclaim (see `process_list`).
+        let old = unsafe { &*batch }.refs.fetch_add(pushes, Ordering::AcqRel);
         if old + pushes == 0 {
             let batch = unsafe { Box::from_raw(batch) };
             local.ready.extend(batch.items);
@@ -196,9 +221,12 @@ unsafe impl AcquireRetire for Hyaline {
         let local = unsafe { &mut *self.local(t) };
         local.depth += 1;
         if local.depth == 1 {
-            // SeqCst: the slot must be visibly active before we read any
-            // protected pointer — Hyaline's one fence per operation.
-            self.slots[t.index()].head.store(0, Ordering::SeqCst);
+            // The slot must be visibly active before any protected read of
+            // the section: Hyaline's one fence per operation, paid inside
+            // `announce_usize`. Pairs with the fence in `distribute` (miss
+            // our active head ⇒ we fenced later ⇒ our reads see your
+            // unlinks).
+            announce_usize(&self.slots[t.index()].head, 0);
         }
     }
 
@@ -208,7 +236,12 @@ unsafe impl AcquireRetire for Hyaline {
         debug_assert!(local.depth > 0, "end_critical_section without begin");
         local.depth -= 1;
         if local.depth == 0 {
-            let head = self.slots[t.index()].head.swap(INVALID, Ordering::SeqCst);
+            // Ordering: AcqRel — Acquire pairs with the retirers' Release
+            // push CASes so the detached link nodes' contents are visible
+            // before we walk them; Release keeps the section's protected
+            // reads from sinking past the detach (the batch decrements that
+            // may free them come after).
+            let head = self.slots[t.index()].head.swap(INVALID, Ordering::AcqRel);
             unsafe { self.process_list(head, local) };
         }
     }
@@ -224,7 +257,10 @@ unsafe impl AcquireRetire for Hyaline {
             unsafe { &*self.local(t) }.depth > 0,
             "acquire outside critical section"
         );
-        (src.load(Ordering::SeqCst), ())
+        // Ordering: Acquire — pairs with the Release publication of the
+        // pointee; protection against reclamation comes from the active
+        // slot head announced (and fenced) at section entry.
+        (src.load(Ordering::Acquire), ())
     }
 
     #[inline]
@@ -247,6 +283,11 @@ unsafe impl AcquireRetire for Hyaline {
     fn eject(&self, t: Tid) -> Option<Retired> {
         let local = unsafe { &mut *self.local(t) };
         local.ready.pop_front()
+    }
+
+    #[inline]
+    fn has_ready(&self, t: Tid) -> bool {
+        !unsafe { &*self.local(t) }.ready.is_empty()
     }
 
     fn flush(&self, t: Tid) {

@@ -14,13 +14,13 @@
 //! announced `end`, not everything retired since it went quiet.
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
-use crate::util::CachePadded;
+use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const EMPTY: u64 = u64::MAX;
@@ -34,6 +34,11 @@ struct Local {
     depth: u32,
     /// Last epoch this thread observed (Fig. 4's `prev_epoch`).
     prev_epoch: u64,
+    /// Retired-list length at which the next automatic scan fires; spaced a
+    /// full `eject_threshold` past the survivors of the previous scan so a
+    /// pinned list cannot degenerate to a scan per retire (see the EBR
+    /// engine's `Local::next_scan`).
+    next_scan: usize,
 }
 
 impl Local {
@@ -44,6 +49,7 @@ impl Local {
             allocs: 0,
             depth: 0,
             prev_epoch: EMPTY,
+            next_scan: 0,
         }
     }
 }
@@ -95,6 +101,11 @@ impl Ibr {
     }
 
     fn scan(&self, local: &mut Local) {
+        // Ordering: fence(SeqCst) — pairs with the fence in
+        // `begin_critical_section` (and the one in `acquire`'s extension
+        // path): a reader whose announcement we miss fenced after us and
+        // therefore observes every unlink preceding this scan.
+        fence(Ordering::SeqCst);
         // Collect announced intervals. Read order matters: `begin` before
         // `end`. If the slot transitions between critical sections while we
         // read, pairing an older (smaller) `begin` with a newer (larger)
@@ -104,25 +115,36 @@ impl Ibr {
         let hwm = registered_high_water_mark();
         let mut intervals = Vec::with_capacity(hwm);
         for slot in self.slots.iter().take(hwm) {
-            let lo = slot.begin_ann.load(Ordering::SeqCst);
-            let hi = slot.end_ann.load(Ordering::SeqCst);
+            // Ordering: Acquire on `begin` — pins the read order: the
+            // `end` load below cannot be hoisted above it (see the comment
+            // above on why that order is load-bearing). Visibility of the
+            // announcements themselves comes from the fence pairing.
+            let lo = slot.begin_ann.load(Ordering::Acquire);
+            // Ordering: Relaxed — ordered after the Acquire load above. A
+            // stale (smaller) `end` is safe: the reader only trusts a
+            // pointer read *after* publishing the extended `end` and
+            // fencing (see `acquire`), so if we miss the extension, our
+            // fence preceded the reader's and its re-read observes the
+            // unlink instead of the retired object.
+            let hi = slot.end_ann.load(Ordering::Relaxed);
             if lo != EMPTY {
                 intervals.push((lo, hi.max(lo)));
             }
         }
-        let mut kept = Vec::with_capacity(local.retired.len());
-        'entry: for (r, retire_epoch) in local.retired.drain(..) {
-            for &(lo, hi) in &intervals {
-                // Lifetime [r.birth, retire_epoch] intersects announcement
-                // [lo, hi]?
-                if lo <= retire_epoch && r.birth <= hi {
-                    kept.push((r, retire_epoch));
-                    continue 'entry;
-                }
+        // Allocation-free on the retired list: retain survivors in place.
+        let Local { retired, ready, .. } = local;
+        retired.retain(|&(r, retire_epoch)| {
+            // Lifetime [r.birth, retire_epoch] intersects any announcement
+            // [lo, hi]? Then the entry must stay.
+            let protected = intervals
+                .iter()
+                .any(|&(lo, hi)| lo <= retire_epoch && r.birth <= hi);
+            if !protected {
+                ready.push_back(r);
             }
-            local.ready.push_back(r);
-        }
-        local.retired = kept;
+            protected
+        });
+        local.next_scan = local.retired.len() + self.cfg.eject_threshold;
     }
 }
 
@@ -165,8 +187,16 @@ unsafe impl AcquireRetire for Ibr {
             let e = self.clock.load();
             local.prev_epoch = e;
             let slot = &self.slots[t.index()];
-            slot.begin_ann.store(e, Ordering::SeqCst);
-            slot.end_ann.store(e, Ordering::SeqCst);
+            // The interval announcement must be globally visible before any
+            // protected read of the section; the single announcement fence
+            // (in `announce_u64`, after *both* stores) is IBR's
+            // per-operation cost and pairs with the fence at the head of
+            // `scan` (miss our announcement ⇒ we fenced later ⇒ we see your
+            // unlinks).
+            // Ordering: Relaxed — ordered before any observer by the
+            // announcement fence that follows.
+            slot.begin_ann.store(e, Ordering::Relaxed);
+            announce_u64(&slot.end_ann, e);
         }
     }
 
@@ -180,8 +210,12 @@ unsafe impl AcquireRetire for Ibr {
             // `begin` first: a scan that tears this store sequence sees
             // either [EMPTY, ..] (ignored) or [old_begin, old_end]
             // (conservative).
-            slot.begin_ann.store(EMPTY, Ordering::SeqCst);
-            slot.end_ann.store(EMPTY, Ordering::SeqCst);
+            // Ordering: Release on both — the section's protected reads are
+            // sequenced before and cannot sink past the un-announcement,
+            // and Release-Release store order preserves the `begin`-first
+            // requirement above.
+            slot.begin_ann.store(EMPTY, Ordering::Release);
+            slot.end_ann.store(EMPTY, Ordering::Release);
             local.prev_epoch = EMPTY;
         }
     }
@@ -189,8 +223,11 @@ unsafe impl AcquireRetire for Ibr {
     #[inline]
     fn birth_epoch(&self, t: Tid) -> u64 {
         let local = unsafe { &mut *self.local(t) };
+        // Count-and-reset instead of `% epoch_freq`: no integer division on
+        // the per-allocation path.
         local.allocs += 1;
-        if local.allocs % self.cfg.epoch_freq == 0 {
+        if local.allocs >= self.cfg.epoch_freq {
+            local.allocs = 0;
             self.clock.advance();
         }
         self.clock.load()
@@ -205,13 +242,21 @@ unsafe impl AcquireRetire for Ibr {
         // returned pointer was read in an epoch ≤ end_ann, so objects it
         // leads to (born ≤ that epoch) are covered by the interval.
         loop {
-            let ptr = src.load(Ordering::SeqCst);
+            // Ordering: Acquire — pairs with the Release publication of the
+            // pointee so its contents are visible; reclamation protection
+            // comes from the announced interval, not this load.
+            let ptr = src.load(Ordering::Acquire);
             let cur = self.clock.load();
             if local.prev_epoch == cur {
                 return (ptr, ());
             }
             local.prev_epoch = cur;
-            self.slots[t.index()].end_ann.store(cur, Ordering::SeqCst);
+            // The widened interval must be visible before the re-read above
+            // can be trusted (announce-then-revalidate): `announce_u64`
+            // fences after the store; pairs with `scan`'s fence. Epoch
+            // changes are rare (every `epoch_freq` allocations), so this
+            // fence is off the common path.
+            announce_u64(&self.slots[t.index()].end_ann, cur);
         }
     }
 
@@ -226,7 +271,8 @@ unsafe impl AcquireRetire for Ibr {
     fn retire(&self, t: Tid, r: Retired) {
         let local = unsafe { &mut *self.local(t) };
         local.retired.push((r, self.clock.load()));
-        if local.retired.len() >= self.cfg.eject_threshold {
+        // Threshold-spaced scans: see `Local::next_scan`.
+        if local.retired.len() >= self.cfg.eject_threshold.max(local.next_scan) {
             self.scan(local);
         }
     }
@@ -235,6 +281,11 @@ unsafe impl AcquireRetire for Ibr {
     fn eject(&self, t: Tid) -> Option<Retired> {
         let local = unsafe { &mut *self.local(t) };
         local.ready.pop_front()
+    }
+
+    #[inline]
+    fn has_ready(&self, t: Tid) -> bool {
+        !unsafe { &*self.local(t) }.ready.is_empty()
     }
 
     fn flush(&self, t: Tid) {

@@ -125,12 +125,27 @@ impl GlobalEpoch {
     /// Reads the current epoch.
     #[inline]
     pub fn load(&self) -> u64 {
+        // SeqCst — deliberately NOT relaxed. Retire paths stamp entries
+        // with this value *after* performing the unlinking swap/CAS, and
+        // the epoch-based eject rules (`epoch < min_ann`, interval
+        // intersection) are only sound if that stamp cannot be ordered
+        // before the unlink: an under-stamped retire looks older than a
+        // concurrent reader's announcement and ejects while the reader —
+        // whose stale traversal may still reach the node — is active. The
+        // SeqCst total order over {unlink RMW, this load, `advance`, the
+        // readers' entry fences} forbids exactly that inversion (see the
+        // unlink sites in `cdrc::strong`/`cdrc::weak`). On x86-64 this
+        // load is a plain `mov` either way.
         self.epoch.load(Ordering::SeqCst)
     }
 
     /// Advances the epoch by one.
     #[inline]
     pub fn advance(&self) {
+        // SeqCst — part of the same total-order argument as `load`: epoch
+        // values observed by announcing readers and stamping retirers must
+        // be ordered consistently with the unlinks between them. A locked
+        // RMW on x86-64 costs the same at any ordering.
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 }
@@ -251,6 +266,15 @@ pub unsafe trait AcquireRetire: Send + Sync + 'static {
     /// one is ready. Callers apply the deferred operation themselves and
     /// must not call `eject` recursively from within it.
     fn eject(&self, t: Tid) -> Option<Retired>;
+
+    /// Whether [`eject`](Self::eject) would currently return `Some` — a
+    /// cheap thread-local peek that lets callers skip their eject loop's
+    /// setup entirely on the (overwhelmingly common) empty case. The
+    /// default conservatively answers `true`.
+    #[inline]
+    fn has_ready(&self, _t: Tid) -> bool {
+        true
+    }
 
     /// Forces a scan so that everything ejectable becomes ready. Costlier
     /// than waiting for the amortized threshold; meant for tests, teardown

@@ -48,13 +48,29 @@ static REGISTRY: Registry = Registry {
 impl Registry {
     fn acquire_slot(&self) -> usize {
         for i in 0..MAX_THREADS {
+            // Ordering: Relaxed pre-check — a cheap filter; the CAS below is
+            // the authoritative claim.
             if !self.in_use[i].load(Ordering::Relaxed)
                 && self.in_use[i]
+                    // Ordering: AcqRel on success — Acquire synchronizes with
+                    // the releasing thread's Release store so the new owner
+                    // sees the predecessor's per-slot scheme state (retired
+                    // lists it will inherit and drain); Release publishes the
+                    // claim. Relaxed on failure: a lost race carries no data.
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
             {
-                self.hwm.fetch_max(i + 1, Ordering::SeqCst);
-                self.active.fetch_add(1, Ordering::SeqCst);
+                // Ordering: Release (fetch_max) — the high-water mark must be
+                // visible no later than any announcement this thread makes
+                // through its new slot. Scanners read the mark after their
+                // own SeqCst fence and iterate `0..hwm`; a momentarily stale
+                // mark can only hide a thread whose announcement the scanner
+                // also cannot see yet, which the engines' fence pairing
+                // already treats as "entered after the scan" (safe).
+                self.hwm.fetch_max(i + 1, Ordering::Release);
+                // Ordering: Relaxed — `active` is a diagnostic gauge; no
+                // reader derives protection from it.
+                self.active.fetch_add(1, Ordering::Relaxed);
                 return i;
             }
         }
@@ -62,7 +78,11 @@ impl Registry {
     }
 
     fn release_slot(&self, i: usize) {
-        self.active.fetch_sub(1, Ordering::SeqCst);
+        // Ordering: Relaxed — diagnostic gauge, see `acquire_slot`.
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        // Ordering: Release — publishes everything this thread did through
+        // the slot (its scheme-local state) to the next owner, whose
+        // claiming CAS Acquires it.
         self.in_use[i].store(false, Ordering::Release);
     }
 }
@@ -100,14 +120,24 @@ pub fn current_tid() -> Tid {
 
 /// Number of threads currently registered.
 pub fn active_threads() -> usize {
-    REGISTRY.active.load(Ordering::SeqCst)
+    // Ordering: Relaxed — a monotone-in/monotone-out gauge read for
+    // diagnostics only; no protection decision depends on it.
+    REGISTRY.active.load(Ordering::Relaxed)
 }
 
 /// One past the highest slot index ever handed out — the bound scheme scans
 /// iterate to, so scan cost tracks actual parallelism rather than
 /// [`MAX_THREADS`].
 pub fn registered_high_water_mark() -> usize {
-    REGISTRY.hwm.load(Ordering::SeqCst)
+    // Ordering: Relaxed — the mark is monotone, and every scan that uses it
+    // as an iteration bound reads it *after* its own `fence(SeqCst)`. A
+    // thread whose registration this read misses also has its announcement
+    // invisible to this scan, which the engines' fence pairing already
+    // classifies as "entered after the scan": such a thread observes the
+    // unlinks that preceded the scan fence and cannot reach scanned-away
+    // objects. (Registration is sequenced before any announcement through
+    // the slot, so seeing the announcement implies seeing the mark.)
+    REGISTRY.hwm.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

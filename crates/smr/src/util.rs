@@ -1,6 +1,9 @@
 //! Small shared utilities.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 
 /// Pads and aligns a value to 128 bytes so that per-thread slots sharing an
 /// array never share a cache line (128 covers adjacent-line prefetchers on
@@ -38,6 +41,104 @@ impl<T> DerefMut for CachePadded<T> {
         &mut self.value
     }
 }
+
+/// A monotone event counter sharded into per-thread cache-padded lanes.
+///
+/// A shared `fetch_add` counter is a scalability sink: every increment
+/// bounces the counter's cache line between all writer cores. Sharding by
+/// [`Tid`] makes [`add`](Self::add) a contention-free increment of a lane no
+/// other thread writes; [`sum`](Self::sum) folds the lanes on demand.
+///
+/// The sum is *eventually exact*: it observes every increment that
+/// happened-before the read (e.g. via a thread join) and is monotone under
+/// concurrent increments, which is all a statistics counter needs. Lanes of
+/// exited threads keep their contributions (slots are recycled, not reset),
+/// so totals survive thread churn.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    lanes: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl ShardedCounter {
+    /// A counter at zero, with one lane per possible [`Tid`].
+    pub fn new() -> Self {
+        ShardedCounter {
+            lanes: (0..MAX_THREADS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Adds `n` to the calling thread's lane.
+    #[inline]
+    pub fn add(&self, t: Tid, n: u64) {
+        // Ordering: Relaxed load + Relaxed store — the lane is written only
+        // by its owning thread, so the unfenced read-modify-write is
+        // race-free (no `lock add` needed, unlike `fetch_add`); readers
+        // need only monotone per-lane values, and cross-thread visibility
+        // for exact totals comes from an external happens-before edge
+        // (thread join / test mutex).
+        let lane = &self.lanes[t.index()];
+        lane.store(lane.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+
+    /// Folds all lanes ever used into a total.
+    pub fn sum(&self) -> u64 {
+        // Ordering: Relaxed — each lane is monotone, so any interleaving of
+        // lane reads yields a value between "all increments that happened-
+        // before this call" and "all increments so far"; that is the
+        // documented (and sufficient) contract for a statistics counter.
+        // Lanes at index >= the registry high-water mark were never written.
+        self.lanes
+            .iter()
+            .take(registered_high_water_mark())
+            .map(|lane| lane.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! announce_fn {
+    ($name:ident, $atomic:ty, $int:ty) => {
+        /// Publishes `val` to an announcement `slot` with a trailing
+        /// store-load barrier — the idiom every protected-region section
+        /// entry and hazard publication needs: the announcement must be
+        /// globally visible *before* any subsequent protected load.
+        ///
+        /// On x86-64 the portable `store(Relaxed)` + `fence(SeqCst)` pair
+        /// compiles to `mov` + `mfence`, and `mfence` is slower than a
+        /// locked RMW on most microarchitectures, so there the store and
+        /// fence are fused into one `SeqCst` swap (`lock xchg`, a full
+        /// barrier under TSO) — crossbeam-epoch pins the same way. Both
+        /// forms *are* the scheme's announcement fence and pair with the
+        /// scanner-side `fence(SeqCst)`.
+        #[inline]
+        pub fn $name(slot: &$atomic, val: $int) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Ordering: SeqCst swap — the x86 form of the announcement
+                // fence (see above); the returned previous value is
+                // irrelevant.
+                slot.swap(val, Ordering::SeqCst);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                // Ordering: Relaxed store + fence(SeqCst) — the portable
+                // form of the announcement fence (see above).
+                slot.store(val, Ordering::Relaxed);
+                std::sync::atomic::fence(Ordering::SeqCst);
+            }
+        }
+    };
+}
+
+announce_fn!(announce_u64, AtomicU64, u64);
+announce_fn!(announce_usize, std::sync::atomic::AtomicUsize, usize);
 
 /// Issues a best-effort prefetch of the cache line containing `addr`.
 ///
@@ -78,5 +179,27 @@ mod tests {
         prefetch_read(0);
         let x = 5u64;
         prefetch_read(&x as *const _ as usize);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let c = std::sync::Arc::new(ShardedCounter::new());
+        c.add(crate::current_tid(), 3);
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let t = crate::current_tid();
+                    for _ in 0..100 {
+                        c.add(t, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        // Joins establish happens-before: the sum is exact here.
+        assert_eq!(c.sum(), 403);
     }
 }
