@@ -87,7 +87,7 @@ pub struct Row {
     pub threads: usize,
     /// Millions of completed operations per second.
     pub mops: f64,
-    /// Mean of sampled (in-flight − live-baseline) node counts.
+    /// Mean of sampled (in-flight − workload live set) node counts.
     pub extra_nodes_avg: u64,
     /// Peak of the same.
     pub extra_nodes_peak: u64,
@@ -208,11 +208,19 @@ pub fn run_map_for<M: ConcurrentMap<u64, u64>>(
 /// one critical section per operation — the guard-free wrappers' cost —
 /// which the guard-API micro-benchmark compares against larger batches).
 ///
-/// The map must already be prefilled; its current `in_flight_nodes` is
-/// taken as the live baseline for the memory metric. For RC structures that
-/// metric reads the scheme's process-global domain (see the caveat on
-/// [`ConcurrentMap::in_flight_nodes`]), so run one structure per scheme at
-/// a time and settle the domain between cells.
+/// The map must already be prefilled with `spec.initial_size` keys. The
+/// "extra nodes" samples read the structure's own
+/// [`in_flight_nodes`](ConcurrentMap::in_flight_nodes) and subtract its
+/// value at the start of the run — the prefilled structure's real node
+/// population (trees allocate ~2 nodes per key, so `initial_size` itself
+/// would be wrong). The counter is per structure: each structure meters its
+/// own reclamation domain (private [`NodeStats`](lockfree::NodeStats) for
+/// the manual variants), so the baseline is exactly this structure's live
+/// set, and structures on *separate* domains may run concurrently on one
+/// scheme without polluting each other's samples. (Structures left on a
+/// scheme's global default domain still share that domain's counter —
+/// build them with the `new_in`/`with_buckets_in` constructors for
+/// isolation.)
 pub fn run_map_batched<M: ConcurrentMap<u64, u64>>(
     map: &M,
     spec: &Workload,
@@ -224,7 +232,9 @@ pub fn run_map_batched<M: ConcurrentMap<u64, u64>>(
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
-    let live_baseline = map.in_flight_nodes();
+    // The structure's node count right after prefill: live set plus any
+    // not-yet-collected prefill garbage, all of it this structure's own.
+    let live_set = map.in_flight_nodes();
 
     let (elapsed, sum, peak, samples) = std::thread::scope(|s| {
         for tid in 0..threads {
@@ -271,7 +281,7 @@ pub fn run_map_batched<M: ConcurrentMap<u64, u64>>(
         let mut samples = 0u64;
         while started.elapsed() < dur {
             std::thread::sleep(tick);
-            let extra = map.in_flight_nodes().saturating_sub(live_baseline);
+            let extra = map.in_flight_nodes().saturating_sub(live_set);
             sum += extra as u128;
             peak = peak.max(extra);
             samples += 1;

@@ -15,6 +15,12 @@
 //! recorded throughput as the `before` field — the "no mixed-ops
 //! regression" gate of the overhaul.
 //!
+//! The `ptr_local` t1 cells repeat the pointer ops against a slot bound to
+//! a per-instance `DomainRef` (the instance-scoped-domain refactor's new
+//! configuration); each JSON line records the same-run global-domain
+//! latency as `global_ns_per_op`, so the cost of the handle indirection is
+//! read directly off the file.
+//!
 //! Doubles as a CI smoke with the same contract as `guard_api`: after
 //! printing its cells the process exits nonzero if any measured latency or
 //! throughput is not strictly positive and finite. `HOT_PATH_SMOKE=1`
@@ -31,7 +37,9 @@ use std::time::{Duration, Instant};
 
 use bench::settle_scheme;
 use bench_harness::{bench_millis, prefill, run_map_batched, Workload};
-use cdrc::{AtomicSharedPtr, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme, SharedPtr};
+use cdrc::{
+    AtomicSharedPtr, DomainRef, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme, SharedPtr,
+};
 use lockfree::rc::RcMichaelHashMap;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -120,7 +128,17 @@ fn run_ptr_op<S: Scheme>(op: Op, threads: usize, dur: Duration) -> f64 {
 /// Warm-up then timed chunked loop on the calling thread (the criterion
 /// shim's `Bencher::iter`, with `dur` as both phases' budget).
 fn run_ptr_op_inline<S: Scheme>(op: Op, dur: Duration) -> f64 {
-    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::new(SharedPtr::new(7));
+    let ns = run_ptr_op_inline_in::<S>(op, dur, S::global_domain().clone());
+    settle_scheme::<S>();
+    ns
+}
+
+/// As [`run_ptr_op_inline`], against a slot bound to `domain` — the
+/// per-instance-domain cells that price the `DomainRef` handle indirection
+/// against the global-domain cells of the same run.
+fn run_ptr_op_inline_in<S: Scheme>(op: Op, dur: Duration, domain: DomainRef<S>) -> f64 {
+    let slot: AtomicSharedPtr<u64, S> =
+        AtomicSharedPtr::new_in(SharedPtr::new_in(7, &domain), &domain);
     let body = |budget: Duration, timed: bool| -> f64 {
         let started = Instant::now();
         let mut iters = 0u64;
@@ -135,7 +153,7 @@ fn run_ptr_op_inline<S: Scheme>(op: Op, dur: Duration) -> f64 {
                 }
             },
             Op::Snapshot => {
-                let cs = S::global_domain().cs();
+                let cs = domain.cs();
                 loop {
                     for _ in 0..64 {
                         let snap = slot.get_snapshot(&cs);
@@ -149,7 +167,7 @@ fn run_ptr_op_inline<S: Scheme>(op: Op, dur: Duration) -> f64 {
             }
             Op::Store => loop {
                 for _ in 0..64 {
-                    slot.store(SharedPtr::new(9));
+                    slot.store(SharedPtr::new_in(9, &domain));
                 }
                 iters += 64;
                 if started.elapsed() >= budget {
@@ -166,7 +184,7 @@ fn run_ptr_op_inline<S: Scheme>(op: Op, dur: Duration) -> f64 {
     body(dur, false); // warm-up
     let ns = body(dur, true);
     drop(slot);
-    settle_scheme::<S>();
+    domain.process_deferred(smr::current_tid());
     ns
 }
 
@@ -231,13 +249,20 @@ fn run_ptr_op_spawned<S: Scheme>(op: Op, threads: usize, dur: Duration) -> f64 {
 }
 
 /// One (scheme, thread-count) row: the three pointer ops in sequence.
-fn ptr_cells_at<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mut Vec<f64>) {
+/// Returns the measured [load, snapshot, store] latencies.
+fn ptr_cells_at<S: Scheme>(
+    scheme: &str,
+    threads: usize,
+    dur: Duration,
+    out: &mut Vec<f64>,
+) -> [f64; 3] {
     let seed = SEED_PTR_NS
         .iter()
         .find(|(s, ..)| *s == scheme)
         .copied()
         .expect("seed row");
-    for op in [Op::Load, Op::Snapshot, Op::Store] {
+    let mut row = [0.0f64; 3];
+    for (i, op) in [Op::Load, Op::Snapshot, Op::Store].into_iter().enumerate() {
         let ns = run_ptr_op::<S>(op, threads, dur);
         let name = format!("hot_path/ptr/{scheme}/{}/t{threads}", op.name());
         println!("{name:<44} {ns:>9.1} ns/op");
@@ -256,6 +281,27 @@ fn ptr_cells_at<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mu
             emit_json(format!("{{\"name\":\"{name}\",\"ns_per_op\":{ns:.3}}}"));
         }
         out.push(ns);
+        row[i] = ns;
+    }
+    row
+}
+
+/// The per-instance-domain t1 cells: the same three pointer ops against a
+/// slot bound to a fresh `DomainRef`. Each JSON line carries the same-run
+/// global-domain measurement (`global_ns_per_op`) so the cost of the
+/// domain-handle indirection is read directly off the file — it should be
+/// within noise (≤ a few ns) of the global cells.
+fn ptr_local_cells<S: Scheme>(scheme: &str, dur: Duration, global: [f64; 3], out: &mut Vec<f64>) {
+    for (i, op) in [Op::Load, Op::Snapshot, Op::Store].into_iter().enumerate() {
+        // A fresh domain per cell: the `new_in` configuration under test.
+        let ns = run_ptr_op_inline_in::<S>(op, dur, DomainRef::new());
+        let name = format!("hot_path/ptr_local/{scheme}/{}/t1", op.name());
+        println!("{name:<44} {ns:>9.1} ns/op  (global {:.1})", global[i]);
+        emit_json(format!(
+            "{{\"name\":\"{name}\",\"ns_per_op\":{ns:.3},\"global_ns_per_op\":{:.3}}}",
+            global[i]
+        ));
+        out.push(ns);
     }
 }
 
@@ -264,12 +310,26 @@ fn ptr_cells_at<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mu
 /// threads, because spawned workers raise the registry high-water mark for
 /// the rest of the process and inflate every later single-thread scan —
 /// which would make the t1 cells incomparable with the seed baseline.
+/// At t1 each scheme's global cells are followed by its instance-domain
+/// (`ptr_local`) cells, priced against the global numbers just measured.
 fn ptr_row(threads: usize, dur: Duration, out: &mut Vec<f64>, smoke: bool) {
-    ptr_cells_at::<EbrScheme>("ebr", threads, dur, out);
+    let g = ptr_cells_at::<EbrScheme>("ebr", threads, dur, out);
+    if threads == 1 {
+        ptr_local_cells::<EbrScheme>("ebr", dur, g, out);
+    }
     if !smoke {
-        ptr_cells_at::<IbrScheme>("ibr", threads, dur, out);
-        ptr_cells_at::<HpScheme>("hp", threads, dur, out);
-        ptr_cells_at::<HyalineScheme>("hyaline", threads, dur, out);
+        let g = ptr_cells_at::<IbrScheme>("ibr", threads, dur, out);
+        if threads == 1 {
+            ptr_local_cells::<IbrScheme>("ibr", dur, g, out);
+        }
+        let g = ptr_cells_at::<HpScheme>("hp", threads, dur, out);
+        if threads == 1 {
+            ptr_local_cells::<HpScheme>("hp", dur, g, out);
+        }
+        let g = ptr_cells_at::<HyalineScheme>("hyaline", threads, dur, out);
+        if threads == 1 {
+            ptr_local_cells::<HyalineScheme>("hyaline", dur, g, out);
+        }
     }
 }
 

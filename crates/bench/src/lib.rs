@@ -6,16 +6,18 @@ use lockfree::ConcurrentMap;
 
 /// Runs one (structure, scheme) series over the thread sweep, printing one
 /// CSV row per thread count. `make` builds a fresh structure per cell;
-/// `settle` runs after each cell (RC schemes drain their global domain here
-/// so garbage does not leak into the next cell's memory baseline).
+/// `settle` runs after each cell (draining the default global domain keeps
+/// deferred teardown work from one cell competing for CPU with the next).
 ///
-/// **Metric validity:** RC structures report `in_flight_nodes` from their
-/// scheme's *process-global* domain, so two live RC structures on one
-/// scheme pollute each other's "extra nodes" numbers. This driver is only
-/// correct because it runs exactly one structure at a time, drops it, and
-/// settles the domain before the next cell — keep that discipline in any
-/// new bench binary that compares variants (see
-/// `lockfree::ConcurrentMap::in_flight_nodes`).
+/// # Reclamation domains
+///
+/// Every structure meters its *own* reclamation domain (see
+/// `lockfree::ConcurrentMap::in_flight_nodes`), so the "extra nodes"
+/// samples are exact per structure and several structures — even on one
+/// scheme — may coexist without polluting each other's numbers. Bench
+/// binaries that want per-cell isolation down to the scan cadence can pass
+/// a `make` closure using the `new_in`/`with_buckets_in` constructors with
+/// a fresh `cdrc::DomainRef` per cell.
 pub fn map_series<M, F, G>(
     figure: &str,
     structure: &str,
@@ -47,7 +49,8 @@ pub fn map_series<M, F, G>(
     }
 }
 
-/// Drains scheme `S`'s global reference-counting domain.
+/// Drains scheme `S`'s global (default) reference-counting domain.
+/// Structures created with explicit domains settle themselves on `Drop`.
 pub fn settle_scheme<S: Scheme>() {
     S::global_domain().process_deferred(smr::current_tid());
 }

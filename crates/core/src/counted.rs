@@ -10,11 +10,22 @@
 //! `#weak refs + (1 if #strong refs > 0 else 0)`, so the control block is
 //! freed exactly when the weak count hits zero, and the payload is destroyed
 //! (disposed) when the strong count hits zero.
+//!
+//! Every block also records **which reclamation domain allocated it** (a
+//! type-erased `*const Domain<S>`) and owns one `Arc` reference on that
+//! domain, released when the block is freed. That is what lets the
+//! single-word owned pointer types ([`SharedPtr`](crate::SharedPtr),
+//! [`WeakPtr`](crate::WeakPtr)) find their domain without carrying a handle:
+//! while a block is alive, its domain is alive.
 
 use std::mem::MaybeUninit;
 use std::ptr;
+use std::sync::Arc;
 
-use sticky::StickyCounter;
+use smr::AcquireRetire;
+use sticky::{Counter, StickyCounter};
+
+use crate::domain::Domain;
 
 /// Type-erased destruction hooks for a control block.
 pub(crate) struct Vtable {
@@ -22,6 +33,11 @@ pub(crate) struct Vtable {
     pub dispose: unsafe fn(*mut Header),
     /// Frees the whole control block; the payload must already be disposed.
     pub dealloc: unsafe fn(*mut Header),
+    /// Releases the block's owning reference on its domain (an
+    /// `Arc::decrement_strong_count`); no-op for a null domain pointer.
+    /// Callers capture `Header::domain` *before* `dealloc` and invoke this
+    /// afterwards — the block must not outlive its own domain reference.
+    pub release_domain: unsafe fn(*const ()),
 }
 
 /// The type-erased prefix of every control block.
@@ -31,6 +47,11 @@ pub(crate) struct Header {
     pub weak: StickyCounter,
     /// Birth epoch recorded by the owning domain's scheme at allocation.
     pub birth: u64,
+    /// The `Domain<S>` this block was allocated under, erased to `()` (the
+    /// scheme type is restored by the pointer types, whose `S` parameter is
+    /// pinned at allocation). Points into a live `Arc` allocation: the block
+    /// holds one strong count on it until [`Vtable::release_domain`] runs.
+    pub domain: *const (),
     pub vtable: &'static Vtable,
 }
 
@@ -52,25 +73,41 @@ unsafe fn dealloc_impl<T>(h: *mut Header) {
     drop(Box::from_raw(h as *mut Counted<T>));
 }
 
-struct VtableOf<T>(std::marker::PhantomData<T>);
+unsafe fn release_domain_impl<S: AcquireRetire>(domain: *const ()) {
+    if !domain.is_null() {
+        // The pointer originated from `Arc::as_ptr` in `DomainRef::allocate`
+        // and the block's own count kept the Arc alive until here.
+        Arc::decrement_strong_count(domain as *const Domain<S>);
+    }
+}
 
-impl<T> VtableOf<T> {
+struct VtableOf<T, S>(std::marker::PhantomData<(T, fn(S))>);
+
+impl<T, S: AcquireRetire> VtableOf<T, S> {
     const VTABLE: Vtable = Vtable {
         dispose: dispose_impl::<T>,
         dealloc: dealloc_impl::<T>,
+        release_domain: release_domain_impl::<S>,
     };
 }
 
 impl<T> Counted<T> {
     /// Allocates a control block with strong count 1 and weak count 1 (the
-    /// strong side's +1 on the weak count).
-    pub(crate) fn allocate(value: T, birth: u64) -> *mut Counted<T> {
+    /// strong side's +1 on the weak count), recording `domain` as its
+    /// owner. The caller has already taken the block's strong count on the
+    /// domain's `Arc` (or passes null for domain-less test blocks).
+    pub(crate) fn allocate<S: AcquireRetire>(
+        value: T,
+        birth: u64,
+        domain: *const (),
+    ) -> *mut Counted<T> {
         Box::into_raw(Box::new(Counted {
             header: Header {
                 strong: StickyCounter::new(1),
                 weak: StickyCounter::new(1),
                 birth,
-                vtable: &VtableOf::<T>::VTABLE,
+                domain,
+                vtable: &VtableOf::<T, S>::VTABLE,
             },
             value: MaybeUninit::new(value),
         }))
@@ -94,17 +131,87 @@ pub(crate) fn as_header(addr: usize) -> *mut Header {
     addr as *mut Header
 }
 
+// ---------------------------------------------------------------------
+// Header-only count operations.
+//
+// These touch nothing but the control block itself, so — unlike the
+// deferred-operation primitives on `Domain` — they need no domain handle.
+// Keeping them free functions means `SharedPtr::clone`, `WeakPtr::upgrade`
+// and friends never resolve a domain at all.
+// ---------------------------------------------------------------------
+
+/// Strong increment-if-not-zero (Fig. 8's `increment`).
+///
+/// # Safety
+///
+/// `addr` must be a live control block (caller holds a weak or strong
+/// reference, or protection on a location containing one).
+#[inline]
+pub(crate) unsafe fn increment(addr: usize) -> bool {
+    (*as_header(addr)).strong.increment_if_not_zero()
+}
+
+/// Strong increment on an address known to have a nonzero count (e.g. read
+/// from a location holding a strong reference, under protection).
+///
+/// # Safety
+///
+/// As [`increment`], plus the nonzero guarantee.
+#[inline]
+pub(crate) unsafe fn increment_alive(addr: usize) {
+    let ok = increment(addr);
+    debug_assert!(ok, "increment of an expired object: protection bug");
+}
+
+/// Weak increment (never needs to check: a zero weak count means the block
+/// is already freed, which the caller's reference excludes).
+///
+/// # Safety
+///
+/// The control block must be alive.
+#[inline]
+pub(crate) unsafe fn weak_increment(addr: usize) {
+    let ok = (*as_header(addr)).weak.increment_if_not_zero();
+    debug_assert!(ok, "weak increment of a freed block: protection bug");
+}
+
+/// Whether the object's strong count is zero (Fig. 8's `expired`).
+///
+/// # Safety
+///
+/// The control block must be alive.
+#[inline]
+pub(crate) unsafe fn expired(addr: usize) -> bool {
+    (*as_header(addr)).strong.load() == 0
+}
+
+/// The raw pointer to the domain a live block was allocated under.
+///
+/// # Safety
+///
+/// The control block must be alive, and `S` must be the scheme it was
+/// allocated under (guaranteed by the pointer types, whose `S` parameter is
+/// fixed at allocation).
+#[inline]
+pub(crate) unsafe fn domain_ptr_of<S: AcquireRetire>(addr: usize) -> *const Domain<S> {
+    (*as_header(addr)).domain as *const Domain<S>
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smr::Ebr;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
-    use sticky::Counter;
+
+    fn alloc_unowned<T>(value: T, birth: u64) -> *mut Counted<T> {
+        // Domain-less blocks: release_domain is a no-op on null.
+        Counted::allocate::<Ebr>(value, birth, ptr::null())
+    }
 
     #[test]
     fn header_is_prefix_of_counted() {
         // repr(C) with header first: the erased view must be exact.
-        let p = Counted::allocate(42u64, 7);
+        let p = alloc_unowned(42u64, 7);
         let h = p as *mut Header;
         unsafe {
             assert_eq!((*h).birth, 7);
@@ -112,7 +219,10 @@ mod tests {
             assert_eq!((*h).weak.load(), 1);
             assert_eq!((*p).value.assume_init_read(), 42);
             // Payload was read out (Copy), dispose not needed for u64.
+            let release = (*h).vtable.release_domain;
+            let domain = (*h).domain;
             ((*h).vtable.dealloc)(h);
+            release(domain); // no-op for the null domain
         }
     }
 
@@ -125,7 +235,7 @@ mod tests {
             }
         }
         let drops = Arc::new(AtomicUsize::new(0));
-        let p = Counted::allocate(Probe(Arc::clone(&drops)), 0);
+        let p = alloc_unowned(Probe(Arc::clone(&drops)), 0);
         let h = p as *mut Header;
         unsafe {
             ((*h).vtable.dispose)(h);
@@ -139,7 +249,7 @@ mod tests {
     #[test]
     fn alignment_supports_tag_bits() {
         assert!(std::mem::align_of::<Counted<u8>>() >= 8);
-        let p = Counted::allocate(1u8, 0);
+        let p = alloc_unowned(1u8, 0);
         assert_eq!(p as usize & smr::TAG_MASK, 0);
         unsafe { ((*(p as *mut Header)).vtable.dealloc)(p as *mut Header) };
     }

@@ -1,10 +1,37 @@
 //! The reclamation domain: three acquire-retire instances (strong
 //! decrements, weak decrements, disposals — §4.4 of the paper) sharing one
 //! epoch clock, plus the deferred-operation primitives of Figure 8.
+//!
+//! # Domain handles
+//!
+//! A [`Domain`] is owned through [`DomainRef`], a cheap-to-clone
+//! `Arc`-backed handle. Every pointer type is bound to exactly one domain at
+//! creation — [`Scheme::global_domain`] is merely the *convenience default*
+//! used by the handle-free constructors (`SharedPtr::new`,
+//! `AtomicSharedPtr::null`, …); the `_in` constructors take an explicit
+//! handle. Two structures on the same scheme with separate domains are fully
+//! isolated: neither's open critical sections, epoch advancement or
+//! allocation counters affect the other.
+//!
+//! Domain lifetime is reference-counted three ways: user handles
+//! ([`DomainRef`] clones), the guards ([`CsGuard`], [`WeakCsGuard`]) and
+//! atomic pointer locations, and *every control block allocated under the
+//! domain* (released when the block is freed). The domain is therefore alive
+//! whenever anything that could still reach it exists. A `SharedPtr` or
+//! `WeakPtr` may even outlive the last handle: when such a pointer's final
+//! drop leaves the domain with no references besides its own blocks', the
+//! drop flushes the deferred work itself (the orphan-teardown check in
+//! `DomainHold`), so the blocks and the domain are reclaimed rather than
+//! leaked. The remaining caveat: discarding the last handle while deferred
+//! garbage is pinned by a concurrent section — with no later pointer drop
+//! to trigger the orphan check — leaks those blocks; flush with
+//! [`Domain::process_deferred`] first (the `lockfree` structures do this in
+//! their `Drop`).
 
 use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
+use std::ops::Deref;
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
@@ -12,26 +39,28 @@ use smr::util::{CachePadded, ShardedCounter};
 use smr::{AcquireRetire, GlobalEpoch, Retired, SmrConfig, Tid, MAX_THREADS};
 use sticky::Counter;
 
-use crate::counted::{as_header, Counted, Header};
+use crate::counted::{as_header, Counted};
 
 /// An SMR scheme usable as the engine of the reference-counting library.
 ///
 /// The single obligation beyond [`AcquireRetire`] is a process-global
-/// [`Domain`] so that pointer types need not thread a domain handle through
-/// every signature. Implemented here for all four schemes of the `smr`
-/// crate; implement it for your own scheme to plug it into the same pointer
-/// types.
+/// *default* [`Domain`] for the handle-free constructors. Pointer types and
+/// structures that want isolation create their own domain with
+/// [`DomainRef::new`] and use the `_in` constructors instead. Implemented
+/// here for all four schemes of the `smr` crate; implement it for your own
+/// scheme to plug it into the same pointer types.
 pub trait Scheme: AcquireRetire + Sized {
-    /// The process-wide domain that the pointer types of this crate bind to.
-    fn global_domain() -> &'static Domain<Self>;
+    /// The process-wide default domain that the handle-free constructors of
+    /// this crate bind to.
+    fn global_domain() -> &'static DomainRef<Self>;
 }
 
 macro_rules! impl_scheme {
     ($ty:ty) => {
         impl Scheme for $ty {
-            fn global_domain() -> &'static Domain<Self> {
-                static DOMAIN: std::sync::OnceLock<Domain<$ty>> = std::sync::OnceLock::new();
-                DOMAIN.get_or_init(Domain::new)
+            fn global_domain() -> &'static DomainRef<Self> {
+                static DOMAIN: std::sync::OnceLock<DomainRef<$ty>> = std::sync::OnceLock::new();
+                DOMAIN.get_or_init(DomainRef::new_default)
             }
         }
     };
@@ -41,6 +70,221 @@ impl_scheme!(smr::Ebr);
 impl_scheme!(smr::Ibr);
 impl_scheme!(smr::Hp);
 impl_scheme!(smr::Hyaline);
+
+/// An owning handle on a reclamation [`Domain`] for scheme `S`.
+///
+/// Clones are cheap (`Arc`) and all refer to the same domain; the handle
+/// [`Deref`]s to [`Domain`] for the metric and maintenance API. A domain's
+/// identity *is* its allocation — compare handles with
+/// [`ptr_eq`](DomainRef::ptr_eq).
+///
+/// # Examples
+///
+/// Two structures on one scheme, each with its own domain:
+///
+/// ```
+/// use cdrc::{DomainRef, EbrScheme};
+///
+/// let a: DomainRef<EbrScheme> = DomainRef::new();
+/// let b: DomainRef<EbrScheme> = DomainRef::new();
+/// assert!(!a.ptr_eq(&b));
+/// assert!(a.ptr_eq(&a.clone()));
+/// assert_eq!(a.in_flight(), 0);
+/// ```
+pub struct DomainRef<S: AcquireRetire>(Arc<Domain<S>>);
+
+impl<S: AcquireRetire> Clone for DomainRef<S> {
+    fn clone(&self) -> Self {
+        DomainRef(Arc::clone(&self.0))
+    }
+}
+
+impl<S: AcquireRetire> Deref for DomainRef<S> {
+    type Target = Domain<S>;
+    fn deref(&self) -> &Domain<S> {
+        &self.0
+    }
+}
+
+impl<S: AcquireRetire> Default for DomainRef<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: AcquireRetire> fmt::Debug for DomainRef<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("DomainRef").field(&*self.0).finish()
+    }
+}
+
+impl<S: AcquireRetire> DomainRef<S> {
+    /// Creates a fresh, fully independent domain with the scheme's preferred
+    /// configuration.
+    pub fn new() -> Self {
+        Self::with_config(S::default_config())
+    }
+
+    /// Creates a fresh domain with explicit scheme tuning.
+    pub fn with_config(cfg: SmrConfig) -> Self {
+        DomainRef(Arc::new(Domain::with_config(cfg, false)))
+    }
+
+    /// The process-wide default domain for [`Scheme::global_domain`]: held
+    /// by a static forever, so the orphan-teardown check can skip it.
+    pub(crate) fn new_default() -> Self {
+        DomainRef(Arc::new(Domain::with_config(S::default_config(), true)))
+    }
+
+    /// Whether two handles refer to the *same* domain. Domain identity is
+    /// what the misuse checks compare: a guard or pointer from a different
+    /// domain provides no protection here even when the scheme type matches.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// The domain's address, used for identity checks against the domain
+    /// pointer recorded in control-block headers.
+    #[inline]
+    pub(crate) fn as_raw(&self) -> *const Domain<S> {
+        Arc::as_ptr(&self.0)
+    }
+
+    /// Allocates a control block under this domain. The block records the
+    /// domain and owns one `Arc` reference on it (released when the block is
+    /// freed), so single-word pointers can resolve their domain from the
+    /// header for as long as the block lives.
+    pub(crate) fn allocate<T>(&self, t: Tid, value: T) -> *mut Counted<T> {
+        let birth = self.strong_ar.birth_epoch(t);
+        self.allocs.add(t, 1);
+        let ptr = Arc::as_ptr(&self.0);
+        // Safety: `ptr` comes from a live Arc we hold.
+        unsafe { Arc::increment_strong_count(ptr) };
+        Counted::allocate::<S>(value, birth, ptr as *const ())
+    }
+
+    /// Begins a *strong* critical section: read protection for atomic
+    /// shared pointers and snapshots. See [`CsGuard`].
+    pub fn cs(&self) -> CsGuard<S> {
+        let t = smr::current_tid();
+        self.strong_ar.begin_critical_section(t);
+        CsGuard {
+            domain: self.clone(),
+            t,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Begins a *full* critical section additionally covering the weak and
+    /// dispose instances — required for every `AtomicWeakPtr` operation and
+    /// weak snapshot lifetime. See [`WeakCsGuard`].
+    pub fn weak_cs(&self) -> WeakCsGuard<S> {
+        let inner = self.cs();
+        let t = inner.t;
+        self.weak_ar.begin_critical_section(t);
+        self.dispose_ar.begin_critical_section(t);
+        WeakCsGuard { inner }
+    }
+}
+
+/// Rebuilds an owning [`DomainRef`] from the domain pointer recorded in a
+/// live control block's header.
+///
+/// # Safety
+///
+/// `addr` must be a live control block allocated under scheme `S` via
+/// [`DomainRef::allocate`] (so its domain pointer is non-null and the
+/// block's own reference keeps the `Arc` alive across this call).
+pub(crate) unsafe fn domain_ref_of<S: AcquireRetire>(addr: usize) -> DomainRef<S> {
+    let ptr = crate::counted::domain_ptr_of::<S>(addr);
+    Arc::increment_strong_count(ptr);
+    DomainRef(Arc::from_raw(ptr))
+}
+
+/// Panics if a non-null block was not allocated under `domain`.
+///
+/// Installing a pointer into a location bound to a different domain would
+/// defer its reclamation through an instance its readers never announce to —
+/// a protection hole — so the store-family operations refuse it outright.
+#[inline]
+pub(crate) fn check_same_domain<S: AcquireRetire>(addr: usize, domain: &DomainRef<S>) {
+    if addr != 0 {
+        // Safety: callers pass addresses of live blocks (strong or weak
+        // borrows they hold).
+        let owner = unsafe { crate::counted::domain_ptr_of::<S>(addr) };
+        assert!(
+            std::ptr::eq(owner, domain.as_raw()),
+            "cross-domain pointer: this location is bound to a different reclamation domain \
+             than the one the pointer was allocated in"
+        );
+    }
+}
+
+/// A temporary strong count on a domain, held across deferred-operation
+/// cascades entered from header-resolved (handle-free) paths such as
+/// `SharedPtr::drop`: the cascade may free the very block whose domain
+/// reference was keeping the domain alive, and this hold keeps the domain's
+/// teardown from running re-entrantly inside its own methods.
+pub(crate) struct DomainHold<S: AcquireRetire> {
+    ptr: *const Domain<S>,
+}
+
+impl<S: AcquireRetire> DomainHold<S> {
+    /// # Safety
+    ///
+    /// `ptr` must come from a control-block header whose block is still
+    /// alive (i.e. it points into a live `Arc<Domain<S>>` allocation).
+    #[inline]
+    pub(crate) unsafe fn new(ptr: *const Domain<S>) -> Self {
+        Arc::increment_strong_count(ptr);
+        DomainHold { ptr }
+    }
+
+    /// The held domain.
+    #[inline]
+    pub(crate) fn domain(&self) -> &Domain<S> {
+        // Safety: we hold a strong count on the Arc.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<S: AcquireRetire> Drop for DomainHold<S> {
+    fn drop(&mut self) {
+        // Safety: we own one strong count, so borrowing the Arc here is
+        // sound; `ManuallyDrop` keeps the borrow from consuming it.
+        unsafe {
+            let arc = std::mem::ManuallyDrop::new(Arc::from_raw(self.ptr));
+            // Orphan teardown: holds exist only on paths that just deferred
+            // (or applied) an operation from a handle-free pointer. If —
+            // apart from this hold — every remaining reference on the
+            // domain is a control block's own, then no handle or guard
+            // exists to ever run collection again, and whatever we just
+            // deferred would leak together with the domain. Flush it now.
+            //
+            // The scheme-global default domain is exempt outright (its
+            // static handle exists forever, so it can never be orphaned) —
+            // which also keeps this check off the default hot path. Holds
+            // created *inside* a collection cascade skip too: the outermost
+            // flush loops to a fixpoint and covers them, so a deep chain
+            // tears down with one flush instead of one per node. Both
+            // counter reads are racy: a spurious flush is merely redundant
+            // work, and a mismatch implies some other thread holds a live
+            // reference and is responsible for its own collection.
+            let t = smr::current_tid();
+            if !arc.is_default && !arc.applying(t) {
+                let sc = Arc::strong_count(&arc) as u64;
+                if sc - 1 == arc.in_flight() {
+                    arc.process_deferred(t);
+                }
+            }
+            // Balances the increment in `new`. If this is the last
+            // reference anywhere, the domain tears down here — outside all
+            // of its own methods.
+            Arc::decrement_strong_count(self.ptr);
+        }
+    }
+}
 
 struct DomainLocal {
     /// True while this thread is applying ejected deferred operations —
@@ -56,8 +300,9 @@ struct DomainLocal {
 /// disposal of managed objects — all sharing a [`GlobalEpoch`] so that birth
 /// epochs are comparable across instances.
 ///
-/// Pointer types bind to [`Scheme::global_domain`]; standalone domains are
-/// mainly useful for tests and for embedding.
+/// Owned through [`DomainRef`]; every pointer type and every `lockfree::rc`
+/// structure is bound to exactly one domain ([`Scheme::global_domain`] by
+/// default, or an explicit handle via the `_in` constructors).
 pub struct Domain<S: AcquireRetire> {
     pub(crate) strong_ar: S,
     pub(crate) weak_ar: S,
@@ -70,6 +315,9 @@ pub struct Domain<S: AcquireRetire> {
     /// Control-block free count, sharded likewise.
     frees: ShardedCounter,
     locals: Box<[CachePadded<DomainLocal>]>,
+    /// Whether this is a scheme's process-global default domain (held by a
+    /// static forever): exempts it from the orphan-teardown check.
+    is_default: bool,
 }
 
 // Safety: `locals` entries are only touched by the thread whose Tid indexes
@@ -77,20 +325,11 @@ pub struct Domain<S: AcquireRetire> {
 unsafe impl<S: AcquireRetire> Send for Domain<S> {}
 unsafe impl<S: AcquireRetire> Sync for Domain<S> {}
 
-impl<S: AcquireRetire> Default for Domain<S> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl<S: AcquireRetire> Domain<S> {
-    /// Creates a domain with the scheme's preferred configuration.
-    pub fn new() -> Self {
-        Self::with_config(S::default_config())
-    }
-
-    /// Creates a domain with explicit scheme tuning.
-    pub fn with_config(cfg: SmrConfig) -> Self {
+    /// Creates a domain with explicit scheme tuning. (Use [`DomainRef`] to
+    /// obtain an owned, usable handle — a bare `Domain` value only exposes
+    /// the metric and maintenance API.)
+    pub(crate) fn with_config(cfg: SmrConfig, is_default: bool) -> Self {
         let clock = Arc::new(GlobalEpoch::new());
         Domain {
             strong_ar: S::new(Arc::clone(&clock), cfg.clone()),
@@ -106,7 +345,14 @@ impl<S: AcquireRetire> Domain<S> {
                     })
                 })
                 .collect(),
+            is_default,
         }
+    }
+
+    /// Whether thread `t` is currently inside this domain's collection
+    /// cascade (applying ejected deferred operations).
+    pub(crate) fn applying(&self, t: Tid) -> bool {
+        self.locals[t.index()].applying.get()
     }
 
     /// Control blocks allocated through this domain so far.
@@ -128,7 +374,15 @@ impl<S: AcquireRetire> Domain<S> {
     /// deferred garbage. The benchmark harness samples this for the paper's
     /// "extra nodes" memory metric.
     pub fn in_flight(&self) -> u64 {
-        self.allocated().saturating_sub(self.freed())
+        // Fold order matters under concurrency: `frees` is summed *before*
+        // `allocs`. Every free has a matching alloc that happened-before it,
+        // so a sample that reads frees first can at worst miss concurrent
+        // frees (over-reporting garbage). The reverse order could count a
+        // free whose alloc the earlier fold had not yet seen, silently
+        // *under*-reporting live garbage in the very samples the bench
+        // harness records.
+        let freed = self.freed();
+        self.allocated().saturating_sub(freed)
     }
 
     /// The shared epoch clock (exposed for tests and benchmarks).
@@ -137,56 +391,13 @@ impl<S: AcquireRetire> Domain<S> {
     }
 
     // ------------------------------------------------------------------
-    // Allocation
-    // ------------------------------------------------------------------
-
-    pub(crate) fn allocate<T>(&self, t: Tid, value: T) -> *mut Counted<T> {
-        let birth = self.strong_ar.birth_epoch(t);
-        self.allocs.add(t, 1);
-        Counted::allocate(value, birth)
-    }
-
-    // ------------------------------------------------------------------
     // Figure 8 primitives. `addr` is always an untagged control-block
     // address. All `unsafe fn`s require: `addr` points to a live control
-    // block and the caller upholds the reference-count ownership rules
-    // stated on each.
+    // block allocated under this domain and the caller upholds the
+    // reference-count ownership rules stated on each. (The header-only
+    // count operations — increment, weak increment, expired — live in
+    // `counted` as free functions; they need no domain.)
     // ------------------------------------------------------------------
-
-    /// Strong increment-if-not-zero.
-    ///
-    /// # Safety
-    ///
-    /// The control block must be alive (caller holds a weak or strong
-    /// reference, or protection on a location containing one).
-    #[inline]
-    pub(crate) unsafe fn increment(&self, addr: usize) -> bool {
-        (*as_header(addr)).strong.increment_if_not_zero()
-    }
-
-    /// Strong increment on an address known to have a nonzero count (e.g.
-    /// read from a location holding a strong reference, under protection).
-    ///
-    /// # Safety
-    ///
-    /// As [`increment`](Self::increment), plus the nonzero guarantee.
-    #[inline]
-    pub(crate) unsafe fn increment_alive(&self, addr: usize) {
-        let ok = self.increment(addr);
-        debug_assert!(ok, "increment of an expired object: protection bug");
-    }
-
-    /// Weak increment (never needs to check: a zero weak count means the
-    /// block is already freed, which the caller's reference excludes).
-    ///
-    /// # Safety
-    ///
-    /// The control block must be alive.
-    #[inline]
-    pub(crate) unsafe fn weak_increment(&self, addr: usize) {
-        let ok = (*as_header(addr)).weak.increment_if_not_zero();
-        debug_assert!(ok, "weak increment of a freed block: protection bug");
-    }
 
     /// Direct strong decrement of a reference the caller owns. If it zeroes
     /// the count, disposal is *deferred* through the dispose instance so
@@ -208,11 +419,27 @@ impl<S: AcquireRetire> Domain<S> {
     ///
     /// Caller owns one weak reference to `addr` and forfeits it.
     pub(crate) unsafe fn weak_decrement(&self, t: Tid, addr: usize) {
-        let h = as_header(addr);
-        if (*h).weak.decrement() {
-            self.frees.add(t, 1);
-            ((*h).vtable.dealloc)(h);
+        if (*as_header(addr)).weak.decrement() {
+            self.free_block(t, addr);
         }
+    }
+
+    /// Frees a control block whose weak count has reached zero, releasing
+    /// the block's owning reference on this domain last.
+    ///
+    /// # Safety
+    ///
+    /// The weak count of `addr` is zero and nobody else will free it. The
+    /// caller must hold its own reference on this domain (a handle, a
+    /// guard, or a [`DomainHold`]) — the block's reference released here may
+    /// otherwise be the domain's last.
+    pub(crate) unsafe fn free_block(&self, t: Tid, addr: usize) {
+        let h = as_header(addr);
+        self.frees.add(t, 1);
+        let release = (*h).vtable.release_domain;
+        let domain = (*h).domain;
+        ((*h).vtable.dealloc)(h);
+        release(domain);
     }
 
     /// Destroys the managed object and drops the strong side's weak
@@ -260,16 +487,6 @@ impl<S: AcquireRetire> Domain<S> {
         let birth = (*as_header(addr)).birth;
         self.dispose_ar.retire(t, Retired::new(addr, birth));
         self.collect(t);
-    }
-
-    /// Whether the object's strong count is zero (Fig. 8's `expired`).
-    ///
-    /// # Safety
-    ///
-    /// The control block must be alive.
-    #[inline]
-    pub(crate) unsafe fn expired(&self, addr: usize) -> bool {
-        (*as_header(addr)).strong.load() == 0
     }
 
     /// Reads an object's birth epoch (diagnostics / future schemes).
@@ -399,38 +616,15 @@ impl<S: AcquireRetire> Domain<S> {
             self.collect(t);
         }
     }
-
-    // ------------------------------------------------------------------
-    // Critical sections
-    // ------------------------------------------------------------------
-
-    /// Begins a *strong* critical section: read protection for atomic
-    /// shared pointers and snapshots. See [`CsGuard`].
-    pub fn cs(&self) -> CsGuard<'_, S> {
-        let t = smr::current_tid();
-        self.strong_ar.begin_critical_section(t);
-        CsGuard {
-            domain: self,
-            t,
-            _not_send: PhantomData,
-        }
-    }
-
-    /// Begins a *full* critical section additionally covering the weak and
-    /// dispose instances — required for every `AtomicWeakPtr` operation and
-    /// weak snapshot lifetime. See [`WeakCsGuard`].
-    pub fn weak_cs(&self) -> WeakCsGuard<'_, S> {
-        let t = smr::current_tid();
-        self.weak_ar.begin_critical_section(t);
-        self.dispose_ar.begin_critical_section(t);
-        WeakCsGuard { inner: self.cs() }
-    }
 }
 
 impl<S: AcquireRetire> Drop for Domain<S> {
     fn drop(&mut self) {
-        // Exclusive access (`&mut self`): apply whatever is still deferred
-        // so locally-scoped domains do not leak.
+        // Exclusive access (`&mut self`): the last reference — handle,
+        // guard, or block — is gone. Blocks hold references, so at this
+        // point no block allocated under this domain exists and the drain
+        // is a belt-and-braces no-op; it still runs so a future scheme that
+        // retires domain-less records cannot leak them.
         let t = smr::current_tid();
         unsafe { self.drain_and_apply_all(t) };
     }
@@ -447,7 +641,7 @@ impl<S: AcquireRetire> fmt::Debug for Domain<S> {
 }
 
 /// RAII strong critical section (the paper's `critical_section_guard`,
-/// strong-only flavour).
+/// strong-only flavour), obtained from [`DomainRef::cs`].
 ///
 /// All racy atomic-shared-pointer operations and every
 /// [`SnapshotPtr`](crate::SnapshotPtr) lifetime must be contained in one
@@ -455,17 +649,32 @@ impl<S: AcquireRetire> fmt::Debug for Domain<S> {
 /// open one internally for their own duration; holding a guard across an
 /// operation sequence amortizes the scheme's per-section fence.
 ///
+/// The guard owns a handle on its domain, so it may outlive the
+/// [`DomainRef`] it was opened from. It only protects operations on
+/// locations bound to *that same domain* — [`covers`](CsGuard::covers)
+/// checks identity, and the snapshot operations assert it in debug builds.
+///
 /// Not `Send`: the guard encapsulates per-thread announcements.
-pub struct CsGuard<'d, S: AcquireRetire> {
-    pub(crate) domain: &'d Domain<S>,
+pub struct CsGuard<S: AcquireRetire> {
+    pub(crate) domain: DomainRef<S>,
     pub(crate) t: Tid,
     _not_send: PhantomData<*mut ()>,
 }
 
-impl<'d, S: AcquireRetire> CsGuard<'d, S> {
+impl<S: AcquireRetire> CsGuard<S> {
     /// The domain this section protects.
-    pub fn domain(&self) -> &'d Domain<S> {
-        self.domain
+    pub fn domain(&self) -> &Domain<S> {
+        &self.domain
+    }
+
+    /// Whether this guard's section protects reads of locations bound to
+    /// `domain` — i.e. both refer to the *same domain instance* (pointer
+    /// equality on the handle). A guard over a different domain of the same
+    /// scheme provides no protection at all; structure operations taking a
+    /// caller-provided guard assert this in debug builds.
+    #[inline]
+    pub fn covers(&self, domain: &DomainRef<S>) -> bool {
+        self.domain.ptr_eq(domain)
     }
 
     pub(crate) fn tid(&self) -> Tid {
@@ -473,7 +682,7 @@ impl<'d, S: AcquireRetire> CsGuard<'d, S> {
     }
 }
 
-impl<S: AcquireRetire> Drop for CsGuard<'_, S> {
+impl<S: AcquireRetire> Drop for CsGuard<S> {
     fn drop(&mut self) {
         self.domain.strong_ar.end_critical_section(self.t);
         // Leaving a section is where region schemes (Hyaline in particular)
@@ -482,30 +691,37 @@ impl<S: AcquireRetire> Drop for CsGuard<'_, S> {
     }
 }
 
-impl<S: AcquireRetire> fmt::Debug for CsGuard<'_, S> {
+impl<S: AcquireRetire> fmt::Debug for CsGuard<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CsGuard").field("tid", &self.t).finish()
     }
 }
 
-/// RAII full critical section: strong + weak + dispose instances.
+/// RAII full critical section: strong + weak + dispose instances, obtained
+/// from [`DomainRef::weak_cs`].
 ///
 /// Required for [`AtomicWeakPtr`](crate::AtomicWeakPtr) operations and
 /// [`WeakSnapshotPtr`](crate::WeakSnapshotPtr) lifetimes; usable anywhere a
 /// strong [`CsGuard`] is accepted via [`as_cs`](WeakCsGuard::as_cs).
-pub struct WeakCsGuard<'d, S: AcquireRetire> {
-    inner: CsGuard<'d, S>,
+pub struct WeakCsGuard<S: AcquireRetire> {
+    inner: CsGuard<S>,
 }
 
-impl<'d, S: AcquireRetire> WeakCsGuard<'d, S> {
+impl<S: AcquireRetire> WeakCsGuard<S> {
     /// The strong section view, for APIs that only need strong protection.
-    pub fn as_cs(&self) -> &CsGuard<'d, S> {
+    pub fn as_cs(&self) -> &CsGuard<S> {
         &self.inner
     }
 
     /// The domain this section protects.
-    pub fn domain(&self) -> &'d Domain<S> {
-        self.inner.domain
+    pub fn domain(&self) -> &Domain<S> {
+        self.inner.domain()
+    }
+
+    /// Domain-identity check; see [`CsGuard::covers`].
+    #[inline]
+    pub fn covers(&self, domain: &DomainRef<S>) -> bool {
+        self.inner.covers(domain)
     }
 
     pub(crate) fn tid(&self) -> Tid {
@@ -513,7 +729,7 @@ impl<'d, S: AcquireRetire> WeakCsGuard<'d, S> {
     }
 }
 
-impl<S: AcquireRetire> Drop for WeakCsGuard<'_, S> {
+impl<S: AcquireRetire> Drop for WeakCsGuard<S> {
     fn drop(&mut self) {
         self.inner.domain.weak_ar.end_critical_section(self.inner.t);
         self.inner
@@ -525,7 +741,7 @@ impl<S: AcquireRetire> Drop for WeakCsGuard<'_, S> {
     }
 }
 
-impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<'_, S> {
+impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WeakCsGuard")
             .field("tid", &self.inner.t)
@@ -544,21 +760,21 @@ impl<S: AcquireRetire> fmt::Debug for WeakCsGuard<'_, S> {
 ///
 /// Hold one guard across a batch of operations to pay the scheme's
 /// per-section announcement fence once instead of per operation (§3.4).
-pub trait OpGuard<'d, S: AcquireRetire> {
+pub trait OpGuard<S: AcquireRetire> {
     /// The strong-section view of this guard, accepted by every
     /// snapshot-taking strong-pointer operation (the domain is reachable
     /// from it via [`CsGuard::domain`]).
-    fn strong_cs(&self) -> &CsGuard<'d, S>;
+    fn strong_cs(&self) -> &CsGuard<S>;
 }
 
-impl<'d, S: AcquireRetire> OpGuard<'d, S> for CsGuard<'d, S> {
-    fn strong_cs(&self) -> &CsGuard<'d, S> {
+impl<S: AcquireRetire> OpGuard<S> for CsGuard<S> {
+    fn strong_cs(&self) -> &CsGuard<S> {
         self
     }
 }
 
-impl<'d, S: AcquireRetire> OpGuard<'d, S> for WeakCsGuard<'d, S> {
-    fn strong_cs(&self) -> &CsGuard<'d, S> {
+impl<S: AcquireRetire> OpGuard<S> for WeakCsGuard<S> {
+    fn strong_cs(&self) -> &CsGuard<S> {
         self.as_cs()
     }
 }
@@ -609,6 +825,7 @@ pub trait StrongRef<T> {
 pub(crate) fn _assert_traits() {
     fn is_send_sync<X: Send + Sync>() {}
     is_send_sync::<Domain<smr::Ebr>>();
+    is_send_sync::<DomainRef<smr::Ebr>>();
 }
 
 /// Shared helper for the atomic pointer types: the word is loaded and
@@ -641,6 +858,6 @@ pub(crate) unsafe fn load_and_increment<S: AcquireRetire>(
 
 /// Asserts at compile time that header erasure is sound for any `T`.
 #[allow(dead_code)]
-fn _header_prefix_is_stable<T>(c: *mut Counted<T>) -> *mut Header {
-    c as *mut Header
+fn _header_prefix_is_stable<T>(c: *mut Counted<T>) -> *mut crate::counted::Header {
+    c as *mut crate::counted::Header
 }

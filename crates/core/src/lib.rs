@@ -48,7 +48,7 @@
 //! drop(cs);
 //! ```
 //!
-//! Weak-pointer operations use the *full* guard, [`Domain::weak_cs`]:
+//! Weak-pointer operations use the *full* guard, [`DomainRef::weak_cs`]:
 //!
 //! ```
 //! use cdrc::{AtomicWeakPtr, SharedPtr, EbrScheme, Scheme};
@@ -102,6 +102,39 @@
 //! operation (`get_with`, `insert_with`, `enqueue_with`, … on its
 //! `ConcurrentMap`/`ConcurrentQueue` traits).
 //!
+//! ## Reclamation domains
+//!
+//! Every pointer is bound to one reclamation [`Domain`] at creation,
+//! identified by its owning handle [`DomainRef`]. The handle-free
+//! constructors (`SharedPtr::new`, `AtomicSharedPtr::null`, …) default to
+//! the scheme's process-wide [`Scheme::global_domain`]; the `_in` variants
+//! (`new_in`, `null_in`) take an explicit handle. Separate domains on the
+//! same scheme are fully isolated — distinct epoch clocks, announcement
+//! slots, retired lists and allocation counters — so one structure's open
+//! critical sections never pin another's garbage, and
+//! `allocated() − freed()` is an exact per-domain metric:
+//!
+//! ```
+//! use cdrc::{AtomicSharedPtr, DomainRef, EbrScheme, SharedPtr};
+//!
+//! let mine: DomainRef<EbrScheme> = DomainRef::new();
+//! let slot = AtomicSharedPtr::null_in(&mine);
+//! slot.store(SharedPtr::new_in(1u64, &mine));
+//! let cs = mine.cs();                       // section on *this* domain only
+//! assert_eq!(slot.get_snapshot(&cs).as_ref(), Some(&1));
+//! drop(cs);
+//! drop(slot);
+//! mine.process_deferred(smr::current_tid());
+//! assert_eq!(mine.allocated(), mine.freed());
+//! ```
+//!
+//! Share one domain between structures that should reclaim together (a hash
+//! table's buckets, or a group of small maps whose combined garbage should
+//! amortize one scan cadence); give independent structures independent
+//! domains. Mixing is checked: installing a pointer into a location bound
+//! to a different domain panics, and snapshot operations assert (debug
+//! builds) that the guard covers the location's domain.
+//!
 //! ## Reference cycles
 //!
 //! Strong cycles leak (as in every reference-counting system); break them
@@ -117,7 +150,7 @@ mod strong;
 mod tagged;
 mod weak;
 
-pub use domain::{CsGuard, Domain, OpGuard, Scheme, StrongRef, WeakCsGuard};
+pub use domain::{CsGuard, Domain, DomainRef, OpGuard, Scheme, StrongRef, WeakCsGuard};
 pub use strong::{AtomicSharedPtr, SharedPtr, SnapshotPtr};
 pub use tagged::TaggedPtr;
 pub use weak::{AtomicWeakPtr, WeakPtr, WeakSnapshotPtr};
@@ -147,10 +180,15 @@ mod tests {
 
     #[test]
     fn all_four_schemes_provide_global_domains() {
-        let _ = EbrScheme::global_domain();
-        let _ = IbrScheme::global_domain();
-        let _ = HpScheme::global_domain();
-        let _ = HyalineScheme::global_domain();
+        fn check<S: Scheme>() {
+            let g = S::global_domain();
+            assert!(g.ptr_eq(S::global_domain()), "global domain is stable");
+            assert!(!g.ptr_eq(&DomainRef::new()), "fresh domains are distinct");
+        }
+        check::<EbrScheme>();
+        check::<IbrScheme>();
+        check::<HpScheme>();
+        check::<HyalineScheme>();
     }
 
     #[test]

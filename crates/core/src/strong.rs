@@ -14,24 +14,46 @@
 //!   `try_acquire`; only when the scheme runs out of protection resources
 //!   does it fall back to an increment. Snapshots are confined to a
 //!   critical section ([`CsGuard`]) and to their creating thread.
+//!
+//! # Domains
+//!
+//! Every pointer is bound to one reclamation [`Domain`](crate::Domain) at
+//! creation: the `_in` constructors take an explicit [`DomainRef`], the
+//! plain constructors default to [`Scheme::global_domain`]. A `SharedPtr`
+//! stays a single word — its domain is recorded in the control-block header
+//! (which also keeps the domain alive for as long as the block exists). An
+//! `AtomicSharedPtr` carries its own handle, because operations must know
+//! which domain to open a critical section on *before* reading the word.
+//! Mixing domains is a logic error: the store-family operations panic if
+//! the pointer being installed was allocated under a different domain, and
+//! snapshot operations assert (debug builds) that the supplied guard covers
+//! this location's domain.
 
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, AcquireRetire};
+use sticky::Counter;
 
-use crate::counted::{as_counted, PtrMarker};
-use crate::domain::{load_and_increment, with_strong_cs, CsGuard, Scheme, StrongRef};
+use crate::counted::{self, as_counted, as_header, PtrMarker};
+use crate::domain::{
+    check_same_domain, domain_ref_of, load_and_increment, with_strong_cs, CsGuard, DomainHold,
+    DomainRef, Scheme, StrongRef,
+};
 use crate::tagged::TaggedPtr;
 use crate::weak::WeakPtr;
 
-/// An owned strong reference to a `T` managed by scheme `S`'s global domain.
+/// An owned strong reference to a `T` managed by a reclamation domain of
+/// scheme `S` ([`Scheme::global_domain`] unless created with
+/// [`new_in`](SharedPtr::new_in)).
 ///
 /// Dropping a `SharedPtr` decrements the strong count *directly* (the
 /// reference is caller-owned, so the decrement cannot race with a protected
 /// increment — see DESIGN.md); destruction of the object itself is always
-/// deferred through the dispose instance.
+/// deferred through the dispose instance of the block's own domain, which
+/// the pointer resolves from the control-block header — a `SharedPtr` is a
+/// single word regardless of which domain manages it.
 ///
 /// # Examples
 ///
@@ -53,11 +75,17 @@ unsafe impl<T: Send + Sync, S: Scheme> Send for SharedPtr<T, S> {}
 unsafe impl<T: Send + Sync, S: Scheme> Sync for SharedPtr<T, S> {}
 
 impl<T, S: Scheme> SharedPtr<T, S> {
-    /// Allocates a new managed object holding `value` (strong count 1).
+    /// Allocates a new managed object holding `value` (strong count 1)
+    /// under the scheme's global domain.
     pub fn new(value: T) -> Self {
-        let d = S::global_domain();
+        Self::new_in(value, S::global_domain())
+    }
+
+    /// Allocates a new managed object holding `value` (strong count 1)
+    /// under an explicit domain.
+    pub fn new_in(value: T, domain: &DomainRef<S>) -> Self {
         let t = smr::current_tid();
-        let ptr = d.allocate(t, value);
+        let ptr = domain.allocate(t, value);
         SharedPtr {
             addr: ptr as usize,
             _marker: PhantomData,
@@ -113,7 +141,8 @@ impl<T, S: Scheme> SharedPtr<T, S> {
         let addr = r.addr();
         if addr != 0 {
             // Safety: `r` guarantees a nonzero strong count for the borrow.
-            unsafe { S::global_domain().increment_alive(addr) };
+            // Header-only: no domain resolution needed.
+            unsafe { counted::increment_alive(addr) };
         }
         SharedPtr::from_addr(addr)
     }
@@ -128,8 +157,7 @@ impl<T, S: Scheme> SharedPtr<T, S> {
         if self.addr == 0 {
             0
         } else {
-            use sticky::Counter;
-            unsafe { (*crate::counted::as_header(self.addr)).strong.load() }
+            unsafe { (*as_header(self.addr)).strong.load() }
         }
     }
 }
@@ -149,9 +177,18 @@ impl<T, S: Scheme> Clone for SharedPtr<T, S> {
 impl<T, S: Scheme> Drop for SharedPtr<T, S> {
     fn drop(&mut self) {
         if self.addr != 0 {
-            let t = smr::current_tid();
-            // Safety: we own one strong reference and forfeit it.
-            unsafe { S::global_domain().decrement(t, self.addr) };
+            // Safety: we own one strong reference and forfeit it. The
+            // decrement itself is header-only; only on the zero transition
+            // do we resolve the block's domain to defer disposal — under a
+            // hold, because the dispose cascade may free the very block
+            // whose reference was keeping the domain alive.
+            unsafe {
+                if (*as_header(self.addr)).strong.decrement() {
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(self.addr));
+                    let t = smr::current_tid();
+                    hold.domain().delayed_dispose(t, self.addr);
+                }
+            }
         }
     }
 }
@@ -172,13 +209,14 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
 }
 
 /// A mutable shared location holding a strong reference plus tag bits,
-/// bound to scheme `S`'s global domain.
+/// bound to one reclamation domain of scheme `S`.
 ///
 /// All operations are lock-free (given a lock-free scheme). Racy operations
-/// open the needed critical sections internally; hold a [`CsGuard`] across a
-/// sequence of operations to pay the scheme's per-section fence once
-/// (performance only — correctness never depends on the caller's guard for
-/// these methods, since sections nest).
+/// open the needed critical sections internally — on *this location's*
+/// domain; hold a [`CsGuard`] from the same domain across a sequence of
+/// operations to pay the scheme's per-section fence once (performance only —
+/// correctness never depends on the caller's guard for these methods, since
+/// sections nest).
 ///
 /// # Examples
 ///
@@ -193,6 +231,7 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
 /// ```
 pub struct AtomicSharedPtr<T, S: Scheme> {
     word: AtomicUsize,
+    domain: DomainRef<S>,
     _marker: PtrMarker<T, S>,
 }
 
@@ -201,19 +240,54 @@ unsafe impl<T: Send + Sync, S: Scheme> Sync for AtomicSharedPtr<T, S> {}
 
 impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Creates a location holding `ptr` (tag 0), consuming its reference.
+    /// The location binds to the pointer's own domain (or the global domain
+    /// for a null pointer).
     pub fn new(ptr: SharedPtr<T, S>) -> Self {
+        let domain = match ptr.addr {
+            0 => S::global_domain().clone(),
+            // Safety: `ptr` owns a strong reference, so the block is alive.
+            addr => unsafe { domain_ref_of::<S>(addr) },
+        };
         AtomicSharedPtr {
             word: AtomicUsize::new(ptr.into_addr()),
+            domain,
             _marker: PhantomData,
         }
     }
 
-    /// Creates a null location.
-    pub fn null() -> Self {
+    /// Creates a location holding `ptr` (tag 0) bound to an explicit
+    /// domain, consuming the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is non-null and was allocated under a different
+    /// domain.
+    pub fn new_in(ptr: SharedPtr<T, S>, domain: &DomainRef<S>) -> Self {
+        check_same_domain(ptr.addr, domain);
         AtomicSharedPtr {
-            word: AtomicUsize::new(0),
+            word: AtomicUsize::new(ptr.into_addr()),
+            domain: domain.clone(),
             _marker: PhantomData,
         }
+    }
+
+    /// Creates a null location bound to the scheme's global domain.
+    pub fn null() -> Self {
+        Self::null_in(S::global_domain())
+    }
+
+    /// Creates a null location bound to an explicit domain.
+    pub fn null_in(domain: &DomainRef<S>) -> Self {
+        AtomicSharedPtr {
+            word: AtomicUsize::new(0),
+            domain: domain.clone(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The domain this location is bound to.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
     }
 
     /// An unprotected read of the raw word — for tag checks and CAS
@@ -229,20 +303,28 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
 
     /// Loads the pointer and takes a strong reference to it (tag ignored).
     pub fn load(&self) -> SharedPtr<T, S> {
-        let d = S::global_domain();
+        let d = &*self.domain;
         let t = smr::current_tid();
         let addr = with_strong_cs(d, t, || {
             // Safety: this location owns a strong reference to whatever it
             // stores, with decrements deferred via the strong instance.
-            unsafe { load_and_increment(&d.strong_ar, t, &self.word, |a| d.increment_alive(a)) }
+            unsafe {
+                load_and_increment(&d.strong_ar, t, &self.word, |a| counted::increment_alive(a))
+            }
         });
         SharedPtr::from_addr(addr)
     }
 
     /// Takes a protected snapshot without incrementing the count in the
     /// common case (Fig. 5). The snapshot lives at most as long as the
-    /// critical section `cs`.
-    pub fn get_snapshot<'g>(&self, cs: &'g CsGuard<'g, S>) -> SnapshotPtr<'g, T, S> {
+    /// critical section `cs`, which must be a guard over **this location's
+    /// domain** (asserted in debug builds — a foreign guard provides no
+    /// protection here).
+    pub fn get_snapshot<'g>(&self, cs: &'g CsGuard<S>) -> SnapshotPtr<'g, T, S> {
+        debug_assert!(
+            cs.covers(&self.domain),
+            "guard from a different reclamation domain used on this location"
+        );
         let d = cs.domain();
         let t = cs.tid();
         match d.strong_ar.try_acquire(t, &self.word) {
@@ -260,7 +342,7 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
                 if addr != 0 {
                     // Safety: the location holds a strong reference and the
                     // acquire blocks its deferred decrement.
-                    unsafe { d.increment_alive(addr) };
+                    unsafe { counted::increment_alive(addr) };
                 }
                 d.strong_ar.release(t, g);
                 SnapshotPtr {
@@ -275,6 +357,11 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
 
     /// Stores `desired` (with tag 0), consuming its reference; the previous
     /// pointer's reference is retired (deferred decrement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and was allocated under a different
+    /// domain than this location's.
     pub fn store(&self, desired: SharedPtr<T, S>) {
         self.store_tagged(desired, 0);
     }
@@ -282,11 +369,16 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Stores a new strong reference to the object behind any strong borrow
     /// (with tag 0) — e.g. `prev.next.store_from(&tail_snapshot)` as in the
     /// paper's doubly-linked queue (Fig. 10, line 18).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is non-null and from a different domain.
     pub fn store_from<R: StrongRef<T>>(&self, r: &R) {
         let addr = r.addr();
+        check_same_domain(addr, &self.domain);
         if addr != 0 {
             // Safety: the strong borrow keeps the object alive.
-            unsafe { S::global_domain().increment_alive(addr) };
+            unsafe { counted::increment_alive(addr) };
         }
         // Ordering: SeqCst swap — the Release half publishes the pointee
         // and its pre-incremented count to readers' Acquire loads, and the
@@ -302,7 +394,7 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
         if old_addr != 0 {
             let t = smr::current_tid();
             // Safety: the location owned a strong reference to `old_addr`.
-            unsafe { S::global_domain().delayed_decrement(t, old_addr) };
+            unsafe { self.domain.delayed_decrement(t, old_addr) };
         }
     }
 
@@ -310,9 +402,11 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     ///
     /// # Panics
     ///
-    /// Panics (debug builds) if `tag` exceeds [`smr::TAG_MASK`].
+    /// Panics (debug builds) if `tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is from a different domain.
     pub fn store_tagged(&self, desired: SharedPtr<T, S>, tag: usize) {
         debug_assert_eq!(tag & !smr::TAG_MASK, 0);
+        check_same_domain(desired.addr, &self.domain);
         let new = desired.into_addr() | tag;
         // Ordering: SeqCst swap — as in [`store_from`](Self::store_from):
         // publishes the new pointee, acquires the old header, and keeps the
@@ -322,7 +416,7 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
         if old_addr != 0 {
             let t = smr::current_tid();
             // Safety: the location owned a strong reference to `old_addr`.
-            unsafe { S::global_domain().delayed_decrement(t, old_addr) };
+            unsafe { self.domain.delayed_decrement(t, old_addr) };
         }
     }
 
@@ -331,6 +425,10 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// previous reference is retired; `desired` itself is only borrowed.
     ///
     /// Returns `true` on success. Spurious failure does not occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
     pub fn compare_exchange_tagged<R: StrongRef<T>>(
         &self,
         expected: TaggedPtr<T>,
@@ -338,14 +436,15 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
         new_tag: usize,
     ) -> bool {
         debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
-        let d = S::global_domain();
+        let d = &*self.domain;
         let t = smr::current_tid();
         let new_addr = desired.addr();
+        check_same_domain(new_addr, &self.domain);
         if new_addr != 0 {
             // Pre-increment: if the CAS succeeds the location must already
             // own its reference (§3.4 / Fig. 9 ordering).
             // Safety: `desired` guarantees liveness for the borrow.
-            unsafe { d.increment_alive(new_addr) };
+            unsafe { counted::increment_alive(new_addr) };
         }
         // Ordering: SeqCst on success — publishes the new pointee (and its
         // pre-increment), acquires the displaced occupant's header for the
@@ -428,7 +527,8 @@ impl<T, S: Scheme> Drop for AtomicSharedPtr<T, S> {
             // Safety: the location owns a strong reference. Deferral (not a
             // direct decrement) matters: a concurrent reader that loaded
             // this pointer before we were unlinked may still be protected.
-            unsafe { S::global_domain().delayed_decrement(t, addr) };
+            // `self.domain` is alive throughout (field drop runs after us).
+            unsafe { self.domain.delayed_decrement(t, addr) };
         }
     }
 }
@@ -465,13 +565,13 @@ pub struct SnapshotPtr<'g, T, S: Scheme> {
     /// `Some` — fast path, protection held via an acquire-retire guard.
     /// `None` — slow path, the snapshot owns a real strong reference.
     guard: Option<<S as AcquireRetire>::Guard>,
-    cs: &'g CsGuard<'g, S>,
+    cs: &'g CsGuard<S>,
     _marker: PhantomData<Box<T>>,
 }
 
 impl<'g, T, S: Scheme> SnapshotPtr<'g, T, S> {
     /// A null snapshot (no protection needed).
-    pub fn null(cs: &'g CsGuard<'g, S>) -> Self {
+    pub fn null(cs: &'g CsGuard<S>) -> Self {
         SnapshotPtr {
             word: 0,
             guard: None,
@@ -547,7 +647,8 @@ impl<T, S: Scheme> Drop for SnapshotPtr<'_, T, S> {
             None => {
                 let addr = untagged(self.word);
                 if addr != 0 {
-                    // Safety: slow-path snapshots own one strong reference.
+                    // Safety: slow-path snapshots own one strong reference;
+                    // the guard we borrow keeps the domain alive.
                     unsafe { d.decrement(t, addr) };
                 }
             }
@@ -703,6 +804,85 @@ mod tests {
         }
         drop(head); // must not recurse 20k deep
         settle();
+    }
+
+    #[test]
+    fn instance_domain_lifecycle_and_isolation() {
+        let da: DomainRef<Ebr> = DomainRef::new();
+        let db: DomainRef<Ebr> = DomainRef::new();
+        let t = smr::current_tid();
+        let slot: Asp<u64> = AtomicSharedPtr::null_in(&da);
+        for i in 0..100u64 {
+            slot.store(SharedPtr::new_in(i, &da));
+        }
+        assert_eq!(db.allocated(), 0, "sibling domain saw no allocations");
+        assert!(da.allocated() >= 100);
+        drop(slot);
+        da.process_deferred(t);
+        assert_eq!(da.allocated(), da.freed(), "clean teardown balances");
+        db.process_deferred(t);
+        assert_eq!(db.freed(), 0);
+    }
+
+    #[test]
+    fn shared_ptr_may_outlive_its_domain_handle() {
+        // The block's owning reference keeps the domain alive after the
+        // last user handle drops; the final SharedPtr drop tears it down.
+        let p: Sp<u64> = {
+            let d: DomainRef<Ebr> = DomainRef::new();
+            SharedPtr::new_in(41, &d)
+        };
+        assert_eq!(p.as_ref(), Some(&41));
+        let q = p.clone();
+        drop(p);
+        drop(q);
+        // Nothing to assert beyond "no crash/leak": the domain (and the
+        // block) are gone; miri/asan builds would flag a use-after-free.
+    }
+
+    #[test]
+    fn orphaned_chain_is_reclaimed_regardless_of_size() {
+        // Regression: the orphan-teardown check must not have a size
+        // cliff. A long chain whose domain handle is gone before the head
+        // drops must still be torn down in full by that final drop.
+        struct Node {
+            #[allow(dead_code)] // held for its Drop side effect
+            probe: Probe,
+            #[allow(dead_code)] // held for its Drop cascade
+            next: Sp<Node>,
+        }
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        const N: usize = 500;
+        let head: Sp<Node> = {
+            let d: DomainRef<Ebr> = DomainRef::new();
+            let mut head: Sp<Node> = SharedPtr::null();
+            for _ in 0..N {
+                head = SharedPtr::new_in(
+                    Node {
+                        probe: Probe(Arc::clone(&drops)),
+                        next: head,
+                    },
+                    &d,
+                );
+            }
+            head
+        }; // last handle gone; only the chain keeps the domain alive
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(head);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            N,
+            "every payload reclaimed by the orphaning drop"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-domain")]
+    fn cross_domain_store_panics() {
+        let da: DomainRef<Ebr> = DomainRef::new();
+        let db: DomainRef<Ebr> = DomainRef::new();
+        let slot: Asp<u64> = AtomicSharedPtr::null_in(&da);
+        slot.store(SharedPtr::new_in(1, &db));
     }
 
     #[test]

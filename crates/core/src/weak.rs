@@ -12,19 +12,30 @@
 //!   through a third acquire-retire instance, so a [`WeakSnapshotPtr`]
 //!   remains safely readable even if the object expires during its
 //!   lifetime.
+//!
+//! Domain binding mirrors the strong types: a [`WeakPtr`] is a single word
+//! whose domain lives in the control-block header; an [`AtomicWeakPtr`]
+//! carries its own [`DomainRef`] because it must open critical sections
+//! before reading its word, and its store-family operations panic on
+//! cross-domain pointers.
 
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, AcquireRetire};
+use sticky::Counter;
 
-use crate::counted::{as_counted, as_header, PtrMarker};
-use crate::domain::{load_and_increment, with_full_cs, Scheme, StrongRef, WeakCsGuard};
+use crate::counted::{self, as_counted, as_header, PtrMarker};
+use crate::domain::{
+    check_same_domain, domain_ref_of, load_and_increment, with_full_cs, DomainHold, DomainRef,
+    Scheme, StrongRef, WeakCsGuard,
+};
 use crate::strong::SharedPtr;
 use crate::tagged::TaggedPtr;
 
-/// An owned weak reference to a `T` managed by scheme `S`'s global domain.
+/// An owned weak reference to a `T` managed by a reclamation domain of
+/// scheme `S`.
 ///
 /// A `WeakPtr` keeps the *control block* alive but not the object: once the
 /// strong count reaches zero the object is destroyed regardless of weak
@@ -74,7 +85,7 @@ impl<T, S: Scheme> WeakPtr<T, S> {
         let addr = r.addr();
         if addr != 0 {
             // Safety: `r` keeps the object (hence control block) alive.
-            unsafe { S::global_domain().weak_increment(addr) };
+            unsafe { counted::weak_increment(addr) };
         }
         WeakPtr::from_addr(addr)
     }
@@ -91,7 +102,7 @@ impl<T, S: Scheme> WeakPtr<T, S> {
             return true;
         }
         // Safety: our weak reference keeps the control block alive.
-        unsafe { S::global_domain().expired(self.addr) }
+        unsafe { counted::expired(self.addr) }
     }
 
     /// Attempts to obtain a strong reference; `None` if the object has
@@ -103,7 +114,7 @@ impl<T, S: Scheme> WeakPtr<T, S> {
         }
         // Safety: the control block is alive; increment-if-not-zero never
         // resurrects a dead object.
-        if unsafe { S::global_domain().increment(self.addr) } {
+        if unsafe { counted::increment(self.addr) } {
             Some(SharedPtr::from_addr(self.addr))
         } else {
             None
@@ -120,7 +131,7 @@ impl<T, S: Scheme> Clone for WeakPtr<T, S> {
     fn clone(&self) -> Self {
         if self.addr != 0 {
             // Safety: our own weak reference keeps the block alive.
-            unsafe { S::global_domain().weak_increment(self.addr) };
+            unsafe { counted::weak_increment(self.addr) };
         }
         WeakPtr::from_addr(self.addr)
     }
@@ -129,9 +140,18 @@ impl<T, S: Scheme> Clone for WeakPtr<T, S> {
 impl<T, S: Scheme> Drop for WeakPtr<T, S> {
     fn drop(&mut self) {
         if self.addr != 0 {
-            let t = smr::current_tid();
-            // Safety: we own one weak reference and forfeit it.
-            unsafe { S::global_domain().weak_decrement(t, self.addr) };
+            // Safety: we own one weak reference and forfeit it. The
+            // decrement is header-only; on the zero transition we free the
+            // block through its own domain, under a hold, because freeing
+            // the block releases the reference that may have been keeping
+            // the domain alive.
+            unsafe {
+                if (*as_header(self.addr)).weak.decrement() {
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(self.addr));
+                    let t = smr::current_tid();
+                    hold.domain().free_block(t, self.addr);
+                }
+            }
         }
     }
 }
@@ -152,10 +172,12 @@ impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
 }
 
 /// A mutable shared location holding a weak reference plus tag bits —
-/// analogous to `atomic<weak_ptr>` (§4.1).
+/// analogous to `atomic<weak_ptr>` (§4.1) — bound to one reclamation domain
+/// of scheme `S`.
 ///
 /// Every operation must run inside a *full* critical section
-/// ([`WeakCsGuard`]); operations invoked without one open it internally.
+/// ([`WeakCsGuard`]) over this location's domain; operations invoked
+/// without one open it internally.
 ///
 /// # Examples
 ///
@@ -170,6 +192,7 @@ impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
 /// ```
 pub struct AtomicWeakPtr<T, S: Scheme> {
     word: AtomicUsize,
+    domain: DomainRef<S>,
     _marker: PtrMarker<T, S>,
 }
 
@@ -178,19 +201,38 @@ unsafe impl<T: Send + Sync, S: Scheme> Sync for AtomicWeakPtr<T, S> {}
 
 impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// Creates a location holding `ptr` (tag 0), consuming its reference.
+    /// The location binds to the pointer's own domain (or the global domain
+    /// for a null pointer).
     pub fn new(ptr: WeakPtr<T, S>) -> Self {
+        let domain = match ptr.addr {
+            0 => S::global_domain().clone(),
+            // Safety: `ptr` owns a weak reference, so the block is alive.
+            addr => unsafe { domain_ref_of::<S>(addr) },
+        };
         AtomicWeakPtr {
             word: AtomicUsize::new(ptr.into_addr()),
+            domain,
             _marker: PhantomData,
         }
     }
 
-    /// Creates a null location.
+    /// Creates a null location bound to the scheme's global domain.
     pub fn null() -> Self {
+        Self::null_in(S::global_domain())
+    }
+
+    /// Creates a null location bound to an explicit domain.
+    pub fn null_in(domain: &DomainRef<S>) -> Self {
         AtomicWeakPtr {
             word: AtomicUsize::new(0),
+            domain: domain.clone(),
             _marker: PhantomData,
         }
+    }
+
+    /// The domain this location is bound to.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
     }
 
     /// An unprotected read of the raw word, for comparisons only.
@@ -203,11 +245,16 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
 
     /// Stores a copy of `desired` (Fig. 9 `store`): increments its weak
     /// count, swaps it in, and retires the previous weak reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
     pub fn store(&self, desired: &WeakPtr<T, S>) {
         let addr = desired.addr;
+        check_same_domain(addr, &self.domain);
         if addr != 0 {
             // Safety: `desired` keeps the control block alive.
-            unsafe { S::global_domain().weak_increment(addr) };
+            unsafe { counted::weak_increment(addr) };
         }
         self.replace_word(addr);
     }
@@ -215,17 +262,27 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// Stores a weak reference to the object behind any strong borrow —
     /// e.g. `node.prev.store_strong(&tail_snapshot)` as in the paper's
     /// doubly-linked queue (Fig. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is non-null and from a different domain.
     pub fn store_strong<R: StrongRef<T>>(&self, r: &R) {
         let addr = r.addr();
+        check_same_domain(addr, &self.domain);
         if addr != 0 {
             // Safety: the strong borrow keeps the object alive.
-            unsafe { S::global_domain().weak_increment(addr) };
+            unsafe { counted::weak_increment(addr) };
         }
         self.replace_word(addr);
     }
 
     /// Stores `desired`, transferring its reference (no count traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
     pub fn store_owned(&self, desired: WeakPtr<T, S>) {
+        check_same_domain(desired.addr, &self.domain);
         self.replace_word(desired.into_addr());
     }
 
@@ -239,19 +296,19 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
         if old_addr != 0 {
             let t = smr::current_tid();
             // Safety: the location owned a weak reference to `old_addr`.
-            unsafe { S::global_domain().delayed_weak_decrement(t, old_addr) };
+            unsafe { self.domain.delayed_weak_decrement(t, old_addr) };
         }
     }
 
     /// Loads the pointer and takes a weak reference to it (tag ignored) —
     /// Fig. 8's `weak_load_and_increment`.
     pub fn load(&self) -> WeakPtr<T, S> {
-        let d = S::global_domain();
+        let d = &*self.domain;
         let t = smr::current_tid();
         let addr = with_full_cs(d, t, || {
             // Safety: the location owns a weak reference to what it stores,
             // with decrements deferred through the weak instance.
-            unsafe { load_and_increment(&d.weak_ar, t, &self.word, |a| d.weak_increment(a)) }
+            unsafe { load_and_increment(&d.weak_ar, t, &self.word, |a| counted::weak_increment(a)) }
         });
         WeakPtr::from_addr(addr)
     }
@@ -259,6 +316,10 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// Atomically replaces the word if it equals `expected`, installing a
     /// weak reference to `desired` with tag `new_tag`; the previous weak
     /// reference is retired on success. Returns `true` on success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
     pub fn compare_exchange_tagged(
         &self,
         expected: TaggedPtr<T>,
@@ -266,14 +327,15 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
         new_tag: usize,
     ) -> bool {
         debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
-        let d = S::global_domain();
+        let d = &*self.domain;
         let t = smr::current_tid();
         let new_addr = desired.addr;
+        check_same_domain(new_addr, &self.domain);
         if new_addr != 0 {
             // Pre-increment so the location owns its reference the moment
             // the CAS lands; rolled back below on failure.
             // Safety: `desired` keeps the block alive for the borrow.
-            unsafe { d.weak_increment(new_addr) };
+            unsafe { counted::weak_increment(new_addr) };
         }
         // Ordering: SeqCst on success / Relaxed on failure — as for the
         // strong pointer's CAS: publish the new occupant, acquire the old
@@ -311,12 +373,17 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     }
 
     /// Takes a protected snapshot of the managed object without touching
-    /// any count in the common case (Fig. 9's `get_snapshot`).
+    /// any count in the common case (Fig. 9's `get_snapshot`). The guard
+    /// must cover **this location's domain** (asserted in debug builds).
     ///
     /// Returns a null snapshot iff, at the linearization point, the
     /// location was null or held an expired object. Lock-free (the retry
     /// resolves races between expiry and replacement, §4.5).
-    pub fn get_snapshot<'g>(&self, cs: &'g WeakCsGuard<'g, S>) -> WeakSnapshotPtr<'g, T, S> {
+    pub fn get_snapshot<'g>(&self, cs: &'g WeakCsGuard<S>) -> WeakSnapshotPtr<'g, T, S> {
+        debug_assert!(
+            cs.covers(&self.domain),
+            "guard from a different reclamation domain used on this location"
+        );
         let d = cs.domain();
         let t = cs.tid();
         loop {
@@ -337,10 +404,10 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
                 // Out of guards (hazard-pointer schemes only): fall back to
                 // a real strong reference, if the object is still alive.
                 // Safety: weak_guard keeps the control block readable.
-                owns_strong = unsafe { d.increment(addr) };
+                owns_strong = unsafe { counted::increment(addr) };
             }
             // Safety: control block alive under weak_guard.
-            let alive = owns_strong || unsafe { !d.expired(addr) };
+            let alive = owns_strong || unsafe { !counted::expired(addr) };
             if alive {
                 d.weak_ar.release(t, weak_guard);
                 return WeakSnapshotPtr {
@@ -376,8 +443,9 @@ impl<T, S: Scheme> Drop for AtomicWeakPtr<T, S> {
         if addr != 0 {
             let t = smr::current_tid();
             // Safety: the location owns a weak reference; defer in case a
-            // concurrent reader still has it protected.
-            unsafe { S::global_domain().delayed_weak_decrement(t, addr) };
+            // concurrent reader still has it protected. `self.domain` is
+            // alive throughout (field drop runs after us).
+            unsafe { self.domain.delayed_weak_decrement(t, addr) };
         }
     }
 }
@@ -408,13 +476,13 @@ pub struct WeakSnapshotPtr<'g, T, S: Scheme> {
     guard: Option<<S as AcquireRetire>::Guard>,
     /// Slow path: the snapshot owns a full strong reference instead.
     owns_strong: bool,
-    cs: &'g WeakCsGuard<'g, S>,
+    cs: &'g WeakCsGuard<S>,
     _marker: PhantomData<Box<T>>,
 }
 
 impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
     /// A null weak snapshot.
-    pub fn null(cs: &'g WeakCsGuard<'g, S>) -> Self {
+    pub fn null(cs: &'g WeakCsGuard<S>) -> Self {
         WeakSnapshotPtr {
             word: 0,
             guard: None,
@@ -457,7 +525,7 @@ impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
             return true;
         }
         // Safety: snapshot protection keeps the control block alive.
-        unsafe { S::global_domain().expired(addr) }
+        unsafe { counted::expired(addr) }
     }
 
     /// Attempts to promote to an owned strong reference; fails if the
@@ -468,7 +536,7 @@ impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
             return None;
         }
         // Safety: control block alive under snapshot protection.
-        if unsafe { S::global_domain().increment(addr) } {
+        if unsafe { counted::increment(addr) } {
             Some(SharedPtr::from_addr(addr))
         } else {
             None
@@ -480,7 +548,7 @@ impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
         let addr = untagged(self.word);
         if addr != 0 {
             // Safety: control block alive under snapshot protection.
-            unsafe { S::global_domain().weak_increment(addr) };
+            unsafe { counted::weak_increment(addr) };
         }
         WeakPtr::from_addr(addr)
     }
@@ -500,7 +568,8 @@ impl<T, S: Scheme> Drop for WeakSnapshotPtr<'_, T, S> {
         } else if self.owns_strong {
             let addr = untagged(self.word);
             if addr != 0 {
-                // Safety: slow-path snapshots own one strong reference.
+                // Safety: slow-path snapshots own one strong reference; the
+                // guard we borrow keeps the domain alive.
                 unsafe { d.decrement(t, addr) };
             }
         }
@@ -519,7 +588,6 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for WeakSnapshotPtr<'_, T, S> {
 /// Reads a weak count for diagnostics (racy).
 #[allow(dead_code)]
 pub(crate) fn weak_count(addr: usize) -> u64 {
-    use sticky::Counter;
     if addr == 0 {
         0
     } else {
@@ -575,6 +643,21 @@ mod tests {
         assert!(weak.upgrade().is_none());
         drop(weak);
         settle();
+    }
+
+    #[test]
+    fn weak_ptr_in_instance_domain_balances() {
+        let d: DomainRef<Ebr> = DomainRef::new();
+        let t = smr::current_tid();
+        let strong: Sp<u32> = SharedPtr::new_in(5, &d);
+        let weak = strong.downgrade();
+        drop(strong);
+        d.process_deferred(t);
+        assert!(weak.expired());
+        drop(weak); // frees the block through the header-resolved domain
+        d.process_deferred(t);
+        assert_eq!(d.allocated(), 1);
+        assert_eq!(d.freed(), 1);
     }
 
     #[test]

@@ -118,14 +118,19 @@ pub trait ConcurrentMap<K, V>: Send + Sync {
     /// garbage) — the paper's "extra nodes" metric is this minus the live
     /// count.
     ///
-    /// **Caveat (RC variants):** the automatic structures report their
-    /// *scheme's global domain* counter, which is shared by every RC
-    /// structure on the same scheme in the process. Concurrent structures on
-    /// one scheme therefore pollute each other's "extra nodes" metric; a
-    /// benchmark comparing variants must run one structure per scheme at a
-    /// time and settle the domain between cells (as `bench::map_series`
-    /// does). Manual structures meter their own private [`NodeStats`] and
-    /// are immune.
+    /// # Reclamation domains
+    ///
+    /// This metric is **per structure**. RC variants read the counters of
+    /// their own reclamation domain (`cdrc::DomainRef`): `new()` binds a
+    /// structure to the scheme's global default domain, `new_in(domain)` to
+    /// an explicit one. Structures that should reclaim — and be metered —
+    /// together (e.g. a hash table's buckets) share one domain by cloning
+    /// the handle; unrelated structures get fresh domains and are fully
+    /// isolated, even on the same scheme: separate epoch clocks, retired
+    /// lists and counters, so one structure's open guard never pins the
+    /// other's garbage. Note that structures sharing one domain (including
+    /// everything bound to the global default) deliberately share this
+    /// counter. Manual structures meter their own private [`NodeStats`].
     fn in_flight_nodes(&self) -> u64;
 }
 
@@ -227,15 +232,26 @@ impl NodeStats {
         // happened-before this read (join / drop exclusivity), monotone
         // under concurrency. Lanes past the registry high-water mark were
         // never written.
-        let (a, f) = self.lanes.iter().take(registered_high_water_mark()).fold(
-            (0u64, 0u64),
-            |(a, f), lane| {
-                (
-                    a + lane.allocs.load(Ordering::Relaxed),
-                    f + lane.frees.load(Ordering::Relaxed),
-                )
-            },
-        );
+        //
+        // Fold order: sum every `frees` lane *before* any `allocs` lane.
+        // Each free has a matching alloc that happened-before it, so a
+        // sample reading frees first can at worst miss concurrent frees
+        // (over-reporting in-flight nodes); an interleaved or allocs-first
+        // fold could count a free whose alloc it had not yet seen and
+        // under-report live garbage.
+        let hwm = registered_high_water_mark();
+        let f: u64 = self
+            .lanes
+            .iter()
+            .take(hwm)
+            .map(|lane| lane.frees.load(Ordering::Relaxed))
+            .sum();
+        let a: u64 = self
+            .lanes
+            .iter()
+            .take(hwm)
+            .map(|lane| lane.allocs.load(Ordering::Relaxed))
+            .sum();
         a.saturating_sub(f)
     }
 }

@@ -9,7 +9,7 @@
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, AtomicWeakPtr, OpGuard, Scheme, SharedPtr, WeakCsGuard};
+use cdrc::{AtomicSharedPtr, AtomicWeakPtr, DomainRef, OpGuard, Scheme, SharedPtr, WeakCsGuard};
 
 use crate::ConcurrentQueue;
 
@@ -24,6 +24,7 @@ struct Node<V, S: Scheme> {
 pub struct RcDoubleLinkQueue<V, S: Scheme> {
     head: AtomicSharedPtr<Node<V, S>, S>,
     tail: AtomicSharedPtr<Node<V, S>, S>,
+    domain: DomainRef<S>,
     _marker: PhantomData<V>,
 }
 
@@ -32,18 +33,38 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    /// Creates an empty queue.
+    /// Creates an empty queue bound to the scheme's global domain.
     pub fn new() -> Self {
-        let sentinel: SharedPtr<Node<V, S>, S> = SharedPtr::new(Node {
-            value: None,
-            next: AtomicSharedPtr::null(),
-            prev: AtomicWeakPtr::null(),
-        });
+        Self::new_in(S::global_domain().clone())
+    }
+
+    /// Creates an empty queue bound to `domain`. Pass a fresh
+    /// [`DomainRef::new`] for full isolation, or a clone of another
+    /// structure's domain to reclaim (and meter) together.
+    pub fn new_in(domain: DomainRef<S>) -> Self {
+        let sentinel: SharedPtr<Node<V, S>, S> = Self::alloc_node(&domain, None);
         RcDoubleLinkQueue {
-            head: AtomicSharedPtr::new(sentinel.clone()),
-            tail: AtomicSharedPtr::new(sentinel),
+            head: AtomicSharedPtr::new_in(sentinel.clone(), &domain),
+            tail: AtomicSharedPtr::new_in(sentinel, &domain),
+            domain,
             _marker: PhantomData,
         }
+    }
+
+    /// The reclamation domain this queue allocates and reclaims through.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
+    }
+
+    fn alloc_node(domain: &DomainRef<S>, value: Option<V>) -> SharedPtr<Node<V, S>, S> {
+        SharedPtr::new_in(
+            Node {
+                value,
+                next: AtomicSharedPtr::null_in(domain),
+                prev: AtomicWeakPtr::null_in(domain),
+            },
+            domain,
+        )
     }
 }
 
@@ -55,19 +76,16 @@ where
     /// The *full* guard: `prev` operations go through the weak and dispose
     /// instances, so a strong-only section would not suffice. [`OpGuard`]
     /// gives the strong view the `next`-edge snapshots need.
-    type Guard = WeakCsGuard<'static, S>;
+    type Guard = WeakCsGuard<S>;
 
     fn pin(&self) -> Self::Guard {
-        S::global_domain().weak_cs()
+        self.domain.weak_cs()
     }
 
     // Fig. 10, enqueue.
     fn enqueue_with(&self, v: V, guard: &Self::Guard) {
-        let new_node: SharedPtr<Node<V, S>, S> = SharedPtr::new(Node {
-            value: Some(v),
-            next: AtomicSharedPtr::null(),
-            prev: AtomicWeakPtr::null(),
-        });
+        debug_assert!(guard.covers(&self.domain), "guard from a foreign domain");
+        let new_node: SharedPtr<Node<V, S>, S> = Self::alloc_node(&self.domain, Some(v));
         loop {
             let ltail = self.tail.get_snapshot(guard.strong_cs());
             new_node.as_ref().unwrap().prev.store_strong(&ltail);
@@ -87,6 +105,7 @@ where
 
     // Fig. 10, dequeue.
     fn dequeue_with(&self, guard: &Self::Guard) -> Option<V> {
+        debug_assert!(guard.covers(&self.domain), "guard from a foreign domain");
         loop {
             let lhead = self.head.get_snapshot(guard.strong_cs());
             let lnext = lhead.as_ref().unwrap().next.get_snapshot(guard.strong_cs());
@@ -107,6 +126,16 @@ where
 {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<V, S: Scheme> Drop for RcDoubleLinkQueue<V, S> {
+    fn drop(&mut self) {
+        // Unlink both ends, then flush our domain so a queue with a private
+        // domain leaves `allocated() == freed()` behind.
+        self.head.store(SharedPtr::null());
+        self.tail.store(SharedPtr::null());
+        self.domain.process_deferred(smr::current_tid());
     }
 }
 

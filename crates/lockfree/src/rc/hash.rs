@@ -1,9 +1,14 @@
 //! Michael hash table over reference-counted pointers.
+//!
+//! The table owns one reclamation domain **shared by every bucket** — the
+//! canonical "deliberately shared domain" case: one `pin` covers all
+//! buckets, the whole table's garbage amortizes one scan cadence, and
+//! `in_flight_nodes` meters exactly this table.
 
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 
-use cdrc::Scheme;
+use cdrc::{DomainRef, Scheme};
 
 use crate::rc::RcHarrisMichaelList;
 use crate::ConcurrentMap;
@@ -12,6 +17,7 @@ use crate::ConcurrentMap;
 pub struct RcMichaelHashMap<K, V, S: Scheme> {
     buckets: Vec<RcHarrisMichaelList<K, V, S>>,
     hasher: RandomState,
+    domain: DomainRef<S>,
 }
 
 impl<K, V, S> RcMichaelHashMap<K, V, S>
@@ -20,14 +26,27 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    /// Creates a table with `buckets` buckets (minimum 1).
+    /// Creates a table with `buckets` buckets (minimum 1) bound to the
+    /// scheme's global domain.
     pub fn with_buckets(buckets: usize) -> Self {
+        Self::with_buckets_in(buckets, S::global_domain().clone())
+    }
+
+    /// Creates a table with `buckets` buckets (minimum 1), all sharing
+    /// `domain`.
+    pub fn with_buckets_in(buckets: usize, domain: DomainRef<S>) -> Self {
         RcMichaelHashMap {
             buckets: (0..buckets.max(1))
-                .map(|_| RcHarrisMichaelList::new())
+                .map(|_| RcHarrisMichaelList::new_in(domain.clone()))
                 .collect(),
             hasher: RandomState::new(),
+            domain,
         }
+    }
+
+    /// The reclamation domain shared by every bucket of this table.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
     }
 
     fn bucket(&self, k: &K) -> &RcHarrisMichaelList<K, V, S> {
@@ -42,10 +61,10 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    type Guard = cdrc::CsGuard<'static, S>;
+    type Guard = cdrc::CsGuard<S>;
 
     fn pin(&self) -> Self::Guard {
-        S::global_domain().cs()
+        self.domain.cs()
     }
 
     fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
@@ -60,10 +79,10 @@ where
         self.bucket(k).get_with(k, cs)
     }
 
-    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
-    /// so concurrent RC structures on the same scheme share the counter.
+    /// Exact for this table: every bucket allocates under the table's own
+    /// domain.
     fn in_flight_nodes(&self) -> u64 {
-        S::global_domain().in_flight()
+        self.domain.in_flight()
     }
 }
 
@@ -89,6 +108,20 @@ mod tests {
         assert_eq!(m.get(&1).as_deref(), Some("one"));
         assert!(m.remove(&1));
         assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn buckets_share_the_tables_domain() {
+        let domain: DomainRef<EbrScheme> = DomainRef::new();
+        let m: RcMichaelHashMap<u64, u64, EbrScheme> =
+            RcMichaelHashMap::with_buckets_in(8, domain.clone());
+        for k in 0..100u64 {
+            assert!(m.insert(k, k));
+        }
+        domain.process_deferred(smr::current_tid());
+        assert_eq!(m.in_flight_nodes(), 100, "all buckets meter one domain");
+        drop(m);
+        assert_eq!(domain.allocated(), domain.freed());
     }
 
     #[test]

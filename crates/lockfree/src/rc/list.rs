@@ -5,10 +5,18 @@
 //! transfers the last location-owned reference to the deferred machinery
 //! and the node (plus anything only it references) is reclaimed
 //! automatically.
+//!
+//! Each list owns a reclamation domain: [`new`](RcHarrisMichaelList::new)
+//! binds to the scheme's global default, [`new_in`](RcHarrisMichaelList::new_in)
+//! to an explicit (possibly shared) [`DomainRef`]. Every node is allocated
+//! under that domain, `pin` opens sections on it, and
+//! [`in_flight_nodes`](crate::ConcurrentMap::in_flight_nodes) reads its
+//! counters — exact for this structure (plus any structures deliberately
+//! sharing the domain).
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, CsGuard, Scheme, SharedPtr, SnapshotPtr};
+use cdrc::{AtomicSharedPtr, CsGuard, DomainRef, Scheme, SharedPtr, SnapshotPtr};
 
 use crate::ConcurrentMap;
 
@@ -24,6 +32,7 @@ struct Node<K, V, S: Scheme> {
 /// ("RCEBR", "RCIBR", "RCHP", "RCHyaline" depending on `S`).
 pub struct RcHarrisMichaelList<K, V, S: Scheme> {
     head: AtomicSharedPtr<Node<K, V, S>, S>,
+    domain: DomainRef<S>,
     _marker: PhantomData<(K, V)>,
 }
 
@@ -41,12 +50,25 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    /// Creates an empty list.
+    /// Creates an empty list bound to the scheme's global domain.
     pub fn new() -> Self {
+        Self::new_in(S::global_domain().clone())
+    }
+
+    /// Creates an empty list bound to `domain`. Pass a fresh
+    /// [`DomainRef::new`] for full isolation, or a clone of another
+    /// structure's domain to reclaim (and meter) together.
+    pub fn new_in(domain: DomainRef<S>) -> Self {
         RcHarrisMichaelList {
-            head: AtomicSharedPtr::null(),
+            head: AtomicSharedPtr::null_in(&domain),
+            domain,
             _marker: PhantomData,
         }
+    }
+
+    /// The reclamation domain this list allocates and reclaims through.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
     }
 
     fn edge<'a>(
@@ -59,7 +81,7 @@ where
         }
     }
 
-    fn find<'g>(&self, cs: &'g CsGuard<'g, S>, key: &K) -> Cursor<'g, K, V, S> {
+    fn find<'g>(&self, cs: &'g CsGuard<S>, key: &K) -> Cursor<'g, K, V, S> {
         'retry: loop {
             let mut prev: Option<SnapshotPtr<'g, Node<K, V, S>, S>> = None;
             let mut cur = self.head.get_snapshot(cs);
@@ -109,18 +131,22 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    type Guard = CsGuard<'static, S>;
+    type Guard = CsGuard<S>;
 
     fn pin(&self) -> Self::Guard {
-        S::global_domain().cs()
+        self.domain.cs()
     }
 
     fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
-        let new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
-            key: k,
-            value: v,
-            next: AtomicSharedPtr::null(),
-        });
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
+        let new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+            Node {
+                key: k,
+                value: v,
+                next: AtomicSharedPtr::null_in(&self.domain),
+            },
+            &self.domain,
+        );
         loop {
             let c = self.find(cs, &new_node.as_ref().unwrap().key);
             if c.found {
@@ -138,6 +164,7 @@ where
     }
 
     fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         loop {
             let c = self.find(cs, k);
             if !c.found {
@@ -161,6 +188,7 @@ where
     }
 
     fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         let c = self.find(cs, k);
         if c.found {
             Some(c.cur.as_ref().unwrap().value.clone())
@@ -169,10 +197,11 @@ where
         }
     }
 
-    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
-    /// so concurrent RC structures on the same scheme share the counter.
+    /// Exact for this list's own domain: live nodes plus deferred garbage
+    /// of this structure (and of any structure deliberately sharing the
+    /// domain via [`new_in`](RcHarrisMichaelList::new_in)).
     fn in_flight_nodes(&self) -> u64 {
-        S::global_domain().in_flight()
+        self.domain.in_flight()
     }
 }
 
@@ -184,6 +213,17 @@ where
 {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<K, V, S: Scheme> Drop for RcHarrisMichaelList<K, V, S> {
+    fn drop(&mut self) {
+        // Unlink the chain, then flush our domain so a structure with a
+        // private domain leaves `allocated() == freed()` behind (garbage
+        // pinned by a concurrent section on a *shared* domain stays
+        // deferred and is collected by that domain's later activity).
+        self.head.store(SharedPtr::null());
+        self.domain.process_deferred(smr::current_tid());
     }
 }
 
@@ -221,6 +261,23 @@ mod tests {
         smoke::<IbrScheme>();
         smoke::<HpScheme>();
         smoke::<HyalineScheme>();
+    }
+
+    #[test]
+    fn instance_domain_is_exact_and_balances() {
+        let domain: DomainRef<EbrScheme> = DomainRef::new();
+        let list: RcHarrisMichaelList<u64, u64, EbrScheme> =
+            RcHarrisMichaelList::new_in(domain.clone());
+        for k in 0..64u64 {
+            assert!(list.insert(k, k));
+        }
+        for k in 0..32u64 {
+            assert!(list.remove(&k));
+        }
+        domain.process_deferred(smr::current_tid());
+        assert_eq!(list.in_flight_nodes(), 32, "exactly the live nodes");
+        drop(list);
+        assert_eq!(domain.allocated(), domain.freed(), "Drop flushes");
     }
 
     fn concurrent<S: Scheme>() {

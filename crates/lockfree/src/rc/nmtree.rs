@@ -8,7 +8,9 @@
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, CsGuard, Scheme, SharedPtr, SnapshotPtr, StrongRef, TaggedPtr};
+use cdrc::{
+    AtomicSharedPtr, CsGuard, DomainRef, Scheme, SharedPtr, SnapshotPtr, StrongRef, TaggedPtr,
+};
 
 use crate::ConcurrentMap;
 
@@ -32,13 +34,16 @@ struct Node<K, V, S: Scheme> {
 }
 
 impl<K: Ord + Send + Sync, V: Send + Sync, S: Scheme> Node<K, V, S> {
-    fn leaf(key: NmKey<K>, value: Option<V>) -> SharedPtr<Node<K, V, S>, S> {
-        SharedPtr::new(Node {
-            key,
-            value,
-            left: AtomicSharedPtr::null(),
-            right: AtomicSharedPtr::null(),
-        })
+    fn leaf(domain: &DomainRef<S>, key: NmKey<K>, value: Option<V>) -> SharedPtr<Node<K, V, S>, S> {
+        SharedPtr::new_in(
+            Node {
+                key,
+                value,
+                left: AtomicSharedPtr::null_in(domain),
+                right: AtomicSharedPtr::null_in(domain),
+            },
+            domain,
+        )
     }
 
     fn is_leaf(&self) -> bool {
@@ -67,6 +72,7 @@ pub struct RcNatarajanMittalTree<K, V, S: Scheme> {
     /// R (key ∞₂); R.left = S (key ∞₁). Held in atomics so seeks can take
     /// uniform snapshots; neither sentinel is ever replaced.
     root: AtomicSharedPtr<Node<K, V, S>, S>,
+    domain: DomainRef<S>,
     _marker: PhantomData<(K, V)>,
 }
 
@@ -76,27 +82,46 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    /// Creates an empty tree.
+    /// Creates an empty tree bound to the scheme's global domain.
     pub fn new() -> Self {
-        let s_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
-            key: NmKey::Inf1,
-            value: None,
-            left: AtomicSharedPtr::new(Node::leaf(NmKey::Inf0, None)),
-            right: AtomicSharedPtr::new(Node::leaf(NmKey::Inf1, None)),
-        });
-        let root: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
-            key: NmKey::Inf2,
-            value: None,
-            left: AtomicSharedPtr::new(s_node),
-            right: AtomicSharedPtr::new(Node::leaf(NmKey::Inf2, None)),
-        });
+        Self::new_in(S::global_domain().clone())
+    }
+
+    /// Creates an empty tree bound to `domain`. Pass a fresh
+    /// [`DomainRef::new`] for full isolation, or a clone of another
+    /// structure's domain to reclaim (and meter) together.
+    pub fn new_in(domain: DomainRef<S>) -> Self {
+        let s_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+            Node {
+                key: NmKey::Inf1,
+                value: None,
+                left: AtomicSharedPtr::new_in(Node::leaf(&domain, NmKey::Inf0, None), &domain),
+                right: AtomicSharedPtr::new_in(Node::leaf(&domain, NmKey::Inf1, None), &domain),
+            },
+            &domain,
+        );
+        let root: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+            Node {
+                key: NmKey::Inf2,
+                value: None,
+                left: AtomicSharedPtr::new_in(s_node, &domain),
+                right: AtomicSharedPtr::new_in(Node::leaf(&domain, NmKey::Inf2, None), &domain),
+            },
+            &domain,
+        );
         RcNatarajanMittalTree {
-            root: AtomicSharedPtr::new(root),
+            root: AtomicSharedPtr::new_in(root, &domain),
+            domain,
             _marker: PhantomData,
         }
     }
 
-    fn seek<'g>(&self, cs: &'g CsGuard<'g, S>, key: &NmKey<K>) -> Seek<'g, K, V, S> {
+    /// The reclamation domain this tree allocates and reclaims through.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
+    }
+
+    fn seek<'g>(&self, cs: &'g CsGuard<S>, key: &NmKey<K>) -> Seek<'g, K, V, S> {
         let r = self.root.get_snapshot(cs);
         // R.left = S, never removed, edge never tagged.
         let s_snap = r.as_ref().unwrap().left.get_snapshot(cs);
@@ -130,7 +155,7 @@ where
 
     /// Splices the flagged chain out with one CAS. No retire loop: dropping
     /// the location's reference reclaims the whole chain (Fig. 1b).
-    fn cleanup(&self, cs: &CsGuard<'_, S>, key: &NmKey<K>, s: &Seek<'_, K, V, S>) -> bool {
+    fn cleanup(&self, cs: &CsGuard<S>, key: &NmKey<K>, s: &Seek<'_, K, V, S>) -> bool {
         let ancestor = s.ancestor.as_ref().unwrap();
         let parent = s.parent.as_ref().unwrap();
         let (child_loc, mut sibling_loc) = if *key < parent.key {
@@ -154,7 +179,7 @@ where
             .compare_exchange_tagged(s.successor, &sibling, sib_w.tag() & FLAG)
     }
 
-    fn insert_impl(&self, cs: &CsGuard<'static, S>, key: K, value: V) -> bool {
+    fn insert_impl(&self, cs: &CsGuard<S>, key: K, value: V) -> bool {
         let nmkey = NmKey::Fin(key);
         loop {
             let s = self.seek(cs, &nmkey);
@@ -163,18 +188,21 @@ where
                 return false;
             }
             // Build replacement subtree: internal(max) { old leaf, new }.
-            let new_leaf = Node::leaf(nmkey.clone(), Some(value.clone()));
+            let new_leaf = Node::leaf(&self.domain, nmkey.clone(), Some(value.clone()));
             let (ikey, l, r) = if nmkey < leaf.key {
                 (leaf.key.clone(), new_leaf, s.leaf.to_shared())
             } else {
                 (nmkey.clone(), s.leaf.to_shared(), new_leaf)
             };
-            let new_internal: SharedPtr<Node<K, V, S>, S> = SharedPtr::new(Node {
-                key: ikey,
-                value: None,
-                left: AtomicSharedPtr::new(l),
-                right: AtomicSharedPtr::new(r),
-            });
+            let new_internal: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+                Node {
+                    key: ikey,
+                    value: None,
+                    left: AtomicSharedPtr::new_in(l, &self.domain),
+                    right: AtomicSharedPtr::new_in(r, &self.domain),
+                },
+                &self.domain,
+            );
             let parent = s.parent.as_ref().unwrap();
             let edge = parent.child_edge(&nmkey);
             if edge.compare_exchange_tagged(s.leaf.tagged().with_tag(0), &new_internal, 0) {
@@ -188,7 +216,7 @@ where
         }
     }
 
-    fn remove_impl(&self, cs: &CsGuard<'static, S>, key: &K) -> bool {
+    fn remove_impl(&self, cs: &CsGuard<S>, key: &K) -> bool {
         let nmkey = NmKey::Fin(key.clone());
         // Pins the victim's address across retries (ABA defence) once we
         // have flagged it.
@@ -228,7 +256,7 @@ where
         }
     }
 
-    fn get_impl(&self, cs: &CsGuard<'static, S>, key: &K) -> Option<V> {
+    fn get_impl(&self, cs: &CsGuard<S>, key: &K) -> Option<V> {
         let nmkey = NmKey::Fin(key.clone());
         let s = self.seek(cs, &nmkey);
         let leaf = s.leaf.as_ref().unwrap();
@@ -239,7 +267,7 @@ where
         }
     }
 
-    fn range_impl(&self, cs: &CsGuard<'static, S>, from: &K, to: &K, limit: usize) -> usize {
+    fn range_impl(&self, cs: &CsGuard<S>, from: &K, to: &K, limit: usize) -> usize {
         let lo = NmKey::Fin(from.clone());
         let hi = NmKey::Fin(to.clone());
         let mut found = 0usize;
@@ -276,25 +304,29 @@ where
     V: Clone + Send + Sync,
     S: Scheme,
 {
-    type Guard = CsGuard<'static, S>;
+    type Guard = CsGuard<S>;
 
     fn pin(&self) -> Self::Guard {
-        S::global_domain().cs()
+        self.domain.cs()
     }
 
     fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         self.insert_impl(cs, k, v)
     }
 
     fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         self.remove_impl(cs, k)
     }
 
     fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         self.get_impl(cs, k)
     }
 
     fn range_with(&self, from: &K, to: &K, limit: usize, cs: &Self::Guard) -> Option<usize> {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
         Some(self.range_impl(cs, from, to, limit))
     }
 
@@ -302,10 +334,20 @@ where
         self.range_with(from, to, limit, &self.pin())
     }
 
-    /// See the trait-level caveat: this reads scheme `S`'s *global* domain,
-    /// so concurrent RC structures on the same scheme share the counter.
+    /// Exact for this tree's own domain: live nodes plus deferred garbage
+    /// of this structure (and of any structure deliberately sharing the
+    /// domain via [`new_in`](RcNatarajanMittalTree::new_in)).
     fn in_flight_nodes(&self) -> u64 {
-        S::global_domain().in_flight()
+        self.domain.in_flight()
+    }
+}
+
+impl<K, V, S: Scheme> Drop for RcNatarajanMittalTree<K, V, S> {
+    fn drop(&mut self) {
+        // Unlink the whole tree, then flush our domain so a structure with
+        // a private domain leaves `allocated() == freed()` behind.
+        self.root.store(SharedPtr::null());
+        self.domain.process_deferred(smr::current_tid());
     }
 }
 

@@ -14,7 +14,7 @@
 //! * `head == INVALID` — the slot is not in a critical section; retirers
 //!   skip it.
 //! * `head == 0` — inside a critical section, list empty.
-//! * otherwise `head` points to a [`LinkNode`] chain.
+//! * otherwise `head` points to a `LinkNode` chain.
 //!
 //! Entering stores `0`; leaving swaps in `INVALID` and walks whatever chain
 //! it got. A retirer CAS-pushes onto every non-`INVALID` head, then adds the

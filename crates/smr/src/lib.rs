@@ -377,9 +377,14 @@ impl<S: AcquireRetire> SectionGuard<S> {
     }
 
     /// Whether this guard's section protects reads against `instance` —
-    /// i.e. both refer to the same scheme instance. Structure operations
-    /// taking a caller-provided guard assert this in debug builds: a guard
-    /// over a *different* instance provides no protection at all.
+    /// pointer equality on the `Arc`, i.e. both refer to the same scheme
+    /// *instance*, which for the manual structures is their reclamation
+    /// domain (each structure, or group sharing via `with_shared`, owns
+    /// one). Structure operations taking a caller-provided guard assert
+    /// this in debug builds: a guard over a *different* instance provides
+    /// no protection at all, even when the scheme type matches — the
+    /// reference-counted structures make the same identity check on their
+    /// `cdrc::DomainRef` (`CsGuard::covers`).
     #[inline]
     pub fn covers(&self, instance: &Arc<S>) -> bool {
         Arc::ptr_eq(&self.scheme, instance)
