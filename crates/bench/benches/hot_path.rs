@@ -21,6 +21,20 @@
 //! latency as `global_ns_per_op`, so the cost of the handle indirection is
 //! read directly off the file.
 //!
+//! The `cas` family records the witness-returning CAS redesign:
+//!
+//! * `cas/slot` — N threads storm one shared `AtomicSharedPtr` with
+//!   compare-exchange, reusing each success's displaced pointer as the
+//!   next desired (zero allocation). Each cell is measured twice in the
+//!   same run: the *witness* loop reseeds `expected` from the CAS failure
+//!   value, the *reload* loop re-reads the slot after every failure (the
+//!   pre-witness idiom) — the JSON line carries both (`ns_per_op` vs
+//!   `reload_ns_per_op`), so the win is read directly off the file.
+//! * `cas/list` — a list-insert retry storm: 100%-update churn over a
+//!   small key range on the RC Harris-Michael list, whose unlink/insert
+//!   loops now consume witnesses. New coverage (no pre-redesign binary to
+//!   compare against); gated on nonzero throughput like every other cell.
+//!
 //! Doubles as a CI smoke with the same contract as `guard_api`: after
 //! printing its cells the process exits nonzero if any measured latency or
 //! throughput is not strictly positive and finite. `HOT_PATH_SMOKE=1`
@@ -39,8 +53,9 @@ use bench::settle_scheme;
 use bench_harness::{bench_millis, prefill, run_map_batched, Workload};
 use cdrc::{
     AtomicSharedPtr, DomainRef, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme, SharedPtr,
+    TaggedPtr,
 };
-use lockfree::rc::RcMichaelHashMap;
+use lockfree::rc::{RcHarrisMichaelList, RcMichaelHashMap};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Op {
@@ -361,6 +376,124 @@ fn hash_cell<S: Scheme>(scheme: &str, dur: Duration, out: &mut Vec<f64>) {
     out.push(mops);
 }
 
+/// How a contended-CAS worker reseeds `expected` after a failed attempt.
+#[derive(Clone, Copy, PartialEq)]
+enum Reseed {
+    /// From the CAS's own failure witness (the new API's point).
+    Witness,
+    /// By re-loading the slot (the pre-witness idiom, kept as the
+    /// same-machine baseline).
+    Reload,
+}
+
+/// N threads storm one shared slot with compare-exchange for `dur`;
+/// returns aggregate ns per CAS attempt. Every success recycles the
+/// displaced pointer as the next desired, so the loop allocates nothing
+/// and the slot stays maximally contended.
+fn run_cas_slot<S: Scheme>(threads: usize, dur: Duration, reseed: Reseed) -> f64 {
+    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::new(SharedPtr::new(u64::MAX));
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let elapsed = std::thread::scope(|s| {
+        for i in 0..threads as u64 {
+            let slot = &slot;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut mine: SharedPtr<u64, S> = SharedPtr::new(i);
+                let mut expected = slot.load_tagged();
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        match slot.compare_exchange(expected, &mine) {
+                            Ok(displaced) => {
+                                // Next attempt swings the displaced value
+                                // back in; we know the current word without
+                                // loading — it is the one we installed.
+                                expected = TaggedPtr::from_strong(&mine);
+                                mine = displaced;
+                            }
+                            Err(w) => {
+                                expected = match reseed {
+                                    Reseed::Witness => w,
+                                    Reseed::Reload => slot.load_tagged(),
+                                };
+                            }
+                        }
+                    }
+                    ops += 64;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        let started = Instant::now();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        started.elapsed()
+    });
+    drop(slot);
+    settle_scheme::<S>();
+    elapsed.as_nanos() as f64 * threads as f64 / total_ops.load(Ordering::Relaxed).max(1) as f64
+}
+
+/// One `cas/slot` cell: witness loop first, then the same-run reload
+/// baseline, both in one JSON line.
+fn cas_slot_cell<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mut Vec<f64>) {
+    // A discarded warm-up run first: caches, thread registration and the
+    // scheme's retired-list capacity would otherwise bias whichever
+    // variant runs first.
+    let _ = run_cas_slot::<S>(threads, dur, Reseed::Witness);
+    let witness = run_cas_slot::<S>(threads, dur, Reseed::Witness);
+    let reload = run_cas_slot::<S>(threads, dur, Reseed::Reload);
+    let name = format!("hot_path/cas/slot/{scheme}/t{threads}");
+    println!("{name:<44} {witness:>9.1} ns/op  (reload {reload:.1})");
+    emit_json(format!(
+        "{{\"name\":\"{name}\",\"ns_per_op\":{witness:.3},\"reload_ns_per_op\":{reload:.3}}}"
+    ));
+    out.push(witness);
+    out.push(reload);
+}
+
+/// The list-insert retry storm: 100%-update churn over a small key range on
+/// the RC Harris-Michael list — every operation is an insert or remove whose
+/// CAS loop now runs on witnesses.
+fn cas_list_cell<S: Scheme>(scheme: &str, threads: usize, dur: Duration, out: &mut Vec<f64>) {
+    // 64 keys on one list: deliberately contended (the retry storm).
+    let spec = Workload::points(64, 100);
+    let mut mops = 0.0f64;
+    for _ in 0..2 {
+        let list = RcHarrisMichaelList::<u64, u64, S>::new_in(DomainRef::new());
+        prefill(&list, &spec);
+        let (m, _, _) = run_map_batched(&list, &spec, threads, dur, 64);
+        drop(list);
+        settle_scheme::<S>();
+        mops = mops.max(m);
+    }
+    let name = format!("hot_path/cas/list/{scheme}/t{threads}");
+    println!("{name:<44} {mops:>9.3} Mop/s");
+    emit_json(format!("{{\"name\":\"{name}\",\"mops\":{mops:.3}}}"));
+    out.push(mops);
+}
+
+fn cas_cells(threads: usize, dur: Duration, out: &mut Vec<f64>, smoke: bool) {
+    cas_slot_cell::<EbrScheme>("ebr", threads, dur, out);
+    if !smoke {
+        cas_slot_cell::<IbrScheme>("ibr", threads, dur, out);
+        cas_slot_cell::<HpScheme>("hp", threads, dur, out);
+        cas_slot_cell::<HyalineScheme>("hyaline", threads, dur, out);
+    }
+    cas_list_cell::<EbrScheme>("ebr", threads, dur, out);
+    if !smoke {
+        cas_list_cell::<IbrScheme>("ibr", threads, dur, out);
+        cas_list_cell::<HpScheme>("hp", threads, dur, out);
+        cas_list_cell::<HyalineScheme>("hyaline", threads, dur, out);
+    }
+}
+
 fn main() {
     let dur = Duration::from_millis(bench_millis());
     let smoke = std::env::var("HOT_PATH_SMOKE").is_ok();
@@ -369,6 +502,12 @@ fn main() {
 
     for &threads in &sweep {
         ptr_row(threads, dur, &mut measured, smoke);
+    }
+    // The cas cells spawn worker threads even at t1 (uniform harness), so
+    // they run after every t1 ptr cell to keep the registry high-water
+    // mark comparable with the seed methodology (see `ptr_row`).
+    for &threads in &sweep {
+        cas_cells(threads, dur, &mut measured, smoke);
     }
     if !smoke {
         hash_cell::<EbrScheme>("RC (EBR)", dur, &mut measured);

@@ -1,0 +1,382 @@
+//! The private generic engine behind [`AtomicSharedPtr`] and
+//! [`AtomicWeakPtr`]: one word-level implementation of the
+//! load / witness / install / retire protocol, instantiated twice through
+//! [`RefKind`] (strong vs weak reference accounting).
+//!
+//! Everything here is *untyped* — words, addresses, tag bits. The pointer
+//! modules wrap these primitives in `SharedPtr` / `WeakPtr` /
+//! `SnapshotPtr` values and own all payload typing; this module owns the
+//! concurrency protocol:
+//!
+//! * every install path checks the incoming block against the location's
+//!   domain ([`check_same_domain`]);
+//! * displaced references are either retired through the kind's
+//!   acquire-retire instance (store) or handed to the caller as
+//!   *displaced-class* ownership (swap / successful CAS) — see
+//!   [`DISPLACED`];
+//! * failed CASes return the witnessed current word so retry loops never
+//!   re-read the location;
+//! * pre-increment / rollback sequencing for borrowed-desired CASes follows
+//!   the paper's Fig. 9 ordering (the location must own its reference the
+//!   moment the CAS lands).
+//!
+//! [`AtomicSharedPtr`]: crate::AtomicSharedPtr
+//! [`AtomicWeakPtr`]: crate::AtomicWeakPtr
+//!
+//! # Displaced-class references
+//!
+//! A reference that a shared location owned may only be relinquished through
+//! the domain's deferred machinery: a concurrent reader that already loaded
+//! the word may still be mid-`load_and_increment` (or holding a count-free
+//! snapshot), and only the acquire-retire deferral orders the decrement
+//! after every such reader. The bool-returning API enforced this by retiring
+//! displaced references internally. The witness API instead *hands the
+//! displaced value back* — so the owned pointer types record, in an unused
+//! low bit of their single word ([`DISPLACED`]), that this particular
+//! reference is location-class: its `Drop` defers the decrement exactly as
+//! the location would have, while every other operation (clone, deref,
+//! re-install into a location) is unaffected. Transferring the reference
+//! back into an atomic location erases the bit — locations always retire.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smr::{untagged, Tid};
+
+use crate::counted;
+use crate::domain::{
+    check_same_domain, load_and_increment, with_full_cs, with_strong_cs, Domain, DomainRef, Scheme,
+};
+
+/// Low bit set in the *owned pointer types'* private word (never in an
+/// atomic location's word) to mark a displaced-class reference: one whose
+/// relinquish must be deferred because it was location-owned when handed
+/// out. Distinct namespace from [`smr::TAG_MASK`]: owned pointers store
+/// untagged block addresses, so bit 0 is free.
+pub(crate) const DISPLACED: usize = 0b1;
+
+/// How one flavour of reference (strong or weak) plugs into the engine.
+pub(crate) trait RefKind<S: Scheme> {
+    /// The acquire-retire instance deferring this kind's decrements.
+    fn ar(d: &Domain<S>) -> &S;
+
+    /// Takes one reference of this kind on a live block (header-only).
+    ///
+    /// # Safety
+    ///
+    /// `addr` must be a live control block the caller holds a borrow on
+    /// (directly or via protection); for the strong kind the strong count
+    /// must additionally be nonzero.
+    unsafe fn incr(addr: usize);
+
+    /// Defers relinquishing one location-class reference.
+    ///
+    /// # Safety
+    ///
+    /// One reference of this kind to `addr` is transferred to the domain.
+    unsafe fn retire(d: &Domain<S>, t: Tid, addr: usize);
+
+    /// Relinquishes one caller-owned reference directly (the CAS-failure
+    /// rollback of a pre-increment that never became visible).
+    ///
+    /// # Safety
+    ///
+    /// The caller owns one reference of this kind to `addr` and forfeits it.
+    unsafe fn rollback(d: &Domain<S>, t: Tid, addr: usize);
+
+    /// Runs `f` inside the critical-section flavour this kind's protected
+    /// loads require (strong: strong-only section; weak: full section).
+    fn with_cs<R>(d: &Domain<S>, t: Tid, f: impl FnOnce() -> R) -> R;
+}
+
+/// Strong references: counted in `strong`, deferred through `strong_ar`.
+pub(crate) struct StrongKind;
+
+impl<S: Scheme> RefKind<S> for StrongKind {
+    #[inline]
+    fn ar(d: &Domain<S>) -> &S {
+        &d.strong_ar
+    }
+
+    #[inline]
+    unsafe fn incr(addr: usize) {
+        counted::increment_alive(addr);
+    }
+
+    #[inline]
+    unsafe fn retire(d: &Domain<S>, t: Tid, addr: usize) {
+        d.delayed_decrement(t, addr);
+    }
+
+    #[inline]
+    unsafe fn rollback(d: &Domain<S>, t: Tid, addr: usize) {
+        d.decrement(t, addr);
+    }
+
+    #[inline]
+    fn with_cs<R>(d: &Domain<S>, t: Tid, f: impl FnOnce() -> R) -> R {
+        with_strong_cs(d, t, f)
+    }
+}
+
+/// Weak references: counted in `weak`, deferred through `weak_ar`.
+pub(crate) struct WeakKind;
+
+impl<S: Scheme> RefKind<S> for WeakKind {
+    #[inline]
+    fn ar(d: &Domain<S>) -> &S {
+        &d.weak_ar
+    }
+
+    #[inline]
+    unsafe fn incr(addr: usize) {
+        counted::weak_increment(addr);
+    }
+
+    #[inline]
+    unsafe fn retire(d: &Domain<S>, t: Tid, addr: usize) {
+        d.delayed_weak_decrement(t, addr);
+    }
+
+    #[inline]
+    unsafe fn rollback(d: &Domain<S>, t: Tid, addr: usize) {
+        d.weak_decrement(t, addr);
+    }
+
+    #[inline]
+    fn with_cs<R>(d: &Domain<S>, t: Tid, f: impl FnOnce() -> R) -> R {
+        with_full_cs(d, t, f)
+    }
+}
+
+/// One shared mutable pointer word bound to a domain, speaking kind `K`'s
+/// reference-accounting protocol. [`AtomicSharedPtr`](crate::AtomicSharedPtr)
+/// and [`AtomicWeakPtr`](crate::AtomicWeakPtr) are typed shells around this.
+pub(crate) struct RcWord<S: Scheme, K: RefKind<S>> {
+    word: AtomicUsize,
+    domain: DomainRef<S>,
+    _kind: PhantomData<fn(K) -> K>,
+}
+
+impl<S: Scheme, K: RefKind<S>> RcWord<S, K> {
+    /// Creates a location holding `word`, whose (untagged) address the
+    /// location takes ownership of one `K`-reference to. The caller has
+    /// already validated the domain.
+    pub(crate) fn new_owned(word: usize, domain: DomainRef<S>) -> Self {
+        RcWord {
+            word: AtomicUsize::new(word),
+            domain,
+            _kind: PhantomData,
+        }
+    }
+
+    /// The raw word location (for the snapshot paths, which stay in the
+    /// typed modules).
+    #[inline]
+    pub(crate) fn word(&self) -> &AtomicUsize {
+        &self.word
+    }
+
+    /// The domain this location is bound to.
+    #[inline]
+    pub(crate) fn domain(&self) -> &DomainRef<S> {
+        &self.domain
+    }
+
+    /// An unprotected read of the raw word, for comparisons only.
+    #[inline]
+    pub(crate) fn load_raw(&self) -> usize {
+        // Ordering: Relaxed — the word is an opaque comparison token here:
+        // it is never dereferenced, and any CAS that uses it as `expected`
+        // re-validates against the live word with its own ordering.
+        self.word.load(Ordering::Relaxed)
+    }
+
+    /// Protected load-and-increment (Fig. 8): returns the untagged address
+    /// carrying one fresh caller-owned `K`-reference (0 for null).
+    pub(crate) fn load_owning(&self) -> usize {
+        let d = &*self.domain;
+        let t = smr::current_tid();
+        K::with_cs(d, t, || {
+            // Safety: this location owns a `K`-reference to whatever it
+            // stores, with decrements deferred via `K`'s instance, so the
+            // acquire-protected increment targets a live block.
+            unsafe { load_and_increment(K::ar(d), t, &self.word, |a| K::incr(a)) }
+        })
+    }
+
+    /// Installs `new` (address + tag bits), taking ownership of one
+    /// `K`-reference to its address; the displaced reference is retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new`'s address is non-null and from a foreign domain.
+    pub(crate) fn store_owned(&self, new: usize) {
+        let old = self.install(new);
+        let old_addr = untagged(old);
+        if old_addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owned a `K`-reference to `old_addr`.
+            unsafe { K::retire(&self.domain, t, old_addr) };
+        }
+    }
+
+    /// Installs `new` as [`store_owned`](Self::store_owned) but returns the
+    /// displaced word raw: ownership of the displaced `K`-reference
+    /// transfers to the caller, who must treat it as displaced-class
+    /// (relinquish via retire, i.e. wrap it with the owned pointer types'
+    /// displaced constructors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new`'s address is non-null and from a foreign domain.
+    pub(crate) fn swap_owned(&self, new: usize) -> usize {
+        self.install(new)
+    }
+
+    /// The shared install swap.
+    fn install(&self, new: usize) -> usize {
+        check_same_domain(untagged(new), &self.domain);
+        // Ordering: SeqCst swap — the Release half publishes the pointee
+        // (and any pre-taken reference on it) to readers' Acquire loads, the
+        // Acquire half makes the displaced occupant's header readable for
+        // its deferred decrement, and it must additionally be SeqCst because
+        // the retire that follows stamps the record with a clock value read
+        // *after* this unlink — the epoch-based eject rules are only sound
+        // if that read cannot be ordered before the swap (see
+        // `GlobalEpoch::load`). On x86-64 every swap is a `lock xchg`
+        // regardless of ordering, so this costs nothing over AcqRel.
+        self.word.swap(new, Ordering::SeqCst)
+    }
+
+    /// CAS installing a *new* `K`-reference to `new_addr` (borrowed-desired
+    /// protocol): pre-increments so the location owns its reference the
+    /// moment the CAS lands (§3.4 / Fig. 9 ordering), rolls the increment
+    /// back on failure.
+    ///
+    /// On success returns the displaced word — ownership of the displaced
+    /// `K`-reference transfers to the caller (displaced-class). On failure
+    /// returns the witnessed current word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_addr` is non-null and from a foreign domain.
+    ///
+    /// # Safety
+    ///
+    /// `new_addr` must be 0 or a live control block the caller holds a
+    /// `K`-compatible borrow on for the duration of the call.
+    pub(crate) unsafe fn cas_borrowed(
+        &self,
+        expected: usize,
+        new_addr: usize,
+        new_tag: usize,
+        weak_cas: bool,
+    ) -> Result<usize, usize> {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        debug_assert_eq!(new_addr & smr::TAG_MASK, 0);
+        check_same_domain(new_addr, &self.domain);
+        if new_addr != 0 {
+            // Safety: the caller's borrow guarantees liveness.
+            K::incr(new_addr);
+        }
+        match self.cex(expected, new_addr | new_tag, weak_cas) {
+            Ok(old) => Ok(old),
+            Err(w) => {
+                if new_addr != 0 {
+                    let t = smr::current_tid();
+                    // Safety: we own the pre-increment and forfeit it; it
+                    // was never visible to readers, so a direct decrement
+                    // is sound.
+                    K::rollback(&self.domain, t, new_addr);
+                }
+                Err(w)
+            }
+        }
+    }
+
+    /// CAS transferring the *caller's own* `K`-reference (owned-desired
+    /// protocol): no count traffic at all. On success the caller's
+    /// reference now belongs to the location (the caller must forget its
+    /// handle) and the displaced word comes back displaced-class; on
+    /// failure the caller keeps its reference and receives the witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new`'s address is non-null and from a foreign domain.
+    pub(crate) fn cas_owned(
+        &self,
+        expected: usize,
+        new: usize,
+        weak_cas: bool,
+    ) -> Result<usize, usize> {
+        check_same_domain(untagged(new), &self.domain);
+        self.cex(expected, new, weak_cas)
+    }
+
+    /// The shared compare-exchange.
+    #[inline]
+    fn cex(&self, expected: usize, new: usize, weak_cas: bool) -> Result<usize, usize> {
+        // Ordering: SeqCst on success — publishes the new occupant (and its
+        // reference), acquires the displaced occupant's header for the
+        // deferred decrement, and keeps that retire's epoch stamp ordered
+        // after this unlink (see `GlobalEpoch::load`; free on x86-64, where
+        // the CAS is `lock cmpxchg` at any ordering). Acquire on failure —
+        // the witnessed word is handed back to the caller, who may seed a
+        // protected snapshot from it (`compare_exchange_with`) and
+        // dereference: the publisher's Release must be visible.
+        if weak_cas {
+            self.word
+                .compare_exchange_weak(expected, new, Ordering::SeqCst, Ordering::Acquire)
+        } else {
+            self.word
+                .compare_exchange(expected, new, Ordering::SeqCst, Ordering::Acquire)
+        }
+    }
+
+    /// Unconditionally ORs tag bits into the word, returning the previous
+    /// word. No reference counts change: the location keeps its pointer.
+    pub(crate) fn fetch_or_tag(&self, tag_bits: usize) -> usize {
+        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
+        // Ordering: AcqRel — tag edges linearize structure mutations
+        // (Natarajan-Mittal flag/tag, Harris marks): Release orders the
+        // caller's prior writes before the mark becomes visible, Acquire
+        // orders the caller's subsequent cleanup after the word it
+        // observed. The pointer bits do not change, so no publication of a
+        // new pointee is involved.
+        self.word.fetch_or(tag_bits, Ordering::AcqRel)
+    }
+
+    /// ORs tag bits into the word if it still equals `expected`. Returns
+    /// the installed word on success and the witnessed current word on
+    /// failure. No reference counts change.
+    pub(crate) fn try_set_tag(&self, expected: usize, tag_bits: usize) -> Result<usize, usize> {
+        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
+        // Ordering: AcqRel on success — as in
+        // [`fetch_or_tag`](Self::fetch_or_tag); the mark is a linearization
+        // point, not a pointer publication. Acquire on failure — the
+        // witness is handed back and may seed further witness logic.
+        self.word
+            .compare_exchange(
+                expected,
+                expected | tag_bits,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| expected | tag_bits)
+    }
+}
+
+impl<S: Scheme, K: RefKind<S>> Drop for RcWord<S, K> {
+    fn drop(&mut self) {
+        let addr = untagged(*self.word.get_mut());
+        if addr != 0 {
+            let t = smr::current_tid();
+            // Safety: the location owns a `K`-reference. Deferral (not a
+            // direct decrement) matters: a concurrent reader that loaded
+            // this pointer before we were unlinked may still be protected.
+            // `self.domain` is alive throughout (field drop runs after us).
+            unsafe { K::retire(&self.domain, t, addr) };
+        }
+    }
+}

@@ -30,6 +30,56 @@
 //! (§3.4); increments use the wait-free sticky counter of the [`sticky`]
 //! crate so weak upgrades are constant-time (§4.3).
 //!
+//! ### Mutation: the RMW family
+//!
+//! Both atomics expose the same read-modify-write surface, shaped like
+//! [`std::sync::atomic`]:
+//!
+//! * **store** (`store`, `store_tagged`, `store_from`/`store_strong`) —
+//!   installs a value, retiring the displaced reference internally.
+//! * **swap / take** (`swap`, `swap_tagged`, `take`) — installs a value and
+//!   returns the displaced occupant as an *owned* pointer, with no
+//!   reference-count traffic in either direction (take = swap-with-null).
+//! * **compare-exchange** (`compare_exchange`, `_tagged`, `_weak`,
+//!   `_owned`, and guard-threaded `_with` on the strong side) — returns
+//!   `Result<displaced, witness>`: success hands back the displaced
+//!   occupant as owned; failure hands back the *witnessed* current word so
+//!   retry loops never pay a second protected load. The `_owned` variants
+//!   move `desired` in (no count round-trip; failure returns it via
+//!   [`CompareExchangeErr`]), and
+//!   [`AtomicSharedPtr::compare_exchange_with`] returns the failure witness
+//!   as a protected [`SnapshotPtr`] that dereferences immediately.
+//! * **tag transitions** (`fetch_or_tag`, `try_set_tag`) — mutate only the
+//!   low tag bits; `try_set_tag` is witness-returning too, so tag-state
+//!   machines compose with the CAS loops.
+//!
+//! A displaced pointer handed back by swap or a successful CAS remembers
+//! that it was location-owned: its drop defers the decrement through the
+//! domain (a concurrent reader may still be mid-`load` on the old word),
+//! which makes returning ownership exactly as cheap as the old
+//! retire-internally behaviour.
+//!
+//! ```
+//! use cdrc::{AtomicSharedPtr, SharedPtr, EbrScheme, Scheme};
+//!
+//! let slot: AtomicSharedPtr<u64, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(1));
+//! let cs = EbrScheme::global_domain().cs();
+//! let mut desired = SharedPtr::new(2);
+//! let mut expected = slot.load_tagged();
+//! let displaced = loop {
+//!     // The witness loop: a failed CAS feeds the next attempt directly.
+//!     match slot.compare_exchange_owned(expected, desired) {
+//!         Ok(displaced) => break displaced,
+//!         Err(e) => {
+//!             expected = e.current; // no re-load
+//!             desired = e.desired;  // no reallocation, no count traffic
+//!         }
+//!     }
+//! };
+//! assert_eq!(displaced.as_ref(), Some(&1));
+//! drop(cs);
+//! ```
+//!
 //! ## Critical sections
 //!
 //! All racy atomic-pointer operations and all snapshot lifetimes must occur
@@ -144,12 +194,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cas;
 mod counted;
 mod domain;
+mod engine;
 mod strong;
 mod tagged;
 mod weak;
 
+pub use cas::CompareExchangeErr;
 pub use domain::{CsGuard, Domain, DomainRef, OpGuard, Scheme, StrongRef, WeakCsGuard};
 pub use strong::{AtomicSharedPtr, SharedPtr, SnapshotPtr};
 pub use tagged::TaggedPtr;

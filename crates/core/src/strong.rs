@@ -6,7 +6,7 @@
 //! * [`SharedPtr`] — an owned strong reference, like `Arc` but collected
 //!   through the domain's deferred machinery; safe to send between threads.
 //! * [`AtomicSharedPtr`] — a mutable shared location holding a strong
-//!   reference (plus low-order tag bits), supporting load / store /
+//!   reference (plus low-order tag bits), supporting load / store / swap /
 //!   compare-exchange under arbitrary races.
 //! * [`SnapshotPtr`] — a short-lived protected view obtained from an
 //!   [`AtomicSharedPtr`] **without touching the reference count** in the
@@ -14,6 +14,26 @@
 //!   `try_acquire`; only when the scheme runs out of protection resources
 //!   does it fall back to an increment. Snapshots are confined to a
 //!   critical section ([`CsGuard`]) and to their creating thread.
+//!
+//! # Mutation: witnesses and displaced values
+//!
+//! The mutation surface is *witness-returning*, shaped like
+//! [`std::sync::atomic`] and CIRC's `AtomicRc`: every compare-exchange
+//! returns `Result<displaced, witness>` — on success the **displaced**
+//! occupant comes back as an owned [`SharedPtr`] (drop it, inspect it, or
+//! reinstall it elsewhere), on failure the **witnessed** current word comes
+//! back so retry loops never pay a second protected load. The
+//! guard-threaded [`compare_exchange_with`](AtomicSharedPtr::compare_exchange_with)
+//! variants return the failure witness as a protected [`SnapshotPtr`] that
+//! can be dereferenced immediately. [`swap`](AtomicSharedPtr::swap) /
+//! [`take`](AtomicSharedPtr::take) round out the RMW family.
+//!
+//! Handing the displaced value out is free: the returned pointer remembers
+//! (in a private bit) that it was location-owned, so its drop defers the
+//! decrement through the domain exactly as the location's retire would have
+//! — concurrent readers mid-`load` stay safe, and the caller pays no count
+//! round-trip. The word-level protocol shared with the weak types lives in
+//! the private `engine` module.
 //!
 //! # Domains
 //!
@@ -24,23 +44,24 @@
 //! (which also keeps the domain alive for as long as the block exists). An
 //! `AtomicSharedPtr` carries its own handle, because operations must know
 //! which domain to open a critical section on *before* reading the word.
-//! Mixing domains is a logic error: the store-family operations panic if
+//! Mixing domains is a logic error: the install-family operations panic if
 //! the pointer being installed was allocated under a different domain, and
 //! snapshot operations assert (debug builds) that the supplied guard covers
 //! this location's domain.
 
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 
 use smr::{untagged, AcquireRetire};
 use sticky::Counter;
 
+use crate::cas::CompareExchangeErr;
 use crate::counted::{self, as_counted, as_header, PtrMarker};
 use crate::domain::{
-    check_same_domain, domain_ref_of, load_and_increment, with_strong_cs, CsGuard, DomainHold,
-    DomainRef, Scheme, StrongRef,
+    check_same_domain, domain_ref_of, CsGuard, DomainHold, DomainRef, OpGuard, Scheme, StrongRef,
 };
+use crate::engine::{RcWord, StrongKind, DISPLACED};
 use crate::tagged::TaggedPtr;
 use crate::weak::WeakPtr;
 
@@ -55,6 +76,13 @@ use crate::weak::WeakPtr;
 /// the pointer resolves from the control-block header — a `SharedPtr` is a
 /// single word regardless of which domain manages it.
 ///
+/// The exception is a pointer obtained as the *displaced* result of a
+/// [`swap`](AtomicSharedPtr::swap) or successful compare-exchange: that
+/// reference was location-owned when it was handed out, so its drop defers
+/// the decrement through the domain (as the location's retire would have) —
+/// invisible to the caller beyond being exactly as cheap as the old
+/// retire-internally behaviour.
+///
 /// # Examples
 ///
 /// ```
@@ -65,6 +93,8 @@ use crate::weak::WeakPtr;
 /// assert_eq!(q.as_ref().map(String::as_str), Some("hello"));
 /// ```
 pub struct SharedPtr<T, S: Scheme> {
+    /// Untagged block address, except that [`DISPLACED`] may be set on
+    /// pointers whose drop must defer (see the module docs).
     addr: usize,
     _marker: PtrMarker<T, S>,
 }
@@ -100,39 +130,61 @@ impl<T, S: Scheme> SharedPtr<T, S> {
         }
     }
 
-    /// Adopts ownership of one strong reference at `addr` (0 = null).
+    /// Adopts ownership of one caller-class strong reference at `addr`
+    /// (0 = null).
     pub(crate) fn from_addr(addr: usize) -> Self {
+        debug_assert_eq!(addr & smr::TAG_MASK, 0);
         SharedPtr {
             addr,
             _marker: PhantomData,
         }
     }
 
-    /// Releases ownership without decrementing; returns the address.
+    /// Adopts ownership of one *displaced-class* strong reference: it was
+    /// location-owned when handed out, so the eventual drop must defer the
+    /// decrement (readers that loaded the old word may still be protected).
+    pub(crate) fn from_displaced(addr: usize) -> Self {
+        debug_assert_eq!(addr & smr::TAG_MASK, 0);
+        SharedPtr {
+            addr: if addr == 0 { 0 } else { addr | DISPLACED },
+            _marker: PhantomData,
+        }
+    }
+
+    /// The untagged block address (0 = null), flag bits stripped.
+    #[inline]
+    fn block(&self) -> usize {
+        self.addr & !DISPLACED
+    }
+
+    /// Releases ownership without decrementing; returns the block address.
+    /// (Install paths: the reference becomes location-owned, which erases
+    /// the displaced/caller class distinction — locations always retire.)
     pub(crate) fn into_addr(self) -> usize {
-        let addr = self.addr;
+        let addr = self.block();
         std::mem::forget(self);
         addr
     }
 
     /// Whether this is the null pointer.
     pub fn is_null(&self) -> bool {
-        self.addr == 0
+        self.block() == 0
     }
 
     /// Borrows the managed value, or `None` for null.
     pub fn as_ref(&self) -> Option<&T> {
-        if self.addr == 0 {
+        let block = self.block();
+        if block == 0 {
             None
         } else {
             // Safety: we own a strong reference, so the payload is alive.
-            unsafe { Some(&*(*as_counted::<T>(self.addr)).value.as_ptr()) }
+            unsafe { Some(&*(*as_counted::<T>(block)).value.as_ptr()) }
         }
     }
 
     /// Whether two pointers manage the same object.
     pub fn ptr_eq(&self, other: &Self) -> bool {
-        self.addr == other.addr
+        self.block() == other.block()
     }
 
     /// Creates a strong reference from any borrow that guarantees liveness
@@ -154,17 +206,18 @@ impl<T, S: Scheme> SharedPtr<T, S> {
 
     /// The current strong count (diagnostic; racy by nature).
     pub fn strong_count(&self) -> u64 {
-        if self.addr == 0 {
+        let block = self.block();
+        if block == 0 {
             0
         } else {
-            unsafe { (*as_header(self.addr)).strong.load() }
+            unsafe { (*as_header(block)).strong.load() }
         }
     }
 }
 
 impl<T, S: Scheme> StrongRef<T> for SharedPtr<T, S> {
     fn addr(&self) -> usize {
-        self.addr
+        self.block()
     }
 }
 
@@ -176,17 +229,26 @@ impl<T, S: Scheme> Clone for SharedPtr<T, S> {
 
 impl<T, S: Scheme> Drop for SharedPtr<T, S> {
     fn drop(&mut self) {
-        if self.addr != 0 {
-            // Safety: we own one strong reference and forfeit it. The
-            // decrement itself is header-only; only on the zero transition
-            // do we resolve the block's domain to defer disposal — under a
-            // hold, because the dispose cascade may free the very block
-            // whose reference was keeping the domain alive.
+        let block = self.block();
+        if block != 0 {
+            // Safety: we own one strong reference and forfeit it. Domain
+            // resolution runs under a hold, because the dispose cascade may
+            // free the very block whose reference was keeping the domain
+            // alive.
             unsafe {
-                if (*as_header(self.addr)).strong.decrement() {
-                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(self.addr));
+                if self.addr & DISPLACED != 0 {
+                    // Displaced-class: this reference was location-owned
+                    // when handed out, so a concurrent reader that loaded
+                    // the old word may still be mid-increment on it — the
+                    // decrement must go through the deferred machinery
+                    // exactly as the location's retire would have.
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
-                    hold.domain().delayed_dispose(t, self.addr);
+                    hold.domain().delayed_decrement(t, block);
+                } else if (*as_header(block)).strong.decrement() {
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
+                    let t = smr::current_tid();
+                    hold.domain().delayed_dispose(t, block);
                 }
             }
         }
@@ -218,6 +280,10 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
 /// correctness never depends on the caller's guard for these methods, since
 /// sections nest).
 ///
+/// The compare-exchange family returns `Result<displaced, witness>`; see
+/// the crate-level "RMW family" docs and
+/// [`compare_exchange`](AtomicSharedPtr::compare_exchange).
+///
 /// # Examples
 ///
 /// ```
@@ -225,13 +291,12 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SharedPtr<T, S> {
 ///
 /// let slot: AtomicSharedPtr<i32, EbrScheme> = AtomicSharedPtr::new(SharedPtr::new(1));
 /// let one = slot.load();
-/// slot.store(SharedPtr::new(2));
-/// assert_eq!(one.as_ref(), Some(&1));
+/// let displaced = slot.swap(SharedPtr::new(2));
+/// assert!(displaced.ptr_eq(&one));
 /// assert_eq!(slot.load().as_ref(), Some(&2));
 /// ```
 pub struct AtomicSharedPtr<T, S: Scheme> {
-    word: AtomicUsize,
-    domain: DomainRef<S>,
+    inner: RcWord<S, StrongKind>,
     _marker: PtrMarker<T, S>,
 }
 
@@ -243,14 +308,13 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// The location binds to the pointer's own domain (or the global domain
     /// for a null pointer).
     pub fn new(ptr: SharedPtr<T, S>) -> Self {
-        let domain = match ptr.addr {
+        let domain = match ptr.block() {
             0 => S::global_domain().clone(),
             // Safety: `ptr` owns a strong reference, so the block is alive.
             addr => unsafe { domain_ref_of::<S>(addr) },
         };
         AtomicSharedPtr {
-            word: AtomicUsize::new(ptr.into_addr()),
-            domain,
+            inner: RcWord::new_owned(ptr.into_addr(), domain),
             _marker: PhantomData,
         }
     }
@@ -263,10 +327,9 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Panics if `ptr` is non-null and was allocated under a different
     /// domain.
     pub fn new_in(ptr: SharedPtr<T, S>, domain: &DomainRef<S>) -> Self {
-        check_same_domain(ptr.addr, domain);
+        check_same_domain(ptr.block(), domain);
         AtomicSharedPtr {
-            word: AtomicUsize::new(ptr.into_addr()),
-            domain: domain.clone(),
+            inner: RcWord::new_owned(ptr.into_addr(), domain.clone()),
             _marker: PhantomData,
         }
     }
@@ -279,40 +342,26 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Creates a null location bound to an explicit domain.
     pub fn null_in(domain: &DomainRef<S>) -> Self {
         AtomicSharedPtr {
-            word: AtomicUsize::new(0),
-            domain: domain.clone(),
+            inner: RcWord::new_owned(0, domain.clone()),
             _marker: PhantomData,
         }
     }
 
     /// The domain this location is bound to.
     pub fn domain(&self) -> &DomainRef<S> {
-        &self.domain
+        self.inner.domain()
     }
 
     /// An unprotected read of the raw word — for tag checks and CAS
     /// `expected` values only; the result must never be dereferenced.
     #[inline]
     pub fn load_tagged(&self) -> TaggedPtr<T> {
-        // Ordering: Relaxed — the word is an opaque comparison token here:
-        // it is never dereferenced, and any CAS that uses it as `expected`
-        // re-validates against the live word with its own (AcqRel)
-        // ordering.
-        TaggedPtr::from_word(self.word.load(Ordering::Relaxed))
+        TaggedPtr::from_word(self.inner.load_raw())
     }
 
     /// Loads the pointer and takes a strong reference to it (tag ignored).
     pub fn load(&self) -> SharedPtr<T, S> {
-        let d = &*self.domain;
-        let t = smr::current_tid();
-        let addr = with_strong_cs(d, t, || {
-            // Safety: this location owns a strong reference to whatever it
-            // stores, with decrements deferred via the strong instance.
-            unsafe {
-                load_and_increment(&d.strong_ar, t, &self.word, |a| counted::increment_alive(a))
-            }
-        });
-        SharedPtr::from_addr(addr)
+        SharedPtr::from_addr(self.inner.load_owning())
     }
 
     /// Takes a protected snapshot without incrementing the count in the
@@ -322,12 +371,12 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// protection here).
     pub fn get_snapshot<'g>(&self, cs: &'g CsGuard<S>) -> SnapshotPtr<'g, T, S> {
         debug_assert!(
-            cs.covers(&self.domain),
+            cs.covers(self.inner.domain()),
             "guard from a different reclamation domain used on this location"
         );
         let d = cs.domain();
         let t = cs.tid();
-        match d.strong_ar.try_acquire(t, &self.word) {
+        match d.strong_ar.try_acquire(t, self.inner.word()) {
             Some((w, g)) => SnapshotPtr {
                 word: w,
                 guard: Some(g),
@@ -337,7 +386,7 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
             None => {
                 // Slow path: protect with the reserved `acquire` slot just
                 // long enough to take a real reference.
-                let (w, g) = d.strong_ar.acquire(t, &self.word);
+                let (w, g) = d.strong_ar.acquire(t, self.inner.word());
                 let addr = untagged(w);
                 if addr != 0 {
                     // Safety: the location holds a strong reference and the
@@ -353,6 +402,46 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
                 }
             }
         }
+    }
+
+    /// Wraps a word this location held while `cs`'s section was active into
+    /// a protected snapshot — the failure-witness path of the `_with` CAS
+    /// family.
+    ///
+    /// Schemes whose active section alone protects every word read from a
+    /// live location ([`smr::AcquireRetire::PROTECTS_SECTION_READS`]: EBR,
+    /// Hyaline) need no re-read — the stack-local acquire only mints a
+    /// trivially-releasable guard. The others must revalidate against the
+    /// live word — IBR because a witness born after the announced interval
+    /// is not yet covered (extending the interval is exactly `acquire`'s
+    /// announce-then-revalidate loop), HP because protection is per
+    /// announced pointer — so they fall back to
+    /// [`get_snapshot`](Self::get_snapshot): the witness then seeds only
+    /// the failed comparison, and the snapshot may observe a newer value.
+    fn protect_witness<'g>(&self, cs: &'g CsGuard<S>, w: usize) -> SnapshotPtr<'g, T, S> {
+        if untagged(w) == 0 {
+            return SnapshotPtr {
+                word: w,
+                guard: None,
+                cs,
+                _marker: PhantomData,
+            };
+        }
+        if S::PROTECTS_SECTION_READS {
+            let d = cs.domain();
+            let t = cs.tid();
+            let local = AtomicUsize::new(w);
+            if let Some((w2, g)) = d.strong_ar.try_acquire(t, &local) {
+                debug_assert_eq!(w2, w);
+                return SnapshotPtr {
+                    word: w,
+                    guard: Some(g),
+                    cs,
+                    _marker: PhantomData,
+                };
+            }
+        }
+        self.get_snapshot(cs)
     }
 
     /// Stores `desired` (with tag 0), consuming its reference; the previous
@@ -375,27 +464,12 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// Panics if `r` is non-null and from a different domain.
     pub fn store_from<R: StrongRef<T>>(&self, r: &R) {
         let addr = r.addr();
-        check_same_domain(addr, &self.domain);
+        check_same_domain(addr, self.inner.domain());
         if addr != 0 {
             // Safety: the strong borrow keeps the object alive.
             unsafe { counted::increment_alive(addr) };
         }
-        // Ordering: SeqCst swap — the Release half publishes the pointee
-        // and its pre-incremented count to readers' Acquire loads, and the
-        // Acquire half makes the displaced occupant's header readable for
-        // the deferred decrement; it must additionally be SeqCst because
-        // `delayed_decrement` stamps the retire with a clock value read
-        // *after* this unlink, and the epoch-based eject rules are only
-        // sound if that read cannot be ordered before the swap (see
-        // `GlobalEpoch::load`). On x86-64 every swap is a `lock xchg`
-        // regardless of ordering, so this costs nothing over AcqRel.
-        let old = self.word.swap(addr, Ordering::SeqCst);
-        let old_addr = untagged(old);
-        if old_addr != 0 {
-            let t = smr::current_tid();
-            // Safety: the location owned a strong reference to `old_addr`.
-            unsafe { self.domain.delayed_decrement(t, old_addr) };
-        }
+        self.inner.store_owned(addr);
     }
 
     /// As [`store`](Self::store) with explicit tag bits.
@@ -406,130 +480,275 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
     /// (always) if `desired` is from a different domain.
     pub fn store_tagged(&self, desired: SharedPtr<T, S>, tag: usize) {
         debug_assert_eq!(tag & !smr::TAG_MASK, 0);
-        check_same_domain(desired.addr, &self.domain);
-        let new = desired.into_addr() | tag;
-        // Ordering: SeqCst swap — as in [`store_from`](Self::store_from):
-        // publishes the new pointee, acquires the old header, and keeps the
-        // subsequent retire's epoch stamp ordered after the unlink.
-        let old = self.word.swap(new, Ordering::SeqCst);
-        let old_addr = untagged(old);
-        if old_addr != 0 {
-            let t = smr::current_tid();
-            // Safety: the location owned a strong reference to `old_addr`.
-            unsafe { self.domain.delayed_decrement(t, old_addr) };
-        }
+        self.inner.store_owned(desired.into_addr() | tag);
     }
 
-    /// Atomically replaces the word if it equals `expected`, installing a
-    /// new strong reference to `desired` with tag `new_tag`. On success the
-    /// previous reference is retired; `desired` itself is only borrowed.
-    ///
-    /// Returns `true` on success. Spurious failure does not occur.
+    /// Atomically replaces the occupant with `desired` (tag 0), returning
+    /// the displaced pointer as owned. No reference count is touched: the
+    /// caller's reference moves into the location and the location's moves
+    /// out (displaced-class — its eventual drop defers, see the module
+    /// docs). The displaced tag bits are discarded; use
+    /// [`swap_tagged`](Self::swap_tagged) to observe them.
     ///
     /// # Panics
     ///
     /// Panics if `desired` is non-null and from a different domain.
+    pub fn swap(&self, desired: SharedPtr<T, S>) -> SharedPtr<T, S> {
+        self.swap_tagged(desired, 0).0
+    }
+
+    /// As [`swap`](Self::swap) with explicit new tag bits; returns the
+    /// displaced pointer together with the tag bits it was stored under.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is from a different domain.
+    pub fn swap_tagged(
+        &self,
+        desired: SharedPtr<T, S>,
+        new_tag: usize,
+    ) -> (SharedPtr<T, S>, usize) {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        let old = self.inner.swap_owned(desired.into_addr() | new_tag);
+        (
+            SharedPtr::from_displaced(untagged(old)),
+            old & smr::TAG_MASK,
+        )
+    }
+
+    /// Swap-with-null: empties the location and returns the displaced
+    /// pointer (take semantics). Equivalent to `swap(SharedPtr::null())`.
+    pub fn take(&self) -> SharedPtr<T, S> {
+        self.swap(SharedPtr::null())
+    }
+
+    /// Atomically replaces the word if it equals `expected`, installing a
+    /// new strong reference to `desired` with tag `new_tag`; `desired`
+    /// itself is only borrowed.
+    ///
+    /// On success, returns the **displaced** pointer as owned (drop it,
+    /// keep it, reinstall it — the location's old reference is yours). On
+    /// failure, returns the **witnessed** current word, ready to be the
+    /// next attempt's `expected` without re-loading the location. Spurious
+    /// failure does not occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is non-null and from a different domain.
     pub fn compare_exchange_tagged<R: StrongRef<T>>(
         &self,
         expected: TaggedPtr<T>,
         desired: &R,
         new_tag: usize,
-    ) -> bool {
-        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
-        let d = &*self.domain;
-        let t = smr::current_tid();
-        let new_addr = desired.addr();
-        check_same_domain(new_addr, &self.domain);
-        if new_addr != 0 {
-            // Pre-increment: if the CAS succeeds the location must already
-            // own its reference (§3.4 / Fig. 9 ordering).
-            // Safety: `desired` guarantees liveness for the borrow.
-            unsafe { counted::increment_alive(new_addr) };
+    ) -> Result<SharedPtr<T, S>, TaggedPtr<T>> {
+        // Safety: `desired` is a strong borrow, guaranteeing liveness and a
+        // nonzero count for the pre-increment.
+        unsafe {
+            self.inner
+                .cas_borrowed(expected.word(), desired.addr(), new_tag, false)
         }
-        // Ordering: SeqCst on success — publishes the new pointee (and its
-        // pre-increment), acquires the displaced occupant's header for the
-        // deferred decrement, and keeps that retire's epoch stamp ordered
-        // after this unlink (see `GlobalEpoch::load`; free on x86-64, where
-        // the CAS is `lock cmpxchg` at any ordering). Relaxed on failure —
-        // the observed word is discarded (we only roll back our own
-        // pre-increment).
-        match self.word.compare_exchange(
-            expected.word(),
-            new_addr | new_tag,
-            Ordering::SeqCst,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => {
-                let old = expected.addr();
-                if old != 0 {
-                    // Safety: the location owned a strong reference to it.
-                    unsafe { d.delayed_decrement(t, old) };
-                }
-                true
-            }
-            Err(_) => {
-                if new_addr != 0 {
-                    // Safety: we own the pre-increment and forfeit it.
-                    unsafe { d.decrement(t, new_addr) };
-                }
-                false
-            }
-        }
+        .map(|old| SharedPtr::from_displaced(untagged(old)))
+        .map_err(TaggedPtr::from_word)
     }
 
     /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged) with
     /// tag 0 on the new value.
-    pub fn compare_exchange<R: StrongRef<T>>(&self, expected: TaggedPtr<T>, desired: &R) -> bool {
+    pub fn compare_exchange<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+    ) -> Result<SharedPtr<T, S>, TaggedPtr<T>> {
         self.compare_exchange_tagged(expected, desired, 0)
+    }
+
+    /// As [`compare_exchange`](Self::compare_exchange), but may fail
+    /// spuriously (the witness then equals `expected`) — cheaper on
+    /// LL/SC architectures inside a retry loop that re-attempts anyway.
+    pub fn compare_exchange_weak<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+    ) -> Result<SharedPtr<T, S>, TaggedPtr<T>> {
+        self.compare_exchange_weak_tagged(expected, desired, 0)
+    }
+
+    /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged), but
+    /// may fail spuriously.
+    ///
+    /// # Panics
+    ///
+    /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged).
+    pub fn compare_exchange_weak_tagged<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+        new_tag: usize,
+    ) -> Result<SharedPtr<T, S>, TaggedPtr<T>> {
+        // Safety: as in `compare_exchange_tagged`.
+        unsafe {
+            self.inner
+                .cas_borrowed(expected.word(), desired.addr(), new_tag, true)
+        }
+        .map(|old| SharedPtr::from_displaced(untagged(old)))
+        .map_err(TaggedPtr::from_word)
+    }
+
+    /// By-value compare-exchange: on success the **moved** `desired`
+    /// installs with *no reference-count traffic at all* (its reference
+    /// transfers to the location) and the displaced pointer comes back
+    /// owned; on failure the error returns both the witnessed current word
+    /// and `desired` itself, untouched, so the retry loop neither
+    /// reallocates nor pays a count round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
+    pub fn compare_exchange_owned(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: SharedPtr<T, S>,
+    ) -> Result<SharedPtr<T, S>, CompareExchangeErr<SharedPtr<T, S>, T>> {
+        self.compare_exchange_tagged_owned(expected, desired, 0)
+    }
+
+    /// As [`compare_exchange_owned`](Self::compare_exchange_owned) with
+    /// explicit tag bits on the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is non-null and from a different domain.
+    pub fn compare_exchange_tagged_owned(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: SharedPtr<T, S>,
+        new_tag: usize,
+    ) -> Result<SharedPtr<T, S>, CompareExchangeErr<SharedPtr<T, S>, T>> {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        match self
+            .inner
+            .cas_owned(expected.word(), desired.block() | new_tag, false)
+        {
+            Ok(old) => {
+                std::mem::forget(desired);
+                Ok(SharedPtr::from_displaced(untagged(old)))
+            }
+            Err(w) => Err(CompareExchangeErr {
+                current: TaggedPtr::from_word(w),
+                desired,
+            }),
+        }
+    }
+
+    /// Guard-threaded compare-exchange: as
+    /// [`compare_exchange`](Self::compare_exchange), but the failure
+    /// witness comes back as a *protected* [`SnapshotPtr`] that can be
+    /// dereferenced immediately — retry loops read the current value
+    /// without any further load. Accepts either guard flavour via
+    /// [`OpGuard`]; the guard must cover this location's domain (asserted
+    /// in debug builds).
+    ///
+    /// Under EBR and Hyaline the returned snapshot is exactly the
+    /// witnessed word, protected for free by the active section; IBR and
+    /// HP must revalidate against the live location, so their snapshot may
+    /// observe a value newer than the one that failed the comparison (see
+    /// [`smr::AcquireRetire::PROTECTS_SECTION_READS`]).
+    pub fn compare_exchange_with<'g, R: StrongRef<T>, G: OpGuard<S>>(
+        &self,
+        guard: &'g G,
+        expected: TaggedPtr<T>,
+        desired: &R,
+    ) -> Result<SharedPtr<T, S>, SnapshotPtr<'g, T, S>> {
+        self.compare_exchange_tagged_with(guard, expected, desired, 0)
+    }
+
+    /// As [`compare_exchange_with`](Self::compare_exchange_with) with
+    /// explicit tag bits on the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is non-null and from a different domain.
+    pub fn compare_exchange_tagged_with<'g, R: StrongRef<T>, G: OpGuard<S>>(
+        &self,
+        guard: &'g G,
+        expected: TaggedPtr<T>,
+        desired: &R,
+        new_tag: usize,
+    ) -> Result<SharedPtr<T, S>, SnapshotPtr<'g, T, S>> {
+        let cs = guard.strong_cs();
+        debug_assert!(
+            cs.covers(self.inner.domain()),
+            "guard from a different reclamation domain used on this location"
+        );
+        // Safety: as in `compare_exchange_tagged`.
+        unsafe {
+            self.inner
+                .cas_borrowed(expected.word(), desired.addr(), new_tag, false)
+        }
+        .map(|old| SharedPtr::from_displaced(untagged(old)))
+        .map_err(|w| self.protect_witness(cs, w))
     }
 
     /// Atomically ORs `tag_bits` into the word unconditionally, returning
     /// the previous word (Natarajan-Mittal edge tagging). No reference
     /// counts change: the location keeps the same pointer.
     pub fn fetch_or_tag(&self, tag_bits: usize) -> TaggedPtr<T> {
-        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
-        // Ordering: AcqRel — tag edges linearize structure mutations
-        // (Natarajan-Mittal flag/tag, Harris marks): Release orders the
-        // caller's prior writes before the mark becomes visible, Acquire
-        // orders the caller's subsequent cleanup after the word it
-        // observed. The pointer bits do not change, so no publication of a
-        // new pointee is involved.
-        TaggedPtr::from_word(self.word.fetch_or(tag_bits, Ordering::AcqRel))
+        TaggedPtr::from_word(self.inner.fetch_or_tag(tag_bits))
     }
 
     /// Atomically ORs tag bits into the word if it still equals `expected`
     /// (e.g. Harris-style delete marking). No reference counts change: the
     /// location keeps the same pointer.
     ///
-    /// Returns `true` on success.
-    pub fn try_set_tag(&self, expected: TaggedPtr<T>, tag_bits: usize) -> bool {
-        debug_assert_eq!(tag_bits & !smr::TAG_MASK, 0);
-        // Ordering: AcqRel on success — as in
-        // [`fetch_or_tag`](Self::fetch_or_tag); the mark is a linearization
-        // point, not a pointer publication. Relaxed on failure — the
-        // observed word is discarded.
-        self.word
-            .compare_exchange(
-                expected.word(),
-                expected.word() | tag_bits,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            )
+    /// On success returns the word as installed (`expected | tag_bits`),
+    /// handy for continuing a tag-state machine; on failure returns the
+    /// witnessed current word.
+    pub fn try_set_tag(
+        &self,
+        expected: TaggedPtr<T>,
+        tag_bits: usize,
+    ) -> Result<TaggedPtr<T>, TaggedPtr<T>> {
+        self.inner
+            .try_set_tag(expected.word(), tag_bits)
+            .map(TaggedPtr::from_word)
+            .map_err(TaggedPtr::from_word)
+    }
+
+    /// Bool-returning shim for the pre-witness API.
+    #[deprecated(
+        note = "use `compare_exchange` — it returns the displaced pointer on success \
+                and the witnessed current word on failure"
+    )]
+    pub fn compare_exchange_bool<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+    ) -> bool {
+        self.compare_exchange(expected, desired).is_ok()
+    }
+
+    /// Bool-returning shim for the pre-witness API.
+    #[deprecated(
+        note = "use `compare_exchange_tagged` — it returns the displaced pointer on \
+                success and the witnessed current word on failure"
+    )]
+    pub fn compare_exchange_tagged_bool<R: StrongRef<T>>(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &R,
+        new_tag: usize,
+    ) -> bool {
+        self.compare_exchange_tagged(expected, desired, new_tag)
             .is_ok()
     }
-}
 
-impl<T, S: Scheme> Drop for AtomicSharedPtr<T, S> {
-    fn drop(&mut self) {
-        let addr = untagged(*self.word.get_mut());
-        if addr != 0 {
-            let t = smr::current_tid();
-            // Safety: the location owns a strong reference. Deferral (not a
-            // direct decrement) matters: a concurrent reader that loaded
-            // this pointer before we were unlinked may still be protected.
-            // `self.domain` is alive throughout (field drop runs after us).
-            unsafe { self.domain.delayed_decrement(t, addr) };
-        }
+    /// Bool-returning shim for the pre-witness API.
+    #[deprecated(note = "use `try_set_tag` — it returns the witnessed current word on failure")]
+    pub fn try_set_tag_bool(&self, expected: TaggedPtr<T>, tag_bits: usize) -> bool {
+        self.try_set_tag(expected, tag_bits).is_ok()
     }
 }
 
@@ -671,6 +890,7 @@ mod tests {
     use crate::domain::Scheme;
     use smr::Ebr;
     use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     type Sp<T> = SharedPtr<T, Ebr>;
@@ -744,17 +964,126 @@ mod tests {
     }
 
     #[test]
-    fn compare_exchange_success_and_failure() {
+    fn compare_exchange_success_returns_displaced_failure_returns_witness() {
         let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let one = slot.load();
         let two = Sp::new(2);
         let cur = slot.load_tagged();
-        assert!(slot.compare_exchange(cur, &two));
+        let displaced = slot.compare_exchange(cur, &two).expect("CAS succeeds");
+        assert!(
+            displaced.ptr_eq(&one),
+            "displaced value is the old occupant"
+        );
+        assert_eq!(displaced.as_ref(), Some(&1));
         assert_eq!(slot.load().as_ref(), Some(&2));
-        // Stale expected now fails and must not leak the pre-increment.
-        assert!(!slot.compare_exchange(cur, &two));
+        drop(displaced);
+        // Stale expected now fails, must not leak the pre-increment, and the
+        // witness names the current occupant.
+        let w = slot
+            .compare_exchange(cur, &two)
+            .expect_err("stale expected");
+        assert_eq!(w.addr(), TaggedPtr::from_strong(&two).addr());
         assert_eq!(two.strong_count(), 2, "slot + local");
         drop(slot);
         drop(two);
+        drop(one);
+        settle();
+    }
+
+    #[test]
+    fn compare_exchange_owned_transfers_without_count_traffic() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let cur = slot.load_tagged();
+        let two = Sp::new(2);
+        let keeper = two.clone(); // count 2
+        let displaced = slot.compare_exchange_owned(cur, two).expect("CAS succeeds");
+        assert_eq!(displaced.as_ref(), Some(&1));
+        assert_eq!(keeper.strong_count(), 2, "slot took the moved reference");
+        drop(displaced);
+        // Failure hands `desired` back untouched.
+        let three = Sp::new(3);
+        let err = slot
+            .compare_exchange_owned(cur, three)
+            .expect_err("stale expected");
+        assert_eq!(err.current.addr(), keeper.addr());
+        assert_eq!(err.desired.as_ref(), Some(&3));
+        assert_eq!(err.desired.strong_count(), 1, "no count round-trip");
+        drop(err.desired);
+        drop((slot, keeper));
+        settle();
+    }
+
+    #[test]
+    fn compare_exchange_with_returns_protected_witness() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let two = Sp::new(2);
+        let cs = Ebr::global_domain().cs();
+        let stale = TaggedPtr::null();
+        let w = slot
+            .compare_exchange_with(&cs, stale, &two)
+            .expect_err("stale expected fails");
+        assert_eq!(w.as_ref(), Some(&1), "witness dereferences immediately");
+        // The witness is a valid expected for the retry.
+        let displaced = slot
+            .compare_exchange_with(&cs, w.tagged(), &two)
+            .expect("witness-seeded retry succeeds");
+        assert_eq!(displaced.as_ref(), Some(&1));
+        drop(displaced);
+        drop(w);
+        drop(cs);
+        drop((slot, two));
+        settle();
+    }
+
+    #[test]
+    fn compare_exchange_weak_eventually_succeeds() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
+        let two = Sp::new(2);
+        let mut cur = slot.load_tagged();
+        loop {
+            match slot.compare_exchange_weak(cur, &two) {
+                Ok(displaced) => {
+                    assert_eq!(displaced.as_ref(), Some(&1));
+                    break;
+                }
+                Err(w) => cur = w,
+            }
+        }
+        assert_eq!(slot.load().as_ref(), Some(&2));
+        drop((slot, two));
+        settle();
+    }
+
+    #[test]
+    fn swap_and_take_move_ownership() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let slot: Asp<Probe> = AtomicSharedPtr::new(SharedPtr::new(Probe(Arc::clone(&drops))));
+        let displaced = slot.swap(SharedPtr::new(Probe(Arc::clone(&drops))));
+        assert!(!displaced.is_null());
+        drop(displaced);
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "displaced drop disposes");
+        let taken = slot.take();
+        assert!(!taken.is_null());
+        assert!(slot.load_tagged().is_null(), "take empties the slot");
+        assert!(slot.take().is_null(), "second take observes null");
+        drop(taken);
+        drop(slot);
+        settle();
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn swap_tagged_reports_displaced_tag() {
+        let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(4));
+        let cur = slot.load_tagged();
+        slot.try_set_tag(cur, 0b10).expect("tag lands");
+        let (displaced, tag) = slot.swap_tagged(SharedPtr::new(5), 0b1);
+        assert_eq!(tag, 0b10, "displaced tag observed");
+        assert_eq!(displaced.as_ref(), Some(&4));
+        assert_eq!(slot.load_tagged().tag(), 0b1, "new tag installed");
+        drop(displaced);
+        drop(slot);
         settle();
     }
 
@@ -763,9 +1092,13 @@ mod tests {
         let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(9));
         let cur = slot.load_tagged();
         assert_eq!(cur.tag(), 0);
-        assert!(slot.try_set_tag(cur, 0b1));
+        let installed = slot.try_set_tag(cur, 0b1).expect("tag CAS succeeds");
+        assert_eq!(installed.tag(), 0b1);
         assert_eq!(slot.load_tagged().tag(), 0b1);
-        assert!(!slot.try_set_tag(cur, 0b10), "stale expected fails");
+        let w = slot
+            .try_set_tag(cur, 0b10)
+            .expect_err("stale expected fails");
+        assert_eq!(w, installed, "witness is the current word");
         // Tagged load still reaches the object.
         {
             let cs = Ebr::global_domain().cs();
@@ -782,7 +1115,11 @@ mod tests {
         let slot: Asp<u32> = AtomicSharedPtr::new(SharedPtr::new(1));
         let nxt = Sp::new(2);
         let exp = slot.load_tagged();
-        assert!(slot.compare_exchange_tagged(exp, &nxt, 0b10));
+        let displaced = slot
+            .compare_exchange_tagged(exp, &nxt, 0b10)
+            .expect("CAS succeeds");
+        assert_eq!(displaced.as_ref(), Some(&1));
+        drop(displaced);
         let now = slot.load_tagged();
         assert_eq!(now.tag(), 0b10);
         assert_eq!(slot.load().as_ref(), Some(&2));
@@ -822,6 +1159,21 @@ mod tests {
         assert_eq!(da.allocated(), da.freed(), "clean teardown balances");
         db.process_deferred(t);
         assert_eq!(db.freed(), 0);
+    }
+
+    #[test]
+    fn displaced_pointer_balances_instance_domain() {
+        // A displaced pointer dropped after its location is gone must still
+        // tear the domain down to allocated() == freed().
+        let d: DomainRef<Ebr> = DomainRef::new();
+        let t = smr::current_tid();
+        let slot: Asp<u64> = AtomicSharedPtr::null_in(&d);
+        slot.store(SharedPtr::new_in(1, &d));
+        let displaced = slot.swap(SharedPtr::new_in(2, &d));
+        drop(slot);
+        drop(displaced);
+        d.process_deferred(t);
+        assert_eq!(d.allocated(), d.freed());
     }
 
     #[test]
@@ -886,6 +1238,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cross-domain")]
+    fn cross_domain_swap_panics() {
+        let da: DomainRef<Ebr> = DomainRef::new();
+        let db: DomainRef<Ebr> = DomainRef::new();
+        let slot: Asp<u64> = AtomicSharedPtr::null_in(&da);
+        let _ = slot.swap(SharedPtr::new_in(1, &db));
+    }
+
+    #[test]
     fn concurrent_load_store_stress() {
         let slot: Arc<Asp<u64>> = Arc::new(AtomicSharedPtr::new(SharedPtr::new(0)));
         let threads: Vec<_> = (0..6)
@@ -908,6 +1269,32 @@ mod tests {
         for th in threads {
             th.join().unwrap();
         }
+        drop(slot);
+        settle();
+    }
+
+    #[test]
+    fn concurrent_swap_stress_conserves_values() {
+        // Each thread repeatedly swaps its token in and the displaced value
+        // out; the multiset of tokens is conserved.
+        let slot: Arc<Asp<u64>> = Arc::new(AtomicSharedPtr::new(SharedPtr::new(999)));
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    let mut mine: Sp<u64> = SharedPtr::new(i);
+                    for _ in 0..2_000 {
+                        mine = slot.swap(mine);
+                        assert!(!mine.is_null());
+                    }
+                    *mine.as_ref().unwrap()
+                })
+            })
+            .collect();
+        let mut final_vals: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        final_vals.push(*slot.load().as_ref().unwrap());
+        final_vals.sort_unstable();
+        assert_eq!(final_vals, vec![0, 1, 2, 3, 999]);
         drop(slot);
         settle();
     }

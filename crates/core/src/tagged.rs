@@ -49,6 +49,17 @@ impl<T> TaggedPtr<T> {
         }
     }
 
+    /// The word naming the object behind any strong borrow, with tag 0 —
+    /// lets a witness loop that just installed `r` form its next `expected`
+    /// without re-reading the location.
+    #[inline]
+    pub fn from_strong<R: crate::StrongRef<T>>(r: &R) -> Self {
+        TaggedPtr {
+            word: r.addr(),
+            _marker: PhantomData,
+        }
+    }
+
     /// The raw word: address bits plus tag bits.
     #[inline]
     pub fn word(self) -> usize {

@@ -13,10 +13,22 @@
 //!   remains safely readable even if the object expires during its
 //!   lifetime.
 //!
+//! The mutation surface mirrors [`AtomicSharedPtr`](crate::AtomicSharedPtr)
+//! through the same private engine: witness-returning
+//! [`compare_exchange`](AtomicWeakPtr::compare_exchange) (plus `_weak` and
+//! owned-desired variants) and the [`swap`](AtomicWeakPtr::swap) /
+//! [`take`](AtomicWeakPtr::take) RMW family, with displaced weak references
+//! handed back as owned [`WeakPtr`]s whose drop defers the decrement. The
+//! one asymmetry: there is no `compare_exchange_with` returning a protected
+//! weak snapshot — a weak failure witness is a [`TaggedPtr`] comparison
+//! token, because minting a dereferenceable [`WeakSnapshotPtr`] requires
+//! the full expiry-checking protocol of
+//! [`get_snapshot`](AtomicWeakPtr::get_snapshot).
+//!
 //! Domain binding mirrors the strong types: a [`WeakPtr`] is a single word
 //! whose domain lives in the control-block header; an [`AtomicWeakPtr`]
 //! carries its own [`DomainRef`] because it must open critical sections
-//! before reading its word, and its store-family operations panic on
+//! before reading its word, and its install-family operations panic on
 //! cross-domain pointers.
 
 use std::fmt;
@@ -26,11 +38,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use smr::{untagged, AcquireRetire};
 use sticky::Counter;
 
+use crate::cas::CompareExchangeErr;
 use crate::counted::{self, as_counted, as_header, PtrMarker};
 use crate::domain::{
-    check_same_domain, domain_ref_of, load_and_increment, with_full_cs, DomainHold, DomainRef,
-    Scheme, StrongRef, WeakCsGuard,
+    check_same_domain, domain_ref_of, DomainHold, DomainRef, Scheme, StrongRef, WeakCsGuard,
 };
+use crate::engine::{RcWord, WeakKind, DISPLACED};
 use crate::strong::SharedPtr;
 use crate::tagged::TaggedPtr;
 
@@ -51,6 +64,9 @@ use crate::tagged::TaggedPtr;
 /// assert_eq!(weak.upgrade().and_then(|p| p.as_ref().copied()), Some(3));
 /// ```
 pub struct WeakPtr<T, S: Scheme> {
+    /// Untagged block address, except that the engine's displaced-class bit
+    /// may be set on pointers whose drop must defer (see
+    /// [`AtomicWeakPtr::swap`]).
     addr: usize,
     _marker: PtrMarker<T, S>,
 }
@@ -68,14 +84,31 @@ impl<T, S: Scheme> WeakPtr<T, S> {
     }
 
     pub(crate) fn from_addr(addr: usize) -> Self {
+        debug_assert_eq!(addr & smr::TAG_MASK, 0);
         WeakPtr {
             addr,
             _marker: PhantomData,
         }
     }
 
+    /// Adopts one *displaced-class* weak reference (was location-owned; its
+    /// drop defers the decrement — a reader may still be mid-increment).
+    pub(crate) fn from_displaced(addr: usize) -> Self {
+        debug_assert_eq!(addr & smr::TAG_MASK, 0);
+        WeakPtr {
+            addr: if addr == 0 { 0 } else { addr | DISPLACED },
+            _marker: PhantomData,
+        }
+    }
+
+    /// The untagged block address, flag bits stripped.
+    #[inline]
+    fn block(&self) -> usize {
+        self.addr & !DISPLACED
+    }
+
     pub(crate) fn into_addr(self) -> usize {
-        let addr = self.addr;
+        let addr = self.block();
         std::mem::forget(self);
         addr
     }
@@ -92,30 +125,32 @@ impl<T, S: Scheme> WeakPtr<T, S> {
 
     /// Whether this is the null weak pointer.
     pub fn is_null(&self) -> bool {
-        self.addr == 0
+        self.block() == 0
     }
 
     /// Whether the managed object has been destroyed (strong count zero).
     /// Null pointers report `true`.
     pub fn expired(&self) -> bool {
-        if self.addr == 0 {
+        let block = self.block();
+        if block == 0 {
             return true;
         }
         // Safety: our weak reference keeps the control block alive.
-        unsafe { counted::expired(self.addr) }
+        unsafe { counted::expired(block) }
     }
 
     /// Attempts to obtain a strong reference; `None` if the object has
     /// expired. Wait-free thanks to the sticky counter's constant-time
     /// increment-if-not-zero (§4.3).
     pub fn upgrade(&self) -> Option<SharedPtr<T, S>> {
-        if self.addr == 0 {
+        let block = self.block();
+        if block == 0 {
             return None;
         }
         // Safety: the control block is alive; increment-if-not-zero never
         // resurrects a dead object.
-        if unsafe { counted::increment(self.addr) } {
-            Some(SharedPtr::from_addr(self.addr))
+        if unsafe { counted::increment(block) } {
+            Some(SharedPtr::from_addr(block))
         } else {
             None
         }
@@ -123,33 +158,40 @@ impl<T, S: Scheme> WeakPtr<T, S> {
 
     /// Whether two weak pointers reference the same object.
     pub fn ptr_eq(&self, other: &Self) -> bool {
-        self.addr == other.addr
+        self.block() == other.block()
     }
 }
 
 impl<T, S: Scheme> Clone for WeakPtr<T, S> {
     fn clone(&self) -> Self {
-        if self.addr != 0 {
+        let block = self.block();
+        if block != 0 {
             // Safety: our own weak reference keeps the block alive.
-            unsafe { counted::weak_increment(self.addr) };
+            unsafe { counted::weak_increment(block) };
         }
-        WeakPtr::from_addr(self.addr)
+        WeakPtr::from_addr(block)
     }
 }
 
 impl<T, S: Scheme> Drop for WeakPtr<T, S> {
     fn drop(&mut self) {
-        if self.addr != 0 {
-            // Safety: we own one weak reference and forfeit it. The
-            // decrement is header-only; on the zero transition we free the
-            // block through its own domain, under a hold, because freeing
-            // the block releases the reference that may have been keeping
-            // the domain alive.
+        let block = self.block();
+        if block != 0 {
+            // Safety: we own one weak reference and forfeit it. Domain
+            // resolution runs under a hold, because freeing the block
+            // releases the reference that may have been keeping the domain
+            // alive.
             unsafe {
-                if (*as_header(self.addr)).weak.decrement() {
-                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(self.addr));
+                if self.addr & DISPLACED != 0 {
+                    // Displaced-class: was location-owned when handed out;
+                    // defer exactly as the location's retire would have.
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
-                    hold.domain().free_block(t, self.addr);
+                    hold.domain().delayed_weak_decrement(t, block);
+                } else if (*as_header(block)).weak.decrement() {
+                    let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
+                    let t = smr::current_tid();
+                    hold.domain().free_block(t, block);
                 }
             }
         }
@@ -165,7 +207,7 @@ impl<T, S: Scheme> Default for WeakPtr<T, S> {
 impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WeakPtr")
-            .field("addr", &format_args!("{:#x}", self.addr))
+            .field("addr", &format_args!("{:#x}", self.block()))
             .field("expired", &self.expired())
             .finish()
     }
@@ -191,8 +233,7 @@ impl<T, S: Scheme> fmt::Debug for WeakPtr<T, S> {
 /// assert_eq!(slot.load().upgrade().and_then(|p| p.as_ref().copied()), Some(1));
 /// ```
 pub struct AtomicWeakPtr<T, S: Scheme> {
-    word: AtomicUsize,
-    domain: DomainRef<S>,
+    inner: RcWord<S, WeakKind>,
     _marker: PtrMarker<T, S>,
 }
 
@@ -204,14 +245,13 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// The location binds to the pointer's own domain (or the global domain
     /// for a null pointer).
     pub fn new(ptr: WeakPtr<T, S>) -> Self {
-        let domain = match ptr.addr {
+        let domain = match ptr.block() {
             0 => S::global_domain().clone(),
             // Safety: `ptr` owns a weak reference, so the block is alive.
             addr => unsafe { domain_ref_of::<S>(addr) },
         };
         AtomicWeakPtr {
-            word: AtomicUsize::new(ptr.into_addr()),
-            domain,
+            inner: RcWord::new_owned(ptr.into_addr(), domain),
             _marker: PhantomData,
         }
     }
@@ -224,23 +264,20 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// Creates a null location bound to an explicit domain.
     pub fn null_in(domain: &DomainRef<S>) -> Self {
         AtomicWeakPtr {
-            word: AtomicUsize::new(0),
-            domain: domain.clone(),
+            inner: RcWord::new_owned(0, domain.clone()),
             _marker: PhantomData,
         }
     }
 
     /// The domain this location is bound to.
     pub fn domain(&self) -> &DomainRef<S> {
-        &self.domain
+        self.inner.domain()
     }
 
     /// An unprotected read of the raw word, for comparisons only.
     #[inline]
     pub fn load_tagged(&self) -> TaggedPtr<T> {
-        // Ordering: Relaxed — a comparison token, never dereferenced; any
-        // CAS using it as `expected` re-validates with its own ordering.
-        TaggedPtr::from_word(self.word.load(Ordering::Relaxed))
+        TaggedPtr::from_word(self.inner.load_raw())
     }
 
     /// Stores a copy of `desired` (Fig. 9 `store`): increments its weak
@@ -250,13 +287,13 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     ///
     /// Panics if `desired` is non-null and from a different domain.
     pub fn store(&self, desired: &WeakPtr<T, S>) {
-        let addr = desired.addr;
-        check_same_domain(addr, &self.domain);
+        let addr = desired.block();
+        check_same_domain(addr, self.inner.domain());
         if addr != 0 {
             // Safety: `desired` keeps the control block alive.
             unsafe { counted::weak_increment(addr) };
         }
-        self.replace_word(addr);
+        self.inner.store_owned(addr);
     }
 
     /// Stores a weak reference to the object behind any strong borrow —
@@ -268,12 +305,12 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// Panics if `r` is non-null and from a different domain.
     pub fn store_strong<R: StrongRef<T>>(&self, r: &R) {
         let addr = r.addr();
-        check_same_domain(addr, &self.domain);
+        check_same_domain(addr, self.inner.domain());
         if addr != 0 {
             // Safety: the strong borrow keeps the object alive.
             unsafe { counted::weak_increment(addr) };
         }
-        self.replace_word(addr);
+        self.inner.store_owned(addr);
     }
 
     /// Stores `desired`, transferring its reference (no count traffic).
@@ -282,94 +319,150 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     ///
     /// Panics if `desired` is non-null and from a different domain.
     pub fn store_owned(&self, desired: WeakPtr<T, S>) {
-        check_same_domain(desired.addr, &self.domain);
-        self.replace_word(desired.into_addr());
+        self.inner.store_owned(desired.into_addr());
     }
 
-    fn replace_word(&self, new: usize) {
-        // Ordering: SeqCst swap — publishes the new control block (and its
-        // weak pre-increment), acquires the displaced occupant's header,
-        // and keeps the deferred weak decrement's epoch stamp ordered after
-        // this unlink (see `GlobalEpoch::load`; free on x86-64).
-        let old = self.word.swap(new, Ordering::SeqCst);
-        let old_addr = untagged(old);
-        if old_addr != 0 {
-            let t = smr::current_tid();
-            // Safety: the location owned a weak reference to `old_addr`.
-            unsafe { self.domain.delayed_weak_decrement(t, old_addr) };
-        }
+    /// Atomically replaces the occupant with `desired` (tag 0), returning
+    /// the displaced weak pointer as owned — no count traffic in either
+    /// direction. The displaced tag bits are discarded; use
+    /// [`swap_tagged`](Self::swap_tagged) to observe them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
+    pub fn swap(&self, desired: WeakPtr<T, S>) -> WeakPtr<T, S> {
+        self.swap_tagged(desired, 0).0
+    }
+
+    /// As [`swap`](Self::swap) with explicit new tag bits; returns the
+    /// displaced pointer together with the tag bits it was stored under.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is from a different domain.
+    pub fn swap_tagged(&self, desired: WeakPtr<T, S>, new_tag: usize) -> (WeakPtr<T, S>, usize) {
+        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
+        let old = self.inner.swap_owned(desired.into_addr() | new_tag);
+        (WeakPtr::from_displaced(untagged(old)), old & smr::TAG_MASK)
+    }
+
+    /// Swap-with-null: empties the location and returns the displaced weak
+    /// pointer (take semantics).
+    pub fn take(&self) -> WeakPtr<T, S> {
+        self.swap(WeakPtr::null())
     }
 
     /// Loads the pointer and takes a weak reference to it (tag ignored) —
     /// Fig. 8's `weak_load_and_increment`.
     pub fn load(&self) -> WeakPtr<T, S> {
-        let d = &*self.domain;
-        let t = smr::current_tid();
-        let addr = with_full_cs(d, t, || {
-            // Safety: the location owns a weak reference to what it stores,
-            // with decrements deferred through the weak instance.
-            unsafe { load_and_increment(&d.weak_ar, t, &self.word, |a| counted::weak_increment(a)) }
-        });
-        WeakPtr::from_addr(addr)
+        WeakPtr::from_addr(self.inner.load_owning())
     }
 
     /// Atomically replaces the word if it equals `expected`, installing a
-    /// weak reference to `desired` with tag `new_tag`; the previous weak
-    /// reference is retired on success. Returns `true` on success.
+    /// weak reference to `desired` with tag `new_tag`; `desired` itself is
+    /// only borrowed.
+    ///
+    /// On success returns the **displaced** weak pointer as owned; on
+    /// failure returns the **witnessed** current word (a comparison token —
+    /// see the module docs above for why the weak side has no
+    /// snapshot-witness variant). Spurious failure does not occur.
     ///
     /// # Panics
     ///
-    /// Panics if `desired` is non-null and from a different domain.
+    /// Panics (debug builds) if `new_tag` exceeds [`smr::TAG_MASK`], and
+    /// (always) if `desired` is non-null and from a different domain.
     pub fn compare_exchange_tagged(
         &self,
         expected: TaggedPtr<T>,
         desired: &WeakPtr<T, S>,
         new_tag: usize,
-    ) -> bool {
-        debug_assert_eq!(new_tag & !smr::TAG_MASK, 0);
-        let d = &*self.domain;
-        let t = smr::current_tid();
-        let new_addr = desired.addr;
-        check_same_domain(new_addr, &self.domain);
-        if new_addr != 0 {
-            // Pre-increment so the location owns its reference the moment
-            // the CAS lands; rolled back below on failure.
-            // Safety: `desired` keeps the block alive for the borrow.
-            unsafe { counted::weak_increment(new_addr) };
+    ) -> Result<WeakPtr<T, S>, TaggedPtr<T>> {
+        // Safety: `desired` owns a weak reference, keeping the block alive
+        // for the pre-increment.
+        unsafe {
+            self.inner
+                .cas_borrowed(expected.word(), desired.block(), new_tag, false)
         }
-        // Ordering: SeqCst on success / Relaxed on failure — as for the
-        // strong pointer's CAS: publish the new occupant, acquire the old
-        // one's header, and keep the deferred decrement's epoch stamp
-        // ordered after the unlink; a failed CAS only rolls back our own
-        // pre-increment.
-        match self.word.compare_exchange(
-            expected.word(),
-            new_addr | new_tag,
-            Ordering::SeqCst,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => {
-                let old = expected.addr();
-                if old != 0 {
-                    // Safety: the location owned a weak reference to it.
-                    unsafe { d.delayed_weak_decrement(t, old) };
-                }
-                true
-            }
-            Err(_) => {
-                if new_addr != 0 {
-                    // Safety: we own the pre-increment and forfeit it.
-                    unsafe { d.weak_decrement(t, new_addr) };
-                }
-                false
-            }
-        }
+        .map(|old| WeakPtr::from_displaced(untagged(old)))
+        .map_err(TaggedPtr::from_word)
     }
 
     /// As [`compare_exchange_tagged`](Self::compare_exchange_tagged) with
     /// tag 0.
-    pub fn compare_exchange(&self, expected: TaggedPtr<T>, desired: &WeakPtr<T, S>) -> bool {
+    pub fn compare_exchange(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &WeakPtr<T, S>,
+    ) -> Result<WeakPtr<T, S>, TaggedPtr<T>> {
         self.compare_exchange_tagged(expected, desired, 0)
+    }
+
+    /// As [`compare_exchange`](Self::compare_exchange), but may fail
+    /// spuriously (the witness then equals `expected`).
+    pub fn compare_exchange_weak(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &WeakPtr<T, S>,
+    ) -> Result<WeakPtr<T, S>, TaggedPtr<T>> {
+        // Safety: as in `compare_exchange_tagged`.
+        unsafe {
+            self.inner
+                .cas_borrowed(expected.word(), desired.block(), 0, true)
+        }
+        .map(|old| WeakPtr::from_displaced(untagged(old)))
+        .map_err(TaggedPtr::from_word)
+    }
+
+    /// By-value compare-exchange: on success the **moved** `desired`
+    /// installs with no count traffic; on failure the error hands both the
+    /// witness and `desired` back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desired` is non-null and from a different domain.
+    pub fn compare_exchange_owned(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: WeakPtr<T, S>,
+    ) -> Result<WeakPtr<T, S>, CompareExchangeErr<WeakPtr<T, S>, T>> {
+        match self
+            .inner
+            .cas_owned(expected.word(), desired.block(), false)
+        {
+            Ok(old) => {
+                std::mem::forget(desired);
+                Ok(WeakPtr::from_displaced(untagged(old)))
+            }
+            Err(w) => Err(CompareExchangeErr {
+                current: TaggedPtr::from_word(w),
+                desired,
+            }),
+        }
+    }
+
+    /// Bool-returning shim for the pre-witness API.
+    #[deprecated(
+        note = "use `compare_exchange` — it returns the displaced pointer on success \
+                and the witnessed current word on failure"
+    )]
+    pub fn compare_exchange_bool(&self, expected: TaggedPtr<T>, desired: &WeakPtr<T, S>) -> bool {
+        self.compare_exchange(expected, desired).is_ok()
+    }
+
+    /// Bool-returning shim for the pre-witness API.
+    #[deprecated(
+        note = "use `compare_exchange_tagged` — it returns the displaced pointer on \
+                success and the witnessed current word on failure"
+    )]
+    pub fn compare_exchange_tagged_bool(
+        &self,
+        expected: TaggedPtr<T>,
+        desired: &WeakPtr<T, S>,
+        new_tag: usize,
+    ) -> bool {
+        self.compare_exchange_tagged(expected, desired, new_tag)
+            .is_ok()
     }
 
     /// Takes a protected snapshot of the managed object without touching
@@ -381,7 +474,7 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
     /// resolves races between expiry and replacement, §4.5).
     pub fn get_snapshot<'g>(&self, cs: &'g WeakCsGuard<S>) -> WeakSnapshotPtr<'g, T, S> {
         debug_assert!(
-            cs.covers(&self.domain),
+            cs.covers(self.inner.domain()),
             "guard from a different reclamation domain used on this location"
         );
         let d = cs.domain();
@@ -389,7 +482,7 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
         loop {
             // Protect the control block from weak reclamation while we
             // inspect it.
-            let (w, weak_guard) = d.weak_ar.acquire(t, &self.word);
+            let (w, weak_guard) = d.weak_ar.acquire(t, self.inner.word());
             let addr = untagged(w);
             if addr == 0 {
                 d.weak_ar.release(t, weak_guard);
@@ -430,22 +523,9 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
             // holds the expired occupant, so this re-validation must not be
             // satisfied by a value older than the expiry we just observed
             // (§4.5). The value itself is never dereferenced.
-            if self.word.load(Ordering::Acquire) == w {
+            if self.inner.word().load(Ordering::Acquire) == w {
                 return WeakSnapshotPtr::null(cs);
             }
-        }
-    }
-}
-
-impl<T, S: Scheme> Drop for AtomicWeakPtr<T, S> {
-    fn drop(&mut self) {
-        let addr = untagged(*self.word.get_mut());
-        if addr != 0 {
-            let t = smr::current_tid();
-            // Safety: the location owns a weak reference; defer in case a
-            // concurrent reader still has it protected. `self.domain` is
-            // alive throughout (field drop runs after us).
-            unsafe { self.domain.delayed_weak_decrement(t, addr) };
         }
     }
 }
@@ -710,17 +790,54 @@ mod tests {
     }
 
     #[test]
-    fn atomic_weak_compare_exchange() {
+    fn atomic_weak_compare_exchange_witnesses() {
         let a: Sp<u32> = SharedPtr::new(1);
         let b: Sp<u32> = SharedPtr::new(2);
         let wa = a.downgrade();
         let wb = b.downgrade();
         let slot: Awp<u32> = AtomicWeakPtr::new(wa.clone());
         let cur = slot.load_tagged();
-        assert!(slot.compare_exchange(cur, &wb));
-        assert!(!slot.compare_exchange(cur, &wa), "stale expected");
+        let displaced = slot.compare_exchange(cur, &wb).expect("CAS succeeds");
+        assert!(displaced.ptr_eq(&wa), "displaced is the old occupant");
+        drop(displaced);
+        let w = slot.compare_exchange(cur, &wa).expect_err("stale expected");
+        assert_eq!(w.addr(), wb.block(), "witness names the new occupant");
         assert_eq!(slot.load().upgrade().unwrap().as_ref(), Some(&2));
         drop((a, b, wa, wb, slot));
+        settle();
+    }
+
+    #[test]
+    fn atomic_weak_swap_take_and_owned_cas() {
+        let a: Sp<u32> = SharedPtr::new(1);
+        let b: Sp<u32> = SharedPtr::new(2);
+        let slot: Awp<u32> = AtomicWeakPtr::new(a.downgrade());
+        let displaced = slot.swap(b.downgrade());
+        assert!(!displaced.expired());
+        assert_eq!(displaced.upgrade().unwrap().as_ref(), Some(&1));
+        drop(displaced);
+        // Owned CAS with stale expected hands desired back.
+        let wa = a.downgrade();
+        let err = slot
+            .compare_exchange_owned(TaggedPtr::null(), wa)
+            .expect_err("stale expected");
+        assert_eq!(
+            err.current,
+            slot.load_tagged(),
+            "witness names the occupant"
+        );
+        let wa = err.desired;
+        // Owned CAS with the witness succeeds without count traffic.
+        let displaced = slot
+            .compare_exchange_owned(err.current, wa)
+            .expect("witness-seeded retry");
+        assert_eq!(displaced.upgrade().unwrap().as_ref(), Some(&2));
+        drop(displaced);
+        let taken = slot.take();
+        assert!(!taken.is_null());
+        assert!(slot.load_tagged().is_null());
+        drop(taken);
+        drop((a, b, slot));
         settle();
     }
 

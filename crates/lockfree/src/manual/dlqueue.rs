@@ -79,6 +79,27 @@ where
         }
     }
 
+    /// Protection for a CAS failure witness: schemes whose active section
+    /// alone protects every word read from a live location
+    /// ([`AcquireRetire::PROTECTS_SECTION_READS`]: EBR, Hyaline) take the
+    /// witnessed pointer directly — acquiring on a stack slot mints a
+    /// (trivial) guard without re-reading the live word. The rest must
+    /// revalidate against the live word (IBR: the witness may be born after
+    /// the announced interval; HP: protection is per announced pointer), so
+    /// they re-acquire — the witness only seeded the failed comparison.
+    fn protect_witness(&self, t: Tid, w: usize, src: &AtomicUsize) -> (usize, S::Guard) {
+        if S::PROTECTS_SECTION_READS {
+            let local = AtomicUsize::new(w);
+            self.smr
+                .try_acquire(t, &local)
+                .expect("section-read schemes never exhaust guards")
+        } else {
+            self.smr
+                .try_acquire(t, src)
+                .expect("queue ops hold at most 2 guards")
+        }
+    }
+
     fn enqueue_impl(&self, t: Tid, v: V) {
         let birth = self.smr.birth_epoch(t);
         self.stats.on_alloc(t);
@@ -88,43 +109,53 @@ where
             prev: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
         }));
+        let (mut ltail, mut g) = self
+            .smr
+            .try_acquire(t, &self.tail)
+            .expect("queue ops hold at most 2 guards");
         loop {
-            let (ltail, g) = self
-                .smr
-                .try_acquire(t, &self.tail)
-                .expect("queue ops hold at most 2 guards");
             // Safety: node unpublished.
             unsafe { (*node).prev.store(ltail, Ordering::SeqCst) };
-            if self
-                .tail
-                .compare_exchange(ltail, node as usize, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                // We won: publish the forward edge. ltail cannot be retired
-                // before this store — dequeuers need ltail.next ≠ 0 to
-                // advance past it.
-                // Safety: ltail protected by the guard and by the argument
-                // above.
-                unsafe {
-                    (*(ltail as *mut Node<V>))
-                        .next
-                        .store(node as usize, Ordering::SeqCst)
-                };
-                self.smr.release(t, g);
-                return;
+            match self.tail.compare_exchange(
+                ltail,
+                node as usize,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    // We won: publish the forward edge. ltail cannot be
+                    // retired before this store — dequeuers need
+                    // ltail.next ≠ 0 to advance past it.
+                    // Safety: ltail protected by the guard and by the
+                    // argument above.
+                    unsafe {
+                        (*(ltail as *mut Node<V>))
+                            .next
+                            .store(node as usize, Ordering::SeqCst)
+                    };
+                    self.smr.release(t, g);
+                    return;
+                }
+                // The witness is the new tail; under EBR/Hyaline it is
+                // already protected (no re-read), under IBR/HP the retry
+                // re-acquires from the live word.
+                Err(w) => {
+                    self.smr.release(t, g);
+                    (ltail, g) = self.protect_witness(t, w, &self.tail);
+                }
             }
-            self.smr.release(t, g);
         }
     }
 
     fn dequeue_impl(&self, t: Tid) -> Option<V> {
+        let (mut lhead, mut hg) = self
+            .smr
+            .try_acquire(t, &self.head)
+            .expect("queue ops hold at most 2 guards");
         loop {
-            let (lhead, hg) = self
-                .smr
-                .try_acquire(t, &self.head)
-                .expect("queue ops hold at most 2 guards");
             let head_node = lhead as *const Node<V>;
-            // Safety: lhead protected by hg (validated against self.head).
+            // Safety: lhead protected by hg (validated against self.head,
+            // or carried over from a CAS witness under a region scheme).
             let next_field = unsafe { &(*head_node).next };
             let (lnext, ng) = self
                 .smr
@@ -135,22 +166,28 @@ where
                 self.smr.release(t, hg);
                 return None;
             }
-            if self
+            match self
                 .head
                 .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
             {
-                // Safety: lnext protected by ng; its value slot is written
-                // once at enqueue.
-                let v = unsafe { (*(lnext as *const Node<V>)).value.clone() };
-                let birth = unsafe { (*head_node).birth };
-                self.smr.retire(t, Retired::new(lhead, birth));
-                self.smr.release(t, ng);
-                self.smr.release(t, hg);
-                return v;
+                Ok(_) => {
+                    // Safety: lnext protected by ng; its value slot is
+                    // written once at enqueue.
+                    let v = unsafe { (*(lnext as *const Node<V>)).value.clone() };
+                    let birth = unsafe { (*head_node).birth };
+                    self.smr.retire(t, Retired::new(lhead, birth));
+                    self.smr.release(t, ng);
+                    self.smr.release(t, hg);
+                    return v;
+                }
+                // The witness is the new head; EBR/Hyaline retry on it
+                // directly, IBR/HP re-acquire from the live word.
+                Err(w) => {
+                    self.smr.release(t, ng);
+                    self.smr.release(t, hg);
+                    (lhead, hg) = self.protect_witness(t, w, &self.head);
+                }
             }
-            self.smr.release(t, ng);
-            self.smr.release(t, hg);
         }
     }
 }

@@ -251,21 +251,31 @@ where
             }
             let cur = untagged(c.cur_w);
             let node = cur as *const Node<K, V>;
-            // Logically delete: mark cur's next word.
+            // Logically delete: mark cur's next word. A failed mark CAS
+            // hands back the witnessed word, so we retry in place (cur
+            // stays protected by the cursor) instead of re-finding — the
+            // word only changes when a successor is inserted or unlinked,
+            // or when a competing delete marks it (which ends our attempt).
             // Safety: cur protected by the cursor's guard.
-            let next_w = unsafe { (*node).next.load(Ordering::SeqCst) };
-            if next_w & MARK != 0 {
-                // Someone else is deleting it; retry to let find help.
-                self.release_cursor(t, &mut c);
-                continue;
-            }
-            let marked = unsafe {
-                (*node)
-                    .next
-                    .compare_exchange(next_w, next_w | MARK, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
+            let mut next_w = unsafe { (*node).next.load(Ordering::SeqCst) };
+            let marked = loop {
+                if next_w & MARK != 0 {
+                    break false; // someone else is deleting it
+                }
+                match unsafe {
+                    (*node).next.compare_exchange(
+                        next_w,
+                        next_w | MARK,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                } {
+                    Ok(_) => break true,
+                    Err(w) => next_w = w,
+                }
             };
             if !marked {
+                // Retry from find so it can help the competing delete.
                 self.release_cursor(t, &mut c);
                 continue;
             }

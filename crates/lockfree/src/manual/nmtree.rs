@@ -350,34 +350,36 @@ where
             }));
             // Safety: parent protected by the seek record.
             let edge = unsafe { self.child_edge(s.parent, &nmkey) };
-            let ok = unsafe {
-                (*edge)
-                    .compare_exchange(
-                        s.leaf,
-                        new_internal as usize,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    )
-                    .is_ok()
+            let witness = unsafe {
+                (*edge).compare_exchange(
+                    s.leaf,
+                    new_internal as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
             };
-            if ok {
-                self.release_seek(t, &mut s);
-                return true;
+            match witness {
+                Ok(_) => {
+                    self.release_seek(t, &mut s);
+                    return true;
+                }
+                Err(w) => {
+                    // Failed: free the unpublished nodes, then use the CAS's
+                    // own witness (no re-load) to decide whether a pending
+                    // delete on this leaf needs help before retrying.
+                    // Safety: never published, exclusively ours.
+                    unsafe {
+                        drop(Box::from_raw(new_internal));
+                        drop(Box::from_raw(new_leaf));
+                    }
+                    self.stats.on_free(t);
+                    self.stats.on_free(t);
+                    if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
+                        self.cleanup(t, &nmkey, &s);
+                    }
+                    self.release_seek(t, &mut s);
+                }
             }
-            // Failed: free the unpublished nodes, help any pending delete on
-            // this leaf, retry.
-            // Safety: never published, exclusively ours.
-            unsafe {
-                drop(Box::from_raw(new_internal));
-                drop(Box::from_raw(new_leaf));
-            }
-            self.stats.on_free(t);
-            self.stats.on_free(t);
-            let w = unsafe { (*edge).load(Ordering::SeqCst) };
-            if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
-                self.cleanup(t, &nmkey, &s);
-            }
-            self.release_seek(t, &mut s);
         }
     }
 
@@ -395,28 +397,36 @@ where
                 }
                 // Safety: parent protected.
                 let edge = unsafe { self.child_edge(s.parent, &nmkey) };
-                let ok = unsafe {
-                    (*edge)
-                        .compare_exchange(s.leaf, s.leaf | FLAG, Ordering::SeqCst, Ordering::SeqCst)
-                        .is_ok()
+                let flag_cas = unsafe {
+                    (*edge).compare_exchange(
+                        s.leaf,
+                        s.leaf | FLAG,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
                 };
-                if ok {
-                    injecting = false;
-                    target = s.leaf;
-                    // Keep the leaf protected across retries so its address
-                    // cannot be recycled under us (ABA defence).
-                    target_guard = s.leaf_guard.take();
-                    if self.cleanup(t, &nmkey, &s) {
-                        self.release_seek(t, &mut s);
-                        if let Some(g) = target_guard.take() {
-                            self.smr.release(t, g);
+                match flag_cas {
+                    Ok(_) => {
+                        injecting = false;
+                        target = s.leaf;
+                        // Keep the leaf protected across retries so its
+                        // address cannot be recycled under us (ABA defence).
+                        target_guard = s.leaf_guard.take();
+                        if self.cleanup(t, &nmkey, &s) {
+                            self.release_seek(t, &mut s);
+                            if let Some(g) = target_guard.take() {
+                                self.smr.release(t, g);
+                            }
+                            return true;
                         }
-                        return true;
                     }
-                } else {
-                    let w = unsafe { (*edge).load(Ordering::SeqCst) };
-                    if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
-                        self.cleanup(t, &nmkey, &s);
+                    // The witness replaces the old re-load: a competing
+                    // flag/tag on our leaf's edge means a delete is already
+                    // in progress there — help it along before re-seeking.
+                    Err(w) => {
+                        if addr(w) == s.leaf && (flagged(w) || tagged(w)) {
+                            self.cleanup(t, &nmkey, &s);
+                        }
                     }
                 }
             } else {

@@ -82,38 +82,56 @@ where
         self.domain.weak_cs()
     }
 
-    // Fig. 10, enqueue.
+    // Fig. 10, enqueue — a witness loop: a lost tail CAS hands back a
+    // protected snapshot of the new tail, which seeds the next attempt
+    // directly (the paper's hottest queue CAS site pays no re-read).
     fn enqueue_with(&self, v: V, guard: &Self::Guard) {
         debug_assert!(guard.covers(&self.domain), "guard from a foreign domain");
         let new_node: SharedPtr<Node<V, S>, S> = Self::alloc_node(&self.domain, Some(v));
+        let mut ltail = self.tail.get_snapshot(guard.strong_cs());
         loop {
-            let ltail = self.tail.get_snapshot(guard.strong_cs());
             new_node.as_ref().unwrap().prev.store_strong(&ltail);
-            // Help the previous enqueue set its next pointer.
+            // Help the previous enqueue set its next pointer (the prev
+            // fixup: reading a possibly-expired node is exactly what the
+            // weak snapshot makes safe).
             let lprev = ltail.as_ref().unwrap().prev.get_snapshot(guard);
             if let Some(prev_node) = lprev.as_ref() {
                 if prev_node.next.load_tagged().is_null() {
                     prev_node.next.store_from(&ltail);
                 }
             }
-            if self.tail.compare_exchange(ltail.tagged(), &new_node) {
-                ltail.as_ref().unwrap().next.store_from(&new_node);
-                return;
+            match self
+                .tail
+                .compare_exchange_with(guard, ltail.tagged(), &new_node)
+            {
+                Ok(displaced) => {
+                    ltail.as_ref().unwrap().next.store_from(&new_node);
+                    drop(displaced); // the tail's old reference to ltail
+                    return;
+                }
+                Err(w) => ltail = w,
             }
         }
     }
 
-    // Fig. 10, dequeue.
+    // Fig. 10, dequeue — same witness loop on the head.
     fn dequeue_with(&self, guard: &Self::Guard) -> Option<V> {
         debug_assert!(guard.covers(&self.domain), "guard from a foreign domain");
+        let mut lhead = self.head.get_snapshot(guard.strong_cs());
         loop {
-            let lhead = self.head.get_snapshot(guard.strong_cs());
             let lnext = lhead.as_ref().unwrap().next.get_snapshot(guard.strong_cs());
             let Some(next_node) = lnext.as_ref() else {
                 return None; // queue is empty
             };
-            if self.head.compare_exchange(lhead.tagged(), &lnext) {
-                return next_node.value.clone();
+            match self
+                .head
+                .compare_exchange_with(guard, lhead.tagged(), &lnext)
+            {
+                Ok(displaced) => {
+                    drop(displaced); // the head's old reference — reclaims it
+                    return next_node.value.clone();
+                }
+                Err(w) => lhead = w,
             }
         }
     }

@@ -102,17 +102,33 @@ where
                     continue 'retry;
                 }
                 if next.tag() & MARK != 0 {
-                    // cur is logically deleted: splice it out. The CAS
-                    // retires the location's reference to cur — reclamation
-                    // is automatic from here.
-                    if self
+                    // cur is logically deleted: splice it out. A successful
+                    // CAS hands the location's reference to cur back as the
+                    // displaced pointer; dropping it reclaims cur (and
+                    // anything only it references) automatically.
+                    match self
                         .edge(&prev)
-                        .compare_exchange_tagged(cur.tagged(), &next, 0)
+                        .compare_exchange_tagged_with(cs, cur.tagged(), &next, 0)
                     {
-                        cur = next.with_tag(0);
-                        continue;
+                        Ok(unlinked) => {
+                            drop(unlinked);
+                            cur = next.with_tag(0);
+                            continue;
+                        }
+                        Err(w) => {
+                            // Witness: if the prev edge is still unmarked,
+                            // another helper or inserter won the race —
+                            // resume scanning from the witnessed word with
+                            // the same prev, no fresh traversal. A marked
+                            // edge means prev itself is being deleted:
+                            // restart from the head.
+                            if w.tag() == 0 {
+                                cur = w;
+                                continue;
+                            }
+                            continue 'retry;
+                        }
                     }
-                    continue 'retry;
                 }
                 if node.key >= *key {
                     let found = node.key == *key;
@@ -139,7 +155,7 @@ where
 
     fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
         debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
-        let new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+        let mut new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
             Node {
                 key: k,
                 value: v,
@@ -152,13 +168,23 @@ where
             if c.found {
                 return false; // new_node drops; no manual free needed
             }
-            // Point the new node at cur and try to publish it.
+            // Point the new node at cur and publish it by *moving* our
+            // reference in (no count round-trip); the displaced edge
+            // reference to cur is balanced by the one new_node.next now
+            // holds, so dropping it is exactly the unlink bookkeeping.
             new_node.as_ref().unwrap().next.store_from(&c.cur);
-            if self
+            match self
                 .edge(&c.prev)
-                .compare_exchange_tagged(c.cur.tagged(), &new_node, 0)
+                .compare_exchange_tagged_owned(c.cur.tagged(), new_node, 0)
             {
-                return true;
+                Ok(displaced) => {
+                    drop(displaced);
+                    return true;
+                }
+                // Failure hands new_node back untouched; the edge moved, so
+                // re-find the insertion point (the witness alone cannot
+                // certify prev is still linked).
+                Err(e) => new_node = e.desired,
             }
         }
     }
@@ -171,18 +197,32 @@ where
                 return false;
             }
             let node = c.cur.as_ref().unwrap();
-            let next_t = node.next.load_tagged();
-            if next_t.tag() & MARK != 0 {
-                continue; // someone else is deleting it; help via find
-            }
-            if !node.next.try_set_tag(next_t, MARK) {
-                continue;
+            // Logically delete: mark cur's next word, retrying in place on
+            // the witness (the word only changes if a successor was
+            // inserted/unlinked — cur stays protected by the cursor).
+            let mut next_t = node.next.load_tagged();
+            let marked = loop {
+                if next_t.tag() & MARK != 0 {
+                    break false; // someone else is deleting it
+                }
+                match node.next.try_set_tag(next_t, MARK) {
+                    Ok(_) => break true,
+                    Err(w) => next_t = w,
+                }
+            };
+            if !marked {
+                continue; // help the competing delete via find
             }
             // Marked: attempt the physical unlink; find() helps otherwise.
+            // On success the displaced reference to cur drops here — that
+            // is the entire reclamation path.
             let next_snap = node.next.get_snapshot(cs);
-            let _ = self
-                .edge(&c.prev)
-                .compare_exchange_tagged(c.cur.tagged(), &next_snap, 0);
+            if let Ok(unlinked) =
+                self.edge(&c.prev)
+                    .compare_exchange_tagged_with(cs, c.cur.tagged(), &next_snap, 0)
+            {
+                drop(unlinked);
+            }
             return true;
         }
     }

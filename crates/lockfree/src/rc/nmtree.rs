@@ -173,10 +173,21 @@ where
         debug_assert!(sibling.tagged().ptr_eq(sib_w));
         // Swing the ancestor's edge from the successor to the sibling,
         // preserving a pending flag on the sibling so that delete can
-        // continue at the new location.
-        ancestor
-            .child_edge(key)
-            .compare_exchange_tagged(s.successor, &sibling, sib_w.tag() & FLAG)
+        // continue at the new location. On success the displaced pointer is
+        // the spliced-out chain; dropping it reclaims every chain node and
+        // flagged leaf — the paper's Fig. 1b, with the ownership now
+        // explicit in the return value.
+        match ancestor.child_edge(key).compare_exchange_tagged(
+            s.successor,
+            &sibling,
+            sib_w.tag() & FLAG,
+        ) {
+            Ok(chain) => {
+                drop(chain);
+                true
+            }
+            Err(_) => false, // another helper already swung the edge
+        }
     }
 
     fn insert_impl(&self, cs: &CsGuard<S>, key: K, value: V) -> bool {
@@ -205,13 +216,25 @@ where
             );
             let parent = s.parent.as_ref().unwrap();
             let edge = parent.child_edge(&nmkey);
-            if edge.compare_exchange_tagged(s.leaf.tagged().with_tag(0), &new_internal, 0) {
-                return true;
-            }
-            // Failure: new_internal (and the new leaf) drop automatically.
-            let w = edge.load_tagged();
-            if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
-                self.cleanup(cs, &nmkey, &s);
+            // Move our reference to the replacement subtree in (no count
+            // round-trip); the displaced edge reference to the old leaf is
+            // balanced by the one new_internal's child edge holds.
+            match edge.compare_exchange_tagged_owned(s.leaf.tagged().with_tag(0), new_internal, 0) {
+                Ok(displaced_leaf) => {
+                    drop(displaced_leaf);
+                    return true;
+                }
+                Err(e) => {
+                    // The witness replaces the old re-load: if the edge
+                    // still points at the leaf but carries a flag/tag, a
+                    // delete is pending on it — help before retrying. The
+                    // returned subtree drops here (the old leaf it captured
+                    // is stale for the next attempt).
+                    let w = e.current;
+                    if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
+                        self.cleanup(cs, &nmkey, &s);
+                    }
+                }
             }
         }
     }
@@ -232,15 +255,20 @@ where
                     let parent = s.parent.as_ref().unwrap();
                     let edge = parent.child_edge(&nmkey);
                     let expected = s.leaf.tagged().with_tag(0);
-                    if edge.try_set_tag(expected, FLAG) {
-                        target = Some(s.leaf.to_shared());
-                        if self.cleanup(cs, &nmkey, &s) {
-                            return true;
+                    match edge.try_set_tag(expected, FLAG) {
+                        Ok(_) => {
+                            target = Some(s.leaf.to_shared());
+                            if self.cleanup(cs, &nmkey, &s) {
+                                return true;
+                            }
                         }
-                    } else {
-                        let w = edge.load_tagged();
-                        if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
-                            self.cleanup(cs, &nmkey, &s);
+                        Err(w) => {
+                            // Witness instead of a re-load: a competing
+                            // flag/tag on our leaf's edge means a delete is
+                            // in progress there — help it along.
+                            if w.ptr_eq(s.leaf.tagged()) && w.tag() != 0 {
+                                self.cleanup(cs, &nmkey, &s);
+                            }
                         }
                     }
                 }

@@ -140,6 +140,13 @@ impl Ebr {
 unsafe impl AcquireRetire for Ebr {
     type Guard = ();
 
+    /// A retire issued while any section is active stamps an epoch ≥ that
+    /// section's announcement (the clock is monotone and the stamp is read
+    /// after the unlink), so it cannot eject until the section ends —
+    /// every word read from a live location during the section is covered,
+    /// whatever the pointee's birth epoch.
+    const PROTECTS_SECTION_READS: bool = true;
+
     fn new(clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self {
         let slots = (0..MAX_THREADS)
             .map(|_| {

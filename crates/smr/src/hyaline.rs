@@ -196,6 +196,12 @@ impl Hyaline {
 unsafe impl AcquireRetire for Hyaline {
     type Guard = ();
 
+    /// Retired batches take a reference per *active* section at retire
+    /// time and are only freed when every such section has departed, so a
+    /// section protects every word it observed from a live location,
+    /// whatever the pointee's birth epoch.
+    const PROTECTS_SECTION_READS: bool = true;
+
     fn new(_clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self {
         let slots = (0..MAX_THREADS)
             .map(|_| {

@@ -219,6 +219,23 @@ pub unsafe trait AcquireRetire: Send + Sync + 'static {
     /// traversals (range queries) cannot be protected manually.
     const PROTECTS_REGIONS: bool = true;
 
+    /// Whether an *active critical section alone* protects every pointer
+    /// read from a live location during the section — including objects
+    /// born after the section began — without a per-read
+    /// [`acquire`](Self::acquire). True for EBR (a retire issued while any
+    /// section is active stamps an epoch ≥ that section's announcement, so
+    /// it cannot eject until the section ends) and Hyaline (retired batches
+    /// count every active section at retire time). **False for IBR**, even
+    /// though it protects regions: interval protection only covers objects
+    /// born ≤ the announced upper bound, and extending that bound is
+    /// exactly what `acquire`'s announce-then-revalidate-against-the-live-
+    /// word loop does — a value observed earlier (e.g. a CAS failure
+    /// witness) may name an object born after the announced interval, which
+    /// a concurrent scan is free to reclaim. False for HP (no region
+    /// protection at all). Consumers with a previously-observed word must
+    /// re-acquire from the live location unless this is true.
+    const PROTECTS_SECTION_READS: bool = false;
+
     /// Creates an instance backed by `clock` with tuning `config`.
     fn new(clock: Arc<GlobalEpoch>, config: SmrConfig) -> Self;
 

@@ -66,7 +66,9 @@ fn slot_storm<S: Scheme>() {
                             // the pre-increment rollback path must balance.
                             let cur = slot.load_tagged();
                             let new: SharedPtr<u64, S> = SharedPtr::new(w * 1_000_000 + i);
-                            slot.compare_exchange(cur, &new);
+                            // Drop the displaced value on success (deferred
+                            // relinquish) and discard the witness on loss.
+                            let _ = slot.compare_exchange(cur, &new).map(drop);
                         } else {
                             slot.store(SharedPtr::new(w * 1_000_000 + i));
                         }
@@ -259,7 +261,7 @@ fn tag_storm<S: Scheme>() {
                             }
                             1 => {
                                 let cur = slot.load_tagged();
-                                slot.try_set_tag(cur, 0b1);
+                                let _ = slot.try_set_tag(cur, 0b1);
                             }
                             _ => {
                                 let cur: TaggedPtr<u64> = slot.fetch_or_tag(0b10);

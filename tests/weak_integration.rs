@@ -160,10 +160,18 @@ fn atomic_weak_cas_chain() {
     let wa = a.downgrade();
     let wb = b.downgrade();
     // null -> a -> b chain of CASes.
-    assert!(slot.compare_exchange(cdrc::TaggedPtr::null(), &wa));
+    assert!(slot
+        .compare_exchange(cdrc::TaggedPtr::null(), &wa)
+        .expect("install into empty slot")
+        .is_null());
     let cur = slot.load_tagged();
-    assert!(slot.compare_exchange(cur, &wb));
-    assert!(!slot.compare_exchange(cur, &wa), "stale expected must fail");
+    let displaced = slot.compare_exchange(cur, &wb).expect("a -> b");
+    assert!(displaced.ptr_eq(&wa), "displaced weak is the old occupant");
+    drop(displaced);
+    let w = slot
+        .compare_exchange(cur, &wa)
+        .expect_err("stale expected must fail");
+    assert_eq!(w, slot.load_tagged(), "witness names the current occupant");
     assert_eq!(slot.load().upgrade().map(|p| *p.as_ref().unwrap()), Some(2));
     drop((a, b, wa, wb, slot));
     settle::<IbrScheme>();
