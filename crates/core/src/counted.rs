@@ -25,7 +25,8 @@ use std::sync::Arc;
 use smr::AcquireRetire;
 use sticky::{Counter, StickyCounter};
 
-use crate::domain::Domain;
+use crate::domain::{Domain, Scheme};
+use crate::engine::DISPLACED;
 
 /// Type-erased destruction hooks for a control block.
 pub(crate) struct Vtable {
@@ -38,6 +39,13 @@ pub(crate) struct Vtable {
     /// Callers capture `Header::domain` *before* `dealloc` and invoke this
     /// afterwards — the block must not outlive its own domain reference.
     pub release_domain: unsafe fn(*const ()),
+    /// Extracts the payload's outgoing graph edges into an [`EdgeSink`],
+    /// nulling the payload's pointer fields so the `dispose` that follows
+    /// cannot re-relinquish them. `None` for payloads without a
+    /// [`GraphNode`] implementation — the destruct machinery then falls
+    /// back to the payload's own `Drop`, which relinquishes edges through
+    /// the deferred path one at a time (always safe, never immediate).
+    pub pop_edges: Option<unsafe fn(*mut Header, *mut EdgeSink)>,
 }
 
 /// The type-erased prefix of every control block.
@@ -88,6 +96,145 @@ impl<T, S: AcquireRetire> VtableOf<T, S> {
         dispose: dispose_impl::<T>,
         dealloc: dealloc_impl::<T>,
         release_domain: release_domain_impl::<S>,
+        pop_edges: None,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Graph-aware payloads: immediate recursive destruction support.
+// ---------------------------------------------------------------------
+
+/// Type-erased bucket of a dead node's outgoing edges, filled by
+/// [`Vtable::pop_edges`] and consumed by the domain's destruct worklist.
+///
+/// The split is by *safety class*, not by how the field was declared:
+/// direct edges are references the dead parent itself owned, whose
+/// decrement may be applied immediately under the parent's dispose rights;
+/// deferred edges are displaced-class references (a concurrent reader of
+/// the location they were displaced from may still be protected), which
+/// must go through the domain's deferred machinery.
+#[derive(Default)]
+pub(crate) struct EdgeSink {
+    pub strong_direct: Vec<usize>,
+    pub strong_deferred: Vec<usize>,
+    pub weak_direct: Vec<usize>,
+    pub weak_deferred: Vec<usize>,
+}
+
+/// A payload type that can enumerate its outgoing reference-counted edges,
+/// enabling *immediate recursive destruction*: when a graph-allocated
+/// object's strong count reaches zero with no weak observers, the domain
+/// destructs the entire reachable zero-count subgraph iteratively inside
+/// the current operation instead of re-deferring each child edge through
+/// the reclamation machinery one node at a time.
+///
+/// # Contract
+///
+/// `pop_edges` must *move every reference-counted edge the payload owns*
+/// into the collector — each [`SharedPtr`](crate::SharedPtr),
+/// [`AtomicSharedPtr`](crate::AtomicSharedPtr),
+/// [`WeakPtr`](crate::WeakPtr) and [`AtomicWeakPtr`](crate::AtomicWeakPtr)
+/// field — using the collector's `take_*` methods, which null the field in
+/// place. Missing an edge is safe but forfeits the optimization for it (the
+/// payload's `Drop` then relinquishes it through the deferred path);
+/// relinquishing an edge by any other means from inside `pop_edges` is
+/// **not** allowed. The method is called at most once per object, after its
+/// strong count reached zero and before its payload is dropped.
+///
+/// Implementing the trait has no effect unless the object is allocated
+/// through a graph-aware constructor ([`SharedPtr::new_graph`],
+/// [`SharedPtr::new_graph_in`](crate::SharedPtr::new_graph_in)).
+///
+/// [`SharedPtr::new_graph`]: crate::SharedPtr::new_graph
+pub trait GraphNode<S: Scheme> {
+    /// Moves all outgoing reference-counted edges into `out`, nulling the
+    /// corresponding fields.
+    fn pop_edges(&mut self, out: &mut EdgeCollector<'_, S>);
+}
+
+/// Sink handed to [`GraphNode::pop_edges`]: takes ownership of a dead
+/// node's outgoing edges and classifies each for immediate or deferred
+/// relinquish.
+pub struct EdgeCollector<'a, S: Scheme> {
+    sink: &'a mut EdgeSink,
+    _scheme: std::marker::PhantomData<fn(S)>,
+}
+
+impl<'a, S: Scheme> EdgeCollector<'a, S> {
+    pub(crate) fn new(sink: &'a mut EdgeSink) -> Self {
+        EdgeCollector {
+            sink,
+            _scheme: std::marker::PhantomData,
+        }
+    }
+
+    /// Takes the strong edge out of an owned shared-pointer field, leaving
+    /// the field null.
+    pub fn take_shared<T>(&mut self, ptr: &mut crate::SharedPtr<T, S>) {
+        let word = ptr.extract_word();
+        let addr = word & !DISPLACED;
+        if addr != 0 {
+            if word & DISPLACED != 0 {
+                self.sink.strong_deferred.push(addr);
+            } else {
+                self.sink.strong_direct.push(addr);
+            }
+        }
+    }
+
+    /// Takes the strong edge out of an atomic shared-pointer field, leaving
+    /// the field null. Any tag bits are discarded with the dead location.
+    pub fn take_atomic<T>(&mut self, ptr: &mut crate::AtomicSharedPtr<T, S>) {
+        let addr = smr::untagged(ptr.extract_word());
+        if addr != 0 {
+            self.sink.strong_direct.push(addr);
+        }
+    }
+
+    /// Takes the weak edge out of an owned weak-pointer field, leaving the
+    /// field null.
+    pub fn take_weak<T>(&mut self, ptr: &mut crate::WeakPtr<T, S>) {
+        let word = ptr.extract_word();
+        let addr = word & !DISPLACED;
+        if addr != 0 {
+            if word & DISPLACED != 0 {
+                self.sink.weak_deferred.push(addr);
+            } else {
+                self.sink.weak_direct.push(addr);
+            }
+        }
+    }
+
+    /// Takes the weak edge out of an atomic weak-pointer field, leaving the
+    /// field null. Any tag bits are discarded with the dead location.
+    pub fn take_atomic_weak<T>(&mut self, ptr: &mut crate::AtomicWeakPtr<T, S>) {
+        let addr = smr::untagged(ptr.extract_word());
+        if addr != 0 {
+            self.sink.weak_direct.push(addr);
+        }
+    }
+}
+
+impl<S: Scheme> std::fmt::Debug for EdgeCollector<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeCollector").finish_non_exhaustive()
+    }
+}
+
+unsafe fn pop_edges_impl<T: GraphNode<S>, S: Scheme>(h: *mut Header, sink: *mut EdgeSink) {
+    let counted = h as *mut Counted<T>;
+    let mut out = EdgeCollector::<S>::new(&mut *sink);
+    T::pop_edges((*counted).value.assume_init_mut(), &mut out);
+}
+
+struct GraphVtableOf<T, S>(std::marker::PhantomData<(T, fn(S))>);
+
+impl<T: GraphNode<S>, S: Scheme> GraphVtableOf<T, S> {
+    const VTABLE: Vtable = Vtable {
+        dispose: dispose_impl::<T>,
+        dealloc: dealloc_impl::<T>,
+        release_domain: release_domain_impl::<S>,
+        pop_edges: Some(pop_edges_impl::<T, S>),
     };
 }
 
@@ -108,6 +255,29 @@ impl<T> Counted<T> {
                 birth,
                 domain,
                 vtable: &VtableOf::<T, S>::VTABLE,
+            },
+            value: MaybeUninit::new(value),
+        }))
+    }
+
+    /// As [`allocate`](Self::allocate), but with the graph-aware vtable:
+    /// the block's `pop_edges` hook enumerates the payload's outgoing edges
+    /// at destruction, enabling immediate recursive destruction.
+    pub(crate) fn allocate_graph<S: Scheme>(
+        value: T,
+        birth: u64,
+        domain: *const (),
+    ) -> *mut Counted<T>
+    where
+        T: GraphNode<S>,
+    {
+        Box::into_raw(Box::new(Counted {
+            header: Header {
+                strong: StickyCounter::new(1),
+                weak: StickyCounter::new(1),
+                birth,
+                domain,
+                vtable: &GraphVtableOf::<T, S>::VTABLE,
             },
             value: MaybeUninit::new(value),
         }))

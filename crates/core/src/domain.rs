@@ -28,7 +28,7 @@
 //! [`Domain::process_deferred`] first (the `lockfree` structures do this in
 //! their `Drop`).
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Deref;
@@ -36,10 +36,10 @@ use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use smr::util::{CachePadded, ShardedCounter};
-use smr::{AcquireRetire, GlobalEpoch, Retired, SmrConfig, Tid, MAX_THREADS};
+use smr::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig, Tid, MAX_THREADS};
 use sticky::Counter;
 
-use crate::counted::{as_header, Counted};
+use crate::counted::{as_header, Counted, EdgeSink, GraphNode};
 
 /// An SMR scheme usable as the engine of the reference-counting library.
 ///
@@ -96,6 +96,27 @@ pub struct DomainRef<S: AcquireRetire>(Arc<Domain<S>>);
 impl<S: AcquireRetire> Clone for DomainRef<S> {
     fn clone(&self) -> Self {
         DomainRef(Arc::clone(&self.0))
+    }
+}
+
+impl<S: AcquireRetire> Drop for DomainRef<S> {
+    fn drop(&mut self) {
+        // Orphan teardown, handle-side twin of the check in
+        // `DomainHold::drop`: if every reference remaining after this one is
+        // a control block's own, no handle or guard survives to flush this
+        // thread's pending decrement batch or collect what it retires —
+        // batch entries pin their blocks and blocks pin the domain, so the
+        // whole domain would leak. The default domain's static handle makes
+        // it exempt; drops inside an apply cascade are covered by the
+        // outermost flush loop. Both reads are racy in exactly the benign
+        // directions described in `DomainHold::drop`.
+        let t = smr::current_tid();
+        if !self.0.is_default && !self.0.applying(t) {
+            let sc = Arc::strong_count(&self.0) as u64;
+            if sc - 1 == self.0.in_flight() {
+                self.0.process_deferred(t);
+            }
+        }
     }
 }
 
@@ -162,6 +183,21 @@ impl<S: AcquireRetire> DomainRef<S> {
         // Safety: `ptr` comes from a live Arc we hold.
         unsafe { Arc::increment_strong_count(ptr) };
         Counted::allocate::<S>(value, birth, ptr as *const ())
+    }
+
+    /// As [`allocate`](Self::allocate), but with the graph-aware vtable so
+    /// the destruct machinery can enumerate the payload's outgoing edges.
+    pub(crate) fn allocate_graph<T>(&self, t: Tid, value: T) -> *mut Counted<T>
+    where
+        S: Scheme,
+        T: GraphNode<S>,
+    {
+        let birth = self.strong_ar.birth_epoch(t);
+        self.allocs.add(t, 1);
+        let ptr = Arc::as_ptr(&self.0);
+        // Safety: `ptr` comes from a live Arc we hold.
+        unsafe { Arc::increment_strong_count(ptr) };
+        Counted::allocate_graph::<S>(value, birth, ptr as *const ())
     }
 
     /// Begins a *strong* critical section: read protection for atomic
@@ -291,6 +327,90 @@ struct DomainLocal {
     /// nested `collect` calls become no-ops, flattening what would otherwise
     /// be unbounded recursive destruction (§3.2: `eject` must not recurse).
     applying: Cell<bool>,
+    /// Batched displaced-pointer strong decrements: each entry owes the
+    /// domain one deferred strong decrement, retired in bulk at the next
+    /// flush point (section exit, capacity overflow, `process_deferred`,
+    /// thread unregister) instead of one retire + collect per store.
+    pending_strong: Batch,
+    /// Batched displaced weak decrements; same protocol.
+    pending_weak: Batch,
+    /// Whether this thread has registered its unregister-time flush
+    /// callback with this domain. Reset by the callback itself so a
+    /// recycled slot's next owner re-registers.
+    flush_registered: Cell<bool>,
+    /// Reusable worklist + edge sink for `destruct`, so steady-state
+    /// reclamation of graph nodes is allocation-free. `None` while a
+    /// destruct on this thread is using it; the bounded-depth nested
+    /// destruct (entered through a non-graph payload's `Drop`) then
+    /// allocates fresh buffers.
+    destruct_scratch: Cell<Option<Box<DestructScratch>>>,
+}
+
+/// Scratch buffers for one `destruct` cascade; capacities persist across
+/// cascades via `DomainLocal::destruct_scratch`.
+#[derive(Default)]
+struct DestructScratch {
+    worklist: Vec<usize>,
+    sink: EdgeSink,
+}
+
+/// Per-thread batch capacity: overflowing a buffer forces a flush, bounding
+/// how much unreclaimed memory a thread that never reaches a natural flush
+/// point can strand.
+const BATCH_CAP: usize = 64;
+
+/// A fixed-capacity decrement buffer: an inline array instead of a `Vec`, so
+/// the batching hot path (one push per displaced pointer) never allocates
+/// and a flush never frees — the `Vec` version paid a realloc ladder on
+/// every fill cycle, which ate the batching win.
+struct Batch {
+    /// Entries below `len`. Owner-thread access only (or exclusive access
+    /// during `drain_and_apply_all`), like every other `DomainLocal` field.
+    entries: UnsafeCell<[Retired; BATCH_CAP]>,
+    len: Cell<usize>,
+}
+
+impl Batch {
+    fn new() -> Self {
+        Batch {
+            // Placeholder padding, never read: only `entries[..len]` is.
+            // (A struct literal because `Retired::new` rejects null.)
+            entries: UnsafeCell::new([Retired { addr: 0, birth: 0 }; BATCH_CAP]),
+            len: Cell::new(0),
+        }
+    }
+
+    /// Appends an entry; returns `true` when the buffer is now full.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the slot's owner thread (the `DomainLocal` access
+    /// contract); the buffer must not be full.
+    unsafe fn push(&self, r: Retired) -> bool {
+        let n = self.len.get();
+        debug_assert!(n < BATCH_CAP);
+        (*self.entries.get())[n] = r;
+        self.len.set(n + 1);
+        n + 1 == BATCH_CAP
+    }
+
+    /// Copies the entries out and empties the buffer. The copy makes the
+    /// drain re-entrancy-safe: applying an entry can batch new entries,
+    /// which land at index 0 of the now-empty buffer.
+    ///
+    /// # Safety
+    ///
+    /// As [`push`](Self::push): owner thread or exclusive access.
+    unsafe fn take(&self) -> ([Retired; BATCH_CAP], usize) {
+        let n = self.len.get();
+        let copy = *self.entries.get();
+        self.len.set(0);
+        (copy, n)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
 }
 
 /// A reclamation domain for scheme `S`.
@@ -342,6 +462,10 @@ impl<S: AcquireRetire> Domain<S> {
                 .map(|_| {
                     CachePadded::new(DomainLocal {
                         applying: Cell::new(false),
+                        pending_strong: Batch::new(),
+                        pending_weak: Batch::new(),
+                        flush_registered: Cell::new(false),
+                        destruct_scratch: Cell::new(None),
                     })
                 })
                 .collect(),
@@ -399,16 +523,41 @@ impl<S: AcquireRetire> Domain<S> {
     // `counted` as free functions; they need no domain.)
     // ------------------------------------------------------------------
 
-    /// Direct strong decrement of a reference the caller owns. If it zeroes
-    /// the count, disposal is *deferred* through the dispose instance so
-    /// weak snapshots stay readable (§4.4).
+    /// Direct strong decrement of a reference the caller owns.
+    ///
+    /// If it zeroes the count, the object is destructed *immediately* when
+    /// no weak observer can exist (weak count is exactly the strong side's
+    /// own +1 — stable, since a zero strong count is sticky and weak
+    /// references can only be minted from strong ones or other weak ones);
+    /// otherwise disposal is deferred through the dispose instance so weak
+    /// snapshots stay readable (§4.4).
+    ///
+    /// The immediate path is sound because a zero strong count proves every
+    /// location-owned reference has had its deferred decrement *applied*,
+    /// each application ordered after the end of all critical sections that
+    /// could have read that location — so no count-free strong snapshot of
+    /// the object can still be live, and the weak gate excludes weak
+    /// snapshots.
     ///
     /// # Safety
     ///
     /// Caller owns one strong reference to `addr` and forfeits it.
     pub(crate) unsafe fn decrement(&self, t: Tid, addr: usize) {
-        if (*as_header(addr)).strong.decrement() {
-            self.delayed_dispose(t, addr);
+        let h = as_header(addr);
+        if (*h).strong.decrement() {
+            if (*h).weak.load() == 1 {
+                // No weak observers (the 1 is the strong side's own), so
+                // this call holds full dispose rights: destruct right now
+                // instead of a second round-trip through `dispose_ar`.
+                // Graph payloads tear down on the iterative worklist; a
+                // non-graph payload's `Drop` may drop child pointers, but
+                // those defer (the `SharedPtr` zero branch and the
+                // worklist both gate on the edge trait), so the recursion
+                // depth stays constant either way.
+                self.destruct(t, addr);
+            } else {
+                self.delayed_dispose(t, addr);
+            }
         }
     }
 
@@ -443,15 +592,94 @@ impl<S: AcquireRetire> Domain<S> {
     }
 
     /// Destroys the managed object and drops the strong side's weak
-    /// reference (Fig. 8's `dispose`).
+    /// reference (Fig. 8's `dispose`), destructing the reachable
+    /// zero-count subgraph along the way.
     ///
     /// # Safety
     ///
-    /// The strong count of `addr` is zero and nobody else will dispose it.
+    /// The strong count of `addr` is zero, nobody else will dispose it, and
+    /// the caller holds dispose rights: no critical section that could hold
+    /// a snapshot of the object (strong or weak) is still open. The
+    /// dispose-instance eject path guarantees exactly this.
     pub(crate) unsafe fn dispose(&self, t: Tid, addr: usize) {
+        self.destruct(t, addr);
+    }
+
+    /// Immediate iterative destruction (worklist, never recursion) of the
+    /// zero-strong-count subgraph rooted at `addr` — the CIRC-style fast
+    /// path that replaces one deferral round-trip per edge.
+    ///
+    /// For each node: the graph vtable hook (if any) moves the node's
+    /// outgoing edges out of the payload, the payload is disposed, and the
+    /// strong side's weak reference dropped. *Direct* edges (references the
+    /// dead node itself owned) are decremented on the spot — the node's
+    /// dispose rights extend to them, because reaching them through the
+    /// node required a section that provably ended. A child that zeroes
+    /// with no weak observer joins the worklist; one with weak observers
+    /// takes the deferred-dispose path. *Deferred* (displaced-class) edges
+    /// go through the decrement batch as always — readers of the location
+    /// they were displaced from may still be protected.
+    ///
+    /// # Safety
+    ///
+    /// As [`dispose`](Self::dispose): strong count of `addr` is zero and
+    /// the caller holds dispose rights for it.
+    pub(crate) unsafe fn destruct(&self, t: Tid, addr: usize) {
         let h = as_header(addr);
-        ((*h).vtable.dispose)(h);
-        self.weak_decrement(t, addr);
+        if (*h).vtable.pop_edges.is_none() {
+            // Leaf fast path (also taken by non-graph payloads, whose
+            // edges — if any — relinquish themselves through the deferred
+            // machinery from inside the payload's own `Drop`).
+            ((*h).vtable.dispose)(h);
+            self.weak_decrement(t, addr);
+            return;
+        }
+        // Steady-state allocation-free: reuse this thread's scratch
+        // buffers; a nested destruct (bounded depth) finds `None` and
+        // allocates its own.
+        let local = &self.locals[t.index()];
+        let mut scratch = local.destruct_scratch.take().unwrap_or_default();
+        let DestructScratch {
+            ref mut worklist,
+            ref mut sink,
+        } = *scratch;
+        debug_assert!(worklist.is_empty());
+        worklist.push(addr);
+        while let Some(a) = worklist.pop() {
+            let h = as_header(a);
+            if let Some(pop) = (*h).vtable.pop_edges {
+                pop(h, &mut *sink as *mut EdgeSink);
+            }
+            ((*h).vtable.dispose)(h);
+            if (*h).weak.decrement() {
+                self.free_block(t, a);
+            }
+            for e in sink.strong_direct.drain(..) {
+                let eh = as_header(e);
+                if (*eh).strong.decrement() {
+                    // Only graph children join the worklist; a non-graph
+                    // child's `Drop` relinquishes its own edges and could
+                    // recurse, so it takes the deferred path.
+                    if (*eh).weak.load() == 1 && (*eh).vtable.pop_edges.is_some() {
+                        worklist.push(e);
+                    } else {
+                        self.delayed_dispose(t, e);
+                    }
+                }
+            }
+            for e in sink.weak_direct.drain(..) {
+                if (*as_header(e)).weak.decrement() {
+                    self.free_block(t, e);
+                }
+            }
+            for e in sink.strong_deferred.drain(..) {
+                self.batch_decrement(t, e);
+            }
+            for e in sink.weak_deferred.drain(..) {
+                self.batch_weak_decrement(t, e);
+            }
+        }
+        local.destruct_scratch.set(Some(scratch));
     }
 
     /// Defers a strong decrement of a location-owned reference (the object
@@ -497,6 +725,162 @@ impl<S: AcquireRetire> Domain<S> {
     #[allow(dead_code)]
     pub(crate) unsafe fn birth_of(&self, addr: usize) -> u64 {
         (*as_header(addr)).birth
+    }
+
+    // ------------------------------------------------------------------
+    // Per-thread decrement batching
+    // ------------------------------------------------------------------
+
+    /// Batched flavour of [`delayed_decrement`](Self::delayed_decrement):
+    /// the retire is accumulated in a per-thread buffer and issued at the
+    /// next flush point. Deferring the retire to flush time only *widens*
+    /// protection: the later retire stamp classifies strictly more readers
+    /// as concurrent, so every section that could reach the reference at
+    /// unlink time is still waited out.
+    ///
+    /// # Safety
+    ///
+    /// One strong reference to `addr` is transferred to the domain.
+    pub(crate) unsafe fn batch_decrement(&self, t: Tid, addr: usize) {
+        self.batch_push(t, addr, false);
+    }
+
+    /// Batched flavour of
+    /// [`delayed_weak_decrement`](Self::delayed_weak_decrement).
+    ///
+    /// # Safety
+    ///
+    /// One weak reference to `addr` is transferred to the domain.
+    pub(crate) unsafe fn batch_weak_decrement(&self, t: Tid, addr: usize) {
+        self.batch_push(t, addr, true);
+    }
+
+    unsafe fn batch_push(&self, t: Tid, addr: usize, weak: bool) {
+        let local = &self.locals[t.index()];
+        if !local.flush_registered.get() {
+            if !self.register_thread_flush() {
+                // The thread is already unregistering: nothing would ever
+                // flush a batch entry, so apply the deferral synchronously.
+                if weak {
+                    self.delayed_weak_decrement(t, addr);
+                } else {
+                    self.delayed_decrement(t, addr);
+                }
+                return;
+            }
+            local.flush_registered.set(true);
+        }
+        // Read the birth epoch now, while the displacing operation still has
+        // the block's header warm; the flush only copies records.
+        let r = Retired::new(addr, (*as_header(addr)).birth);
+        let buf = if weak {
+            &local.pending_weak
+        } else {
+            &local.pending_strong
+        };
+        // Safety: `t` is the calling thread's slot.
+        if buf.push(r) {
+            self.flush_batches(t);
+        }
+    }
+
+    /// Retires every batched decrement of the calling thread, repeating
+    /// until the buffers stay empty (applying a batch can destruct objects
+    /// whose displaced edges batch new decrements).
+    pub(crate) fn flush_batches(&self, t: Tid) {
+        let local = &self.locals[t.index()];
+        loop {
+            // Safety: `t` is the calling thread's slot.
+            let (strong, ns) = unsafe { local.pending_strong.take() };
+            let (weak, nw) = unsafe { local.pending_weak.take() };
+            if ns == 0 && nw == 0 {
+                break;
+            }
+            // Quiescent fast path: every batched entry was displaced from
+            // its shared location *before* it was pushed, so if no section
+            // is active on either instance now, no reader can still hold an
+            // uncounted snapshot of it — the whole batch may be applied on
+            // the spot, skipping the retire/scan/eject round-trip entirely.
+            // (A section that opens after the check revalidates against the
+            // live locations, none of which still name these references.)
+            // Both sweeps must pass: strong snapshots are taken under
+            // `strong_ar` sections and weak ones under `weak_ar`, but guard
+            // flavours may hold both.
+            if self.strong_ar.quiescent() && self.weak_ar.quiescent() {
+                for r in &strong[..ns] {
+                    // Safety: each entry owes one strong reference
+                    // transferred at `batch_decrement`; quiescence grants
+                    // the apply rights the eject path would.
+                    unsafe { self.decrement(t, r.addr) };
+                }
+                for r in &weak[..nw] {
+                    // Safety: as above, for one weak reference.
+                    unsafe { self.weak_decrement(t, r.addr) };
+                }
+            } else {
+                for r in &strong[..ns] {
+                    // Safety: each entry owes one strong reference
+                    // transferred at `batch_decrement`; the block is alive
+                    // (its count still includes that reference).
+                    self.strong_ar.retire(t, *r);
+                }
+                for r in &weak[..nw] {
+                    // Safety: as above, for one weak reference.
+                    self.weak_ar.retire(t, *r);
+                }
+            }
+            self.collect(t);
+        }
+    }
+
+    /// Whether the calling thread has batched decrements not yet retired.
+    fn has_pending_batch(&self, t: Tid) -> bool {
+        let local = &self.locals[t.index()];
+        !local.pending_strong.is_empty() || !local.pending_weak.is_empty()
+    }
+
+    /// Installs the two flush triggers for the calling thread: the
+    /// section-exit hook on the strong instance (idempotent, per domain)
+    /// and a thread-unregister callback (per thread × domain). Returns
+    /// `false` when the thread is already unregistering and can no longer
+    /// defer work.
+    fn register_thread_flush(&self) -> bool {
+        // Section-exit trigger. Every guard flavour and internal section
+        // helper ends the *strong* section last, so hooking only `strong_ar`
+        // flushes once per outermost section of any flavour. The hook holds
+        // a raw pointer to `self`; it only fires inside
+        // `end_critical_section`, whose callers by contract keep the
+        // instance (and thus the whole domain) reachable until it returns.
+        unsafe {
+            self.strong_ar.set_exit_hook(ExitHook::new(
+                self as *const Self as *const (),
+                exit_flush::<S>,
+            ));
+        }
+        // Thread-unregister trigger. Captures a weak handle: the callback
+        // must not keep the domain alive, and a dead domain has (provably)
+        // nothing left to flush — batch entries pin their blocks, and every
+        // block pins the domain.
+        let weak = {
+            // Safety: a `Domain` only ever lives inside the `Arc` created
+            // by `DomainRef`, so `self` is the Arc's data pointer; the
+            // temporary strong count makes `from_raw` sound and is given
+            // back when `arc` drops.
+            unsafe {
+                let ptr = self as *const Self;
+                Arc::increment_strong_count(ptr);
+                let arc = Arc::from_raw(ptr);
+                Arc::downgrade(&arc)
+            }
+        };
+        smr::on_thread_exit(Box::new(move |t| {
+            if let Some(d) = weak.upgrade() {
+                d.flush_batches(t);
+                // The slot is about to be recycled: its next owner is a
+                // different thread that must register its own callback.
+                d.locals[t.index()].flush_registered.set(false);
+            }
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -578,10 +962,11 @@ impl<S: AcquireRetire> Domain<S> {
     /// critical sections or guards necessarily remain deferred.
     pub fn process_deferred(&self, t: Tid) {
         loop {
+            self.flush_batches(t);
             self.strong_ar.flush(t);
             self.weak_ar.flush(t);
             self.dispose_ar.flush(t);
-            if self.collect_counted(t) == 0 {
+            if self.collect_counted(t) == 0 && !self.has_pending_batch(t) {
                 break;
             }
         }
@@ -596,10 +981,28 @@ impl<S: AcquireRetire> Domain<S> {
     /// threads, no active critical sections).
     pub unsafe fn drain_and_apply_all(&self, t: Tid) {
         loop {
+            // Exclusive access: pending decrement batches on *every* slot
+            // (including slots of exited threads whose flush callback
+            // never ran) can be applied directly. `take` copies the entries
+            // out first — applying a decrement can batch new entries onto
+            // the calling thread's own (now empty) buffer.
+            let mut batched = false;
+            for local in self.locals.iter() {
+                let (strong, ns) = local.pending_strong.take();
+                let (weak, nw) = local.pending_weak.take();
+                for r in &strong[..ns] {
+                    batched = true;
+                    self.decrement(t, r.addr);
+                }
+                for r in &weak[..nw] {
+                    batched = true;
+                    self.weak_decrement(t, r.addr);
+                }
+            }
             let strong: Vec<Retired> = self.strong_ar.drain_all();
             let weak: Vec<Retired> = self.weak_ar.drain_all();
             let disp: Vec<Retired> = self.dispose_ar.drain_all();
-            if strong.is_empty() && weak.is_empty() && disp.is_empty() {
+            if !batched && strong.is_empty() && weak.is_empty() && disp.is_empty() {
                 break;
             }
             for r in strong {
@@ -621,12 +1024,25 @@ impl<S: AcquireRetire> Domain<S> {
 impl<S: AcquireRetire> Drop for Domain<S> {
     fn drop(&mut self) {
         // Exclusive access (`&mut self`): the last reference — handle,
-        // guard, or block — is gone. Blocks hold references, so at this
-        // point no block allocated under this domain exists and the drain
-        // is a belt-and-braces no-op; it still runs so a future scheme that
+        // guard, or block — is gone. Blocks hold references (and batched
+        // decrement entries pin their blocks), so at this point no block
+        // allocated under this domain exists and the drains are
+        // belt-and-braces no-ops; they still run so a future scheme that
         // retires domain-less records cannot leak them.
         let t = smr::current_tid();
+        // Safety: exclusive access; drains pending batches on every slot
+        // before applying the retired lists.
         unsafe { self.drain_and_apply_all(t) };
+    }
+}
+
+/// Section-exit trampoline: flushes the exiting thread's decrement batch.
+/// `data` is the domain the hook was installed for; see
+/// [`Domain::register_thread_flush`] for why it is still alive here.
+unsafe fn exit_flush<S: AcquireRetire>(data: *const (), t: Tid) {
+    let d = &*(data as *const Domain<S>);
+    if d.has_pending_batch(t) {
+        d.flush_batches(t);
     }
 }
 
@@ -860,4 +1276,38 @@ pub(crate) unsafe fn load_and_increment<S: AcquireRetire>(
 #[allow(dead_code)]
 fn _header_prefix_is_stable<T>(c: *mut Counted<T>) -> *mut crate::counted::Header {
     c as *mut crate::counted::Header
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicSharedPtr, EbrScheme, SharedPtr};
+
+    /// The thread-unregister callback must flush a dying thread's pending
+    /// decrement batch into the deferred machinery: after the thread joins,
+    /// the dead slot's buffers are empty — its entries sit in the slot's
+    /// retired lists, where a successor thread reusing the slot (or an
+    /// exclusive drain) applies them through ordinary collection.
+    #[test]
+    fn unregister_flushes_pending_batch() {
+        let d: DomainRef<EbrScheme> = DomainRef::new();
+        let worker_t = {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let t = smr::current_tid();
+                let slot: AtomicSharedPtr<u64, EbrScheme> = AtomicSharedPtr::null_in(&d);
+                for i in 0..8 {
+                    slot.store(SharedPtr::new_in(i, &d));
+                }
+                assert!(d.has_pending_batch(t), "displaced stores should batch");
+                t
+            })
+            .join()
+            .unwrap()
+        };
+        assert!(
+            !d.has_pending_batch(worker_t),
+            "exit callback did not flush the dead slot's batch"
+        );
+    }
 }

@@ -105,7 +105,7 @@ impl<S: Scheme> RefKind<S> for StrongKind {
 
     #[inline]
     unsafe fn retire(d: &Domain<S>, t: Tid, addr: usize) {
-        d.delayed_decrement(t, addr);
+        d.batch_decrement(t, addr);
     }
 
     #[inline]
@@ -135,7 +135,7 @@ impl<S: Scheme> RefKind<S> for WeakKind {
 
     #[inline]
     unsafe fn retire(d: &Domain<S>, t: Tid, addr: usize) {
-        d.delayed_weak_decrement(t, addr);
+        d.batch_weak_decrement(t, addr);
     }
 
     #[inline]
@@ -175,6 +175,16 @@ impl<S: Scheme, K: RefKind<S>> RcWord<S, K> {
     #[inline]
     pub(crate) fn word(&self) -> &AtomicUsize {
         &self.word
+    }
+
+    /// Takes the raw word out of a dead location (`&mut` access: no
+    /// concurrent readers exist), leaving it null so the location's `Drop`
+    /// becomes a no-op. Ownership of the displaced `K`-reference (if any)
+    /// transfers to the caller — the edge-collection path of immediate
+    /// recursive destruction.
+    #[inline]
+    pub(crate) fn take_word(&mut self) -> usize {
+        std::mem::replace(self.word.get_mut(), 0)
     }
 
     /// The domain this location is bound to.

@@ -190,6 +190,29 @@
 //! Strong cycles leak (as in every reference-counting system); break them
 //! with weak edges — e.g. the doubly-linked queue of the paper's Fig. 10
 //! stores `next` strongly and `prev` weakly (see the `lockfree` crate).
+//!
+//! ## Immediate recursive destruction
+//!
+//! By default a dead node's outgoing edges relinquish themselves from
+//! inside the payload's `Drop`, one deferral round-trip per edge — a long
+//! dead chain takes one collection *round per level*. Payloads that
+//! implement [`GraphNode`] and are allocated through
+//! [`SharedPtr::new_graph`] / [`SharedPtr::new_graph_in`] instead enumerate
+//! their edges into an [`EdgeCollector`], letting the domain destruct the
+//! whole reachable zero-count subgraph **iteratively, inside the current
+//! operation** (CIRC-style): a node whose strong count hits zero with no
+//! weak observer is disposed on the spot, its directly-owned edges
+//! decremented immediately under its dispose rights, and any child that
+//! zeroes joins the worklist. Displaced-class edges and nodes with weak
+//! observers still take the deferred path — the optimization never weakens
+//! the protection story, it only removes round-trips that deferral never
+//! needed.
+//!
+//! Displaced-pointer decrements themselves are *batched per thread*: each
+//! one is buffered and retired in bulk at the next flush point (critical
+//! section exit, buffer capacity, [`Domain::process_deferred`], thread
+//! unregister), replacing a retire + collect round-trip per store with a
+//! vector push.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -203,6 +226,7 @@ mod tagged;
 mod weak;
 
 pub use cas::CompareExchangeErr;
+pub use counted::{EdgeCollector, GraphNode};
 pub use domain::{CsGuard, Domain, DomainRef, OpGuard, Scheme, StrongRef, WeakCsGuard};
 pub use strong::{AtomicSharedPtr, SharedPtr, SnapshotPtr};
 pub use tagged::TaggedPtr;

@@ -122,6 +122,31 @@ impl<T, S: Scheme> SharedPtr<T, S> {
         }
     }
 
+    /// As [`new`](Self::new), for payloads that enumerate their outgoing
+    /// edges ([`GraphNode`](crate::GraphNode)): when the object's strong
+    /// count reaches zero with no weak observers, the whole reachable
+    /// zero-count subgraph is destructed immediately instead of one
+    /// deferral round-trip per edge.
+    pub fn new_graph(value: T) -> Self
+    where
+        T: crate::GraphNode<S>,
+    {
+        Self::new_graph_in(value, S::global_domain())
+    }
+
+    /// As [`new_graph`](Self::new_graph) under an explicit domain.
+    pub fn new_graph_in(value: T, domain: &DomainRef<S>) -> Self
+    where
+        T: crate::GraphNode<S>,
+    {
+        let t = smr::current_tid();
+        let ptr = domain.allocate_graph(t, value);
+        SharedPtr {
+            addr: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+
     /// The null pointer.
     pub fn null() -> Self {
         SharedPtr {
@@ -164,6 +189,14 @@ impl<T, S: Scheme> SharedPtr<T, S> {
         let addr = self.block();
         std::mem::forget(self);
         addr
+    }
+
+    /// Takes the raw word (block address plus the displaced-class bit) out
+    /// of this pointer, leaving it null — the edge-collection path of
+    /// immediate recursive destruction, where the class decides whether the
+    /// edge's decrement may be applied directly.
+    pub(crate) fn extract_word(&mut self) -> usize {
+        std::mem::replace(&mut self.addr, 0)
     }
 
     /// Whether this is the null pointer.
@@ -241,14 +274,28 @@ impl<T, S: Scheme> Drop for SharedPtr<T, S> {
                     // when handed out, so a concurrent reader that loaded
                     // the old word may still be mid-increment on it — the
                     // decrement must go through the deferred machinery
-                    // exactly as the location's retire would have.
+                    // exactly as the location's retire would have (batched,
+                    // like every displaced decrement).
                     let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
-                    hold.domain().delayed_decrement(t, block);
+                    hold.domain().batch_decrement(t, block);
                 } else if (*as_header(block)).strong.decrement() {
                     let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
-                    hold.domain().delayed_dispose(t, block);
+                    if (*as_header(block)).weak.load() == 1
+                        && (*as_header(block)).vtable.pop_edges.is_some()
+                    {
+                        // No weak observer can exist (and none can appear:
+                        // the zero strong count is sticky), and the payload
+                        // enumerates its edges: destruct the reachable
+                        // subgraph right now, iteratively. Non-graph
+                        // payloads stay on the deferred path — their edges
+                        // relinquish from inside `Drop`, and disposing here
+                        // would recurse one stack frame per chain level.
+                        hold.domain().destruct(t, block);
+                    } else {
+                        hold.domain().delayed_dispose(t, block);
+                    }
                 }
             }
         }
@@ -717,38 +764,11 @@ impl<T, S: Scheme> AtomicSharedPtr<T, S> {
             .map_err(TaggedPtr::from_word)
     }
 
-    /// Bool-returning shim for the pre-witness API.
-    #[deprecated(
-        note = "use `compare_exchange` — it returns the displaced pointer on success \
-                and the witnessed current word on failure"
-    )]
-    pub fn compare_exchange_bool<R: StrongRef<T>>(
-        &self,
-        expected: TaggedPtr<T>,
-        desired: &R,
-    ) -> bool {
-        self.compare_exchange(expected, desired).is_ok()
-    }
-
-    /// Bool-returning shim for the pre-witness API.
-    #[deprecated(
-        note = "use `compare_exchange_tagged` — it returns the displaced pointer on \
-                success and the witnessed current word on failure"
-    )]
-    pub fn compare_exchange_tagged_bool<R: StrongRef<T>>(
-        &self,
-        expected: TaggedPtr<T>,
-        desired: &R,
-        new_tag: usize,
-    ) -> bool {
-        self.compare_exchange_tagged(expected, desired, new_tag)
-            .is_ok()
-    }
-
-    /// Bool-returning shim for the pre-witness API.
-    #[deprecated(note = "use `try_set_tag` — it returns the witnessed current word on failure")]
-    pub fn try_set_tag_bool(&self, expected: TaggedPtr<T>, tag_bits: usize) -> bool {
-        self.try_set_tag(expected, tag_bits).is_ok()
+    /// Takes the raw word out of a dead location (`&mut` access), leaving
+    /// it null; ownership of the displaced reference transfers to the
+    /// caller. Edge-collection path of immediate recursive destruction.
+    pub(crate) fn extract_word(&mut self) -> usize {
+        self.inner.take_word()
     }
 }
 

@@ -113,6 +113,13 @@ impl<T, S: Scheme> WeakPtr<T, S> {
         addr
     }
 
+    /// Takes the raw word (block address plus the displaced-class bit) out
+    /// of this pointer, leaving it null — the edge-collection path of
+    /// immediate recursive destruction.
+    pub(crate) fn extract_word(&mut self) -> usize {
+        std::mem::replace(&mut self.addr, 0)
+    }
+
     /// Creates a weak reference from any strong borrow.
     pub fn from_strong<R: StrongRef<T>>(r: &R) -> Self {
         let addr = r.addr();
@@ -184,10 +191,11 @@ impl<T, S: Scheme> Drop for WeakPtr<T, S> {
             unsafe {
                 if self.addr & DISPLACED != 0 {
                     // Displaced-class: was location-owned when handed out;
-                    // defer exactly as the location's retire would have.
+                    // defer exactly as the location's retire would have
+                    // (batched, like every displaced decrement).
                     let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
-                    hold.domain().delayed_weak_decrement(t, block);
+                    hold.domain().batch_weak_decrement(t, block);
                 } else if (*as_header(block)).weak.decrement() {
                     let hold = DomainHold::new(counted::domain_ptr_of::<S>(block));
                     let t = smr::current_tid();
@@ -441,28 +449,11 @@ impl<T, S: Scheme> AtomicWeakPtr<T, S> {
         }
     }
 
-    /// Bool-returning shim for the pre-witness API.
-    #[deprecated(
-        note = "use `compare_exchange` — it returns the displaced pointer on success \
-                and the witnessed current word on failure"
-    )]
-    pub fn compare_exchange_bool(&self, expected: TaggedPtr<T>, desired: &WeakPtr<T, S>) -> bool {
-        self.compare_exchange(expected, desired).is_ok()
-    }
-
-    /// Bool-returning shim for the pre-witness API.
-    #[deprecated(
-        note = "use `compare_exchange_tagged` — it returns the displaced pointer on \
-                success and the witnessed current word on failure"
-    )]
-    pub fn compare_exchange_tagged_bool(
-        &self,
-        expected: TaggedPtr<T>,
-        desired: &WeakPtr<T, S>,
-        new_tag: usize,
-    ) -> bool {
-        self.compare_exchange_tagged(expected, desired, new_tag)
-            .is_ok()
+    /// Takes the raw word out of a dead location (`&mut` access), leaving
+    /// it null; ownership of the displaced reference transfers to the
+    /// caller. Edge-collection path of immediate recursive destruction.
+    pub(crate) fn extract_word(&mut self) -> usize {
+        self.inner.take_word()
     }
 
     /// Takes a protected snapshot of the managed object without touching

@@ -31,6 +31,13 @@ struct Node<V> {
     next: AtomicUsize,
 }
 
+impl<V> super::OutgoingEdges for Node<V> {
+    fn out_edges(&self, out: &mut Vec<usize>) {
+        // `prev` is a back edge — not owned, never reported.
+        out.push(self.next.load(Ordering::SeqCst));
+    }
+}
+
 /// Manual DoubleLink queue under SMR scheme `S`.
 pub struct DoubleLinkQueue<V, S: AcquireRetire> {
     head: AtomicUsize,
@@ -231,21 +238,10 @@ where
 
 impl<V, S: AcquireRetire> Drop for DoubleLinkQueue<V, S> {
     fn drop(&mut self) {
+        // Safety: exclusive access; linked nodes are not retired.
         let t = smr::current_tid();
-        let mut n = self.head.load(Ordering::SeqCst);
-        while n != 0 {
-            // Safety: exclusive access; linked nodes are not retired.
-            let node = unsafe { Box::from_raw(n as *mut Node<V>) };
-            self.stats.on_free(t);
-            n = node.next.load(Ordering::SeqCst);
-        }
-        if Arc::strong_count(&self.smr) == 1 {
-            // Safety: exclusive access.
-            for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free(t);
-                unsafe { drop(Box::from_raw(r.addr as *mut Node<V>)) };
-            }
-        }
+        let head = self.head.load(Ordering::SeqCst);
+        unsafe { super::teardown::<Node<V>, S>([head], &self.smr, &self.stats, t) };
     }
 }
 

@@ -29,6 +29,12 @@ struct Node<K, V> {
     next: AtomicUsize,
 }
 
+impl<K, V> super::OutgoingEdges for Node<K, V> {
+    fn out_edges(&self, out: &mut Vec<usize>) {
+        out.push(untagged(self.next.load(Ordering::SeqCst)));
+    }
+}
+
 /// A Harris-Michael ordered map under manual SMR scheme `S`.
 ///
 /// Multiple structures may share one scheme instance (and stats) — the
@@ -382,24 +388,10 @@ where
 impl<K, V, S: AcquireRetire> Drop for HarrisMichaelList<K, V, S> {
     fn drop(&mut self) {
         let t = smr::current_tid();
-        // Free reachable nodes (marked-but-linked included)...
-        let mut w = untagged(self.head.load(Ordering::SeqCst));
-        while w != 0 {
-            // Safety: exclusive access; nodes in the chain are not retired.
-            let node = unsafe { Box::from_raw(w as *mut Node<K, V>) };
-            self.stats.on_free(t);
-            w = untagged(node.next.load(Ordering::SeqCst));
-        }
-        // ...then everything sitting in retired lists, if we own the scheme
-        // instance exclusively (shared instances are drained by their last
-        // owner — the hash map drops buckets first, then drains once).
-        if Arc::strong_count(&self.smr) == 1 {
-            // Safety: strong_count == 1 plus &mut self = exclusivity.
-            for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free(t);
-                unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
-            }
-        }
+        // Free reachable nodes (marked-but-linked included), then retired
+        // ones. Safety: exclusive access; linked nodes are not retired.
+        let head = untagged(self.head.load(Ordering::SeqCst));
+        unsafe { super::teardown::<Node<K, V>, S>([head], &self.smr, &self.stats, t) };
     }
 }
 

@@ -69,6 +69,13 @@ struct Node<K, V> {
     right: AtomicUsize,
 }
 
+impl<K, V> super::OutgoingEdges for Node<K, V> {
+    fn out_edges(&self, out: &mut Vec<usize>) {
+        out.push(addr(self.left.load(Ordering::Relaxed)));
+        out.push(addr(self.right.load(Ordering::Relaxed)));
+    }
+}
+
 impl<K, V> Node<K, V> {
     fn leaf(birth: u64, key: NmKey<K>, value: Option<V>) -> Box<Self> {
         Box::new(Node {
@@ -570,32 +577,11 @@ impl<K, V, S: AcquireRetire> Drop for NatarajanMittalTree<K, V, S> {
     fn drop(&mut self) {
         // Free everything reachable (flag/tag bits notwithstanding), then
         // whatever is parked in retired lists; the sets are disjoint since
-        // retired nodes are unlinked first.
+        // retired nodes are unlinked first. Safety: exclusive access.
         let t = smr::current_tid();
-        let mut stack = vec![self.root as usize];
-        while let Some(n) = stack.pop() {
-            // Safety: exclusive access.
-            unsafe {
-                let node = n as *mut Node<K, V>;
-                let l = addr((*node).left.load(Ordering::Relaxed));
-                let r = addr((*node).right.load(Ordering::Relaxed));
-                if l != 0 {
-                    stack.push(l);
-                }
-                if r != 0 {
-                    stack.push(r);
-                }
-                self.stats.on_free(t);
-                drop(Box::from_raw(node));
-            }
-        }
-        if Arc::strong_count(&self.smr) == 1 {
-            // Safety: exclusive access.
-            for r in unsafe { self.smr.drain_all() } {
-                self.stats.on_free(t);
-                unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
-            }
-        }
+        unsafe {
+            super::teardown::<Node<K, V>, S>([self.root as usize], &self.smr, &self.stats, t)
+        };
     }
 }
 

@@ -9,7 +9,10 @@
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, AtomicWeakPtr, DomainRef, OpGuard, Scheme, SharedPtr, WeakCsGuard};
+use cdrc::{
+    AtomicSharedPtr, AtomicWeakPtr, DomainRef, EdgeCollector, GraphNode, OpGuard, Scheme,
+    SharedPtr, WeakCsGuard,
+};
 
 use crate::ConcurrentQueue;
 
@@ -17,6 +20,13 @@ struct Node<V, S: Scheme> {
     value: Option<V>,
     next: AtomicSharedPtr<Node<V, S>, S>,
     prev: AtomicWeakPtr<Node<V, S>, S>,
+}
+
+impl<V, S: Scheme> GraphNode<S> for Node<V, S> {
+    fn pop_edges(&mut self, out: &mut EdgeCollector<'_, S>) {
+        out.take_atomic(&mut self.next);
+        out.take_atomic_weak(&mut self.prev);
+    }
 }
 
 /// The weak-pointer doubly-linked queue of Fig. 10 ("Our Weak Pointers" in
@@ -57,7 +67,7 @@ where
     }
 
     fn alloc_node(domain: &DomainRef<S>, value: Option<V>) -> SharedPtr<Node<V, S>, S> {
-        SharedPtr::new_in(
+        SharedPtr::new_graph_in(
             Node {
                 value,
                 next: AtomicSharedPtr::null_in(domain),

@@ -16,7 +16,9 @@
 
 use std::marker::PhantomData;
 
-use cdrc::{AtomicSharedPtr, CsGuard, DomainRef, Scheme, SharedPtr, SnapshotPtr};
+use cdrc::{
+    AtomicSharedPtr, CsGuard, DomainRef, EdgeCollector, GraphNode, Scheme, SharedPtr, SnapshotPtr,
+};
 
 use crate::ConcurrentMap;
 
@@ -26,6 +28,12 @@ struct Node<K, V, S: Scheme> {
     key: K,
     value: V,
     next: AtomicSharedPtr<Node<K, V, S>, S>,
+}
+
+impl<K, V, S: Scheme> GraphNode<S> for Node<K, V, S> {
+    fn pop_edges(&mut self, out: &mut EdgeCollector<'_, S>) {
+        out.take_atomic(&mut self.next);
+    }
 }
 
 /// Harris-Michael ordered map over `cdrc` pointers with scheme `S`
@@ -155,7 +163,7 @@ where
 
     fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
         debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
-        let mut new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+        let mut new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
             Node {
                 key: k,
                 value: v,

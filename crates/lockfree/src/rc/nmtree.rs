@@ -9,7 +9,8 @@
 use std::marker::PhantomData;
 
 use cdrc::{
-    AtomicSharedPtr, CsGuard, DomainRef, Scheme, SharedPtr, SnapshotPtr, StrongRef, TaggedPtr,
+    AtomicSharedPtr, CsGuard, DomainRef, EdgeCollector, GraphNode, Scheme, SharedPtr, SnapshotPtr,
+    StrongRef, TaggedPtr,
 };
 
 use crate::ConcurrentMap;
@@ -33,9 +34,16 @@ struct Node<K, V, S: Scheme> {
     right: AtomicSharedPtr<Node<K, V, S>, S>,
 }
 
+impl<K, V, S: Scheme> GraphNode<S> for Node<K, V, S> {
+    fn pop_edges(&mut self, out: &mut EdgeCollector<'_, S>) {
+        out.take_atomic(&mut self.left);
+        out.take_atomic(&mut self.right);
+    }
+}
+
 impl<K: Ord + Send + Sync, V: Send + Sync, S: Scheme> Node<K, V, S> {
     fn leaf(domain: &DomainRef<S>, key: NmKey<K>, value: Option<V>) -> SharedPtr<Node<K, V, S>, S> {
-        SharedPtr::new_in(
+        SharedPtr::new_graph_in(
             Node {
                 key,
                 value,
@@ -91,7 +99,7 @@ where
     /// [`DomainRef::new`] for full isolation, or a clone of another
     /// structure's domain to reclaim (and meter) together.
     pub fn new_in(domain: DomainRef<S>) -> Self {
-        let s_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+        let s_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
             Node {
                 key: NmKey::Inf1,
                 value: None,
@@ -100,7 +108,7 @@ where
             },
             &domain,
         );
-        let root: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+        let root: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
             Node {
                 key: NmKey::Inf2,
                 value: None,
@@ -205,7 +213,7 @@ where
             } else {
                 (nmkey.clone(), s.leaf.to_shared(), new_leaf)
             };
-            let new_internal: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_in(
+            let new_internal: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
                 Node {
                     key: ikey,
                     value: None,

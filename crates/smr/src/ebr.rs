@@ -14,13 +14,13 @@
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_u64, CachePadded};
-use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Announcement value meaning "not in a critical section".
 const EMPTY: u64 = u64::MAX;
@@ -90,6 +90,7 @@ pub struct Ebr {
     clock: Arc<GlobalEpoch>,
     cfg: SmrConfig,
     slots: Box<[CachePadded<Slot>]>,
+    exit_hook: OnceLock<ExitHook>,
 }
 
 unsafe impl Send for Ebr {}
@@ -160,6 +161,7 @@ unsafe impl AcquireRetire for Ebr {
             clock,
             cfg: config,
             slots,
+            exit_hook: OnceLock::new(),
         }
     }
 
@@ -191,15 +193,29 @@ unsafe impl AcquireRetire for Ebr {
 
     #[inline]
     fn end_critical_section(&self, t: Tid) {
-        let local = unsafe { &mut *self.local(t) };
-        debug_assert!(local.depth > 0, "end_critical_section without begin");
-        local.depth -= 1;
-        if local.depth == 0 {
+        // Scoped: the hook below may re-enter `retire`/`eject`, which take
+        // their own `&mut Local` — the borrow must be dead by then.
+        let outermost = {
+            let local = unsafe { &mut *self.local(t) };
+            debug_assert!(local.depth > 0, "end_critical_section without begin");
+            local.depth -= 1;
+            local.depth == 0
+        };
+        if outermost {
             // Ordering: Release — every protected read of the section is
             // sequenced before this store and cannot sink below it, so a
             // scanner that sees EMPTY knows the section's reads are done.
             self.slots[t.index()].ann.store(EMPTY, Ordering::Release);
+            // Section fully exited: anything the hook retires from here is
+            // stamped with a fresh epoch, which only widens protection.
+            if let Some(h) = self.exit_hook.get() {
+                h.invoke(t);
+            }
         }
+    }
+
+    fn set_exit_hook(&self, hook: ExitHook) {
+        let _ = self.exit_hook.set(hook);
     }
 
     #[inline]
@@ -256,6 +272,21 @@ unsafe impl AcquireRetire for Ebr {
     #[inline]
     fn has_ready(&self, t: Tid) -> bool {
         !unsafe { &*self.local(t) }.ready.is_empty()
+    }
+
+    fn quiescent(&self) -> bool {
+        // Ordering: fence(SeqCst) — the same pairing as `scan`'s, in the
+        // degenerate min-over-empty-set case: any announcement we miss
+        // below was fenced after us, so that section's post-fence reads
+        // observe every unlink that preceded this call and it cannot
+        // reach anything the caller hands back.
+        fence(Ordering::SeqCst);
+        self.slots
+            .iter()
+            .take(registered_high_water_mark())
+            // Ordering: Relaxed — safety rests on the fence pairing above,
+            // exactly as in `scan`.
+            .all(|slot| slot.ann.load(Ordering::Relaxed) == EMPTY)
     }
 
     fn flush(&self, t: Tid) {

@@ -17,13 +17,13 @@
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_usize, prefetch_read, CachePadded};
-use crate::{untagged, AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+use crate::{untagged, AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Protection token: the index of the announcement slot holding the pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,7 @@ struct Slot {
 pub struct Hp {
     cfg: SmrConfig,
     slots: Box<[CachePadded<Slot>]>,
+    exit_hook: OnceLock<ExitHook>,
 }
 
 unsafe impl Send for Hp {}
@@ -217,7 +218,11 @@ unsafe impl AcquireRetire for Hp {
                 })
             })
             .collect();
-        Hp { cfg: config, slots }
+        Hp {
+            cfg: config,
+            slots,
+            exit_hook: OnceLock::new(),
+        }
     }
 
     fn scheme_name() -> &'static str {
@@ -234,9 +239,27 @@ unsafe impl AcquireRetire for Hp {
 
     #[inline]
     fn end_critical_section(&self, t: Tid) {
-        let local = unsafe { &mut *self.local(t) };
-        debug_assert!(local.depth > 0, "end_critical_section without begin");
-        local.depth -= 1;
+        // Scoped: the hook below may re-enter `retire`/`eject`, which take
+        // their own `&mut Local` — the borrow must be dead by then.
+        let outermost = {
+            let local = unsafe { &mut *self.local(t) };
+            debug_assert!(local.depth > 0, "end_critical_section without begin");
+            local.depth -= 1;
+            local.depth == 0
+        };
+        if outermost {
+            // Sections carry no protection here, but the depth count still
+            // marks operation boundaries — the natural batch-flush point.
+            // Hazard announcements are per-pointer, so hook-issued retires
+            // need no extra care.
+            if let Some(h) = self.exit_hook.get() {
+                h.invoke(t);
+            }
+        }
+    }
+
+    fn set_exit_hook(&self, hook: ExitHook) {
+        let _ = self.exit_hook.set(hook);
     }
 
     #[inline]
@@ -302,6 +325,20 @@ unsafe impl AcquireRetire for Hp {
     #[inline]
     fn has_ready(&self, t: Tid) -> bool {
         !unsafe { &*self.local(t) }.ready.is_empty()
+    }
+
+    fn quiescent(&self) -> bool {
+        // Ordering: fence(SeqCst) — pairs with the publication fence in
+        // `protect`, as in `scan`: a hazard we miss below was published
+        // after this fence, so its owner's validating re-read sees the
+        // caller's unlinks and rejects the pointer.
+        fence(Ordering::SeqCst);
+        self.slots
+            .iter()
+            .take(registered_high_water_mark())
+            // Ordering: Relaxed — the fence pairing above carries the
+            // visibility argument, exactly as in `scan`.
+            .all(|slot| slot.anns.iter().all(|ann| ann.load(Ordering::Relaxed) == 0))
     }
 
     fn flush(&self, t: Tid) {

@@ -30,13 +30,13 @@
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_usize, CachePadded};
-use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Slot-head sentinel: the slot's thread is not in a critical section.
 const INVALID: usize = usize::MAX;
@@ -92,6 +92,7 @@ struct Slot {
 pub struct Hyaline {
     cfg: SmrConfig,
     slots: Box<[CachePadded<Slot>]>,
+    exit_hook: OnceLock<ExitHook>,
 }
 
 unsafe impl Send for Hyaline {}
@@ -215,7 +216,11 @@ unsafe impl AcquireRetire for Hyaline {
                 })
             })
             .collect();
-        Hyaline { cfg: config, slots }
+        Hyaline {
+            cfg: config,
+            slots,
+            exit_hook: OnceLock::new(),
+        }
     }
 
     fn scheme_name() -> &'static str {
@@ -238,18 +243,37 @@ unsafe impl AcquireRetire for Hyaline {
 
     #[inline]
     fn end_critical_section(&self, t: Tid) {
-        let local = unsafe { &mut *self.local(t) };
-        debug_assert!(local.depth > 0, "end_critical_section without begin");
-        local.depth -= 1;
-        if local.depth == 0 {
-            // Ordering: AcqRel — Acquire pairs with the retirers' Release
-            // push CASes so the detached link nodes' contents are visible
-            // before we walk them; Release keeps the section's protected
-            // reads from sinking past the detach (the batch decrements that
-            // may free them come after).
-            let head = self.slots[t.index()].head.swap(INVALID, Ordering::AcqRel);
-            unsafe { self.process_list(head, local) };
+        // Scoped: the hook below may re-enter `retire`/`eject`, which take
+        // their own `&mut Local` — the borrow must be dead by then.
+        let outermost = {
+            let local = unsafe { &mut *self.local(t) };
+            debug_assert!(local.depth > 0, "end_critical_section without begin");
+            local.depth -= 1;
+            if local.depth == 0 {
+                // Ordering: AcqRel — Acquire pairs with the retirers' Release
+                // push CASes so the detached link nodes' contents are visible
+                // before we walk them; Release keeps the section's protected
+                // reads from sinking past the detach (the batch decrements
+                // that may free them come after).
+                let head = self.slots[t.index()].head.swap(INVALID, Ordering::AcqRel);
+                unsafe { self.process_list(head, local) };
+                true
+            } else {
+                false
+            }
+        };
+        if outermost {
+            // After `process_list`: hook-issued retires form batches that
+            // count only the sections still active now — every section that
+            // already left (including this one) is done reading.
+            if let Some(h) = self.exit_hook.get() {
+                h.invoke(t);
+            }
         }
+    }
+
+    fn set_exit_hook(&self, hook: ExitHook) {
+        let _ = self.exit_hook.set(hook);
     }
 
     #[inline]
@@ -294,6 +318,21 @@ unsafe impl AcquireRetire for Hyaline {
     #[inline]
     fn has_ready(&self, t: Tid) -> bool {
         !unsafe { &*self.local(t) }.ready.is_empty()
+    }
+
+    fn quiescent(&self) -> bool {
+        // Ordering: fence(SeqCst) — pairs with the fence in
+        // `begin_critical_section`, as in `distribute`: an active head we
+        // miss below went live after this fence, so that section's
+        // protected reads observe the unlinks preceding this call and it
+        // cannot reach what the caller hands back.
+        fence(Ordering::SeqCst);
+        self.slots
+            .iter()
+            .take(registered_high_water_mark())
+            // Ordering: Relaxed — the fence pairing above carries the
+            // visibility argument; `INVALID` means "not in a section".
+            .all(|slot| slot.head.load(Ordering::Relaxed) == INVALID)
     }
 
     fn flush(&self, t: Tid) {

@@ -15,13 +15,13 @@
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_u64, CachePadded};
-use crate::{AcquireRetire, GlobalEpoch, Retired, SmrConfig};
+use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const EMPTY: u64 = u64::MAX;
 
@@ -89,6 +89,7 @@ pub struct Ibr {
     clock: Arc<GlobalEpoch>,
     cfg: SmrConfig,
     slots: Box<[CachePadded<Slot>]>,
+    exit_hook: OnceLock<ExitHook>,
 }
 
 unsafe impl Send for Ibr {}
@@ -165,6 +166,7 @@ unsafe impl AcquireRetire for Ibr {
             clock,
             cfg: config,
             slots,
+            exit_hook: OnceLock::new(),
         }
     }
 
@@ -202,10 +204,20 @@ unsafe impl AcquireRetire for Ibr {
 
     #[inline]
     fn end_critical_section(&self, t: Tid) {
-        let local = unsafe { &mut *self.local(t) };
-        debug_assert!(local.depth > 0, "end_critical_section without begin");
-        local.depth -= 1;
-        if local.depth == 0 {
+        // Scoped: the hook below may re-enter `retire`/`eject`, which take
+        // their own `&mut Local` — the borrow must be dead by then.
+        let outermost = {
+            let local = unsafe { &mut *self.local(t) };
+            debug_assert!(local.depth > 0, "end_critical_section without begin");
+            local.depth -= 1;
+            if local.depth == 0 {
+                local.prev_epoch = EMPTY;
+                true
+            } else {
+                false
+            }
+        };
+        if outermost {
             let slot = &self.slots[t.index()];
             // `begin` first: a scan that tears this store sequence sees
             // either [EMPTY, ..] (ignored) or [old_begin, old_end]
@@ -216,8 +228,16 @@ unsafe impl AcquireRetire for Ibr {
             // requirement above.
             slot.begin_ann.store(EMPTY, Ordering::Release);
             slot.end_ann.store(EMPTY, Ordering::Release);
-            local.prev_epoch = EMPTY;
+            // Retires issued by the hook are stamped with the post-section
+            // epoch — a later lifetime upper bound only delays ejection.
+            if let Some(h) = self.exit_hook.get() {
+                h.invoke(t);
+            }
         }
+    }
+
+    fn set_exit_hook(&self, hook: ExitHook) {
+        let _ = self.exit_hook.set(hook);
     }
 
     #[inline]
@@ -286,6 +306,20 @@ unsafe impl AcquireRetire for Ibr {
     #[inline]
     fn has_ready(&self, t: Tid) -> bool {
         !unsafe { &*self.local(t) }.ready.is_empty()
+    }
+
+    fn quiescent(&self) -> bool {
+        // Ordering: fence(SeqCst) — pairs as in `scan`: a section whose
+        // interval we miss below fenced after us and revalidates against
+        // live locations, none of which still name what the caller hands
+        // back.
+        fence(Ordering::SeqCst);
+        self.slots
+            .iter()
+            .take(registered_high_water_mark())
+            // Ordering: Relaxed — an empty `begin` is the whole check; the
+            // fence pairing above carries the visibility argument.
+            .all(|slot| slot.begin_ann.load(Ordering::Relaxed) == EMPTY)
     }
 
     fn flush(&self, t: Tid) {

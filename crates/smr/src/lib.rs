@@ -62,7 +62,9 @@ pub use ebr::Ebr;
 pub use hp::Hp;
 pub use hyaline::Hyaline;
 pub use ibr::Ibr;
-pub use registry::{active_threads, current_tid, registered_high_water_mark, Tid, MAX_THREADS};
+pub use registry::{
+    active_threads, current_tid, on_thread_exit, registered_high_water_mark, Tid, MAX_THREADS,
+};
 
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -182,6 +184,63 @@ impl Default for SmrConfig {
     }
 }
 
+/// A type-erased callback a consumer installs on a scheme instance with
+/// [`AcquireRetire::set_exit_hook`], invoked each time a thread leaves its
+/// *outermost* critical section on that instance (after the scheme's own
+/// section-exit work has completed).
+///
+/// The automatic layer uses this to flush per-thread deferred-decrement
+/// batches exactly once per section instead of once per retired pointer.
+///
+/// The hook is deliberately a bare `(data, fn)` pair rather than a boxed
+/// closure: invoking it on the section-exit fast path must not touch the
+/// allocator, and the pair stays `Copy`-cheap inside the engines.
+pub struct ExitHook {
+    data: *const (),
+    call: unsafe fn(*const (), Tid),
+}
+
+// Safety: the `new` contract requires `data` to be valid for the installing
+// instance's lifetime and `call` to tolerate invocation from any registered
+// thread, which is exactly what crossing threads needs.
+unsafe impl Send for ExitHook {}
+unsafe impl Sync for ExitHook {}
+
+impl ExitHook {
+    /// Creates a hook that invokes `call(data, tid)` whenever a thread's
+    /// outermost critical section on the installing instance ends.
+    ///
+    /// # Safety
+    ///
+    /// The caller promises that `data` remains valid for the entire lifetime
+    /// of the scheme instance the hook is installed on, and that `call` is
+    /// sound to invoke with `data` from any registered thread, re-entrantly
+    /// with respect to the instance (the hook runs inside
+    /// [`AcquireRetire::end_critical_section`], so it may call back into
+    /// `retire`/`eject`/`flush` but must not recurse into section exit).
+    pub unsafe fn new(data: *const (), call: unsafe fn(*const (), Tid)) -> Self {
+        ExitHook { data, call }
+    }
+
+    /// Invokes the hook for thread `t`.
+    ///
+    /// Engines call this after their own outermost section-exit work, with
+    /// no per-thread state borrowed — the hook may re-enter the instance.
+    #[inline]
+    pub fn invoke(&self, t: Tid) {
+        // Safety: upheld by the `new` contract.
+        unsafe { (self.call)(self.data, t) }
+    }
+}
+
+impl Debug for ExitHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExitHook")
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
 /// The generalized acquire-retire interface (paper Fig. 2).
 ///
 /// One value of an implementing type is one *instance* of the scheme: it has
@@ -254,6 +313,21 @@ pub unsafe trait AcquireRetire: Send + Sync + 'static {
     /// Leaves the current read critical section (outermost call only).
     fn end_critical_section(&self, t: Tid);
 
+    /// Installs an [`ExitHook`] invoked each time a thread leaves its
+    /// outermost critical section on this instance, after the scheme's own
+    /// exit work. At most one hook per instance; installation is one-shot
+    /// and later calls are silently ignored. The default implementation
+    /// discards the hook (valid: the hook is a pure optimization channel —
+    /// consumers must stay correct if it never fires).
+    ///
+    /// Callers of `end_critical_section` must guarantee the instance stays
+    /// reachable until the call returns (the hook may run consumer code);
+    /// every proper-use caller already does, since it entered the section
+    /// through a live reference it still holds.
+    fn set_exit_hook(&self, hook: ExitHook) {
+        let _ = hook;
+    }
+
     /// Hook invoked once per allocation of a managed object: advances the
     /// epoch according to `epoch_freq` and returns the object's birth epoch
     /// (zero for schemes that do not use one). This is the paper's `alloc`
@@ -291,6 +365,24 @@ pub unsafe trait AcquireRetire: Send + Sync + 'static {
     #[inline]
     fn has_ready(&self, _t: Tid) -> bool {
         true
+    }
+
+    /// Whether *no* thread currently holds any protection on this instance:
+    /// no critical section is active and (for hazard-pointer schemes) no
+    /// hazard slot is published. When this returns `true`, a reference
+    /// unlinked from a shared location *before* the call may be handed back
+    /// immediately instead of routed through [`retire`](Self::retire) —
+    /// every section that could have read the location while it still named
+    /// the reference has ended, and a section that begins after the check
+    /// revalidates against the live location, which no longer names it (the
+    /// same fence pairing that makes a scan with no announcements eject
+    /// everything). The check pays a scan-grade `SeqCst` fence plus one
+    /// announcement sweep, so callers should amortize it over a batch.
+    ///
+    /// The default conservatively answers `false` (always safe: callers
+    /// fall back to the retire path).
+    fn quiescent(&self) -> bool {
+        false
     }
 
     /// Forces a scan so that everything ejectable becomes ready. Costlier

@@ -8,7 +8,7 @@
 //! eventually drains its predecessor's retired lists — no orphan lists are
 //! needed.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Maximum number of concurrently live threads that may use SMR schemes.
@@ -87,18 +87,57 @@ impl Registry {
     }
 }
 
-struct SlotGuard(usize);
+/// A thread-exit callback; receives the unregistering thread's [`Tid`].
+type ExitCallback = Box<dyn FnMut(Tid)>;
+
+struct SlotGuard {
+    index: usize,
+    /// Callbacks run (in registration order) when this thread unregisters,
+    /// *before* the slot is recycled — consumers use them to flush
+    /// thread-local deferred state that would otherwise be stranded. Stored
+    /// inside the guard so they run exactly at slot release, independent of
+    /// the platform's TLS destructor ordering.
+    exit_callbacks: RefCell<Vec<ExitCallback>>,
+}
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
-        REGISTRY.release_slot(self.0);
+        let t = Tid(self.index);
+        // Take the list first so the borrow is released while callbacks
+        // run. Re-registration during the drain is impossible:
+        // `on_thread_exit` refuses once this destructor has started.
+        let mut cbs = std::mem::take(&mut *self.exit_callbacks.borrow_mut());
+        for cb in cbs.iter_mut() {
+            cb(t);
+        }
+        // `CACHED` is const-initialized and has no destructor, so
+        // `current_tid()` stays answerable from inside the callbacks.
+        REGISTRY.release_slot(self.index);
     }
 }
 
 thread_local! {
-    static SLOT: SlotGuard = SlotGuard(REGISTRY.acquire_slot());
+    static SLOT: SlotGuard = SlotGuard {
+        index: REGISTRY.acquire_slot(),
+        exit_callbacks: RefCell::new(Vec::new()),
+    };
     /// Cached index so the hot path is a plain thread-local read.
     static CACHED: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Registers a callback to run when the **current thread** releases its SMR
+/// slot (normally at thread exit; for the main thread, at process teardown
+/// if TLS destructors run at all). The callback receives the thread's [`Tid`]
+/// and runs before the slot becomes reusable by other threads.
+///
+/// Returns `false` — without registering — when the thread is already
+/// unregistering (the callback drain is in progress or finished); the
+/// caller must then perform its teardown work synchronously instead of
+/// deferring it. Callbacks may call [`current_tid`] and use scheme
+/// instances, but must not spawn work on other threads.
+pub fn on_thread_exit(f: Box<dyn FnMut(Tid)>) -> bool {
+    SLOT.try_with(|s| s.exit_callbacks.borrow_mut().push(f))
+        .is_ok()
 }
 
 /// Returns the calling thread's [`Tid`], registering the thread on first use.
@@ -113,7 +152,7 @@ pub fn current_tid() -> Tid {
     if cached != usize::MAX {
         return Tid(cached);
     }
-    let idx = SLOT.with(|s| s.0);
+    let idx = SLOT.with(|s| s.index);
     CACHED.with(|c| c.set(idx));
     Tid(idx)
 }
@@ -171,6 +210,33 @@ mod tests {
             .unwrap();
         }
         assert!(registered_high_water_mark() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn exit_callbacks_run_at_thread_unregister() {
+        use std::sync::atomic::AtomicUsize as Count;
+        use std::sync::Arc;
+        let fired = Arc::new(Count::new(0));
+        let seen_tid = Arc::new(Count::new(usize::MAX));
+        let registered_tid = {
+            let fired = Arc::clone(&fired);
+            let seen_tid = Arc::clone(&seen_tid);
+            std::thread::spawn(move || {
+                let t = current_tid();
+                let ok = on_thread_exit(Box::new(move |cb_t: Tid| {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                    seen_tid.store(cb_t.index(), Ordering::SeqCst);
+                    // The slot is still ours while the drain runs.
+                    assert_eq!(current_tid(), cb_t);
+                }));
+                assert!(ok, "registration on a live thread succeeds");
+                t.index()
+            })
+            .join()
+            .unwrap()
+        };
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "callback ran once");
+        assert_eq!(seen_tid.load(Ordering::SeqCst), registered_tid);
     }
 
     #[test]
