@@ -380,6 +380,294 @@ pub fn run_queue_batched<Q: ConcurrentQueue<u64>>(
     total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1.0e6
 }
 
+/// Sub-bucket resolution of [`LatencyHistogram`]: 2^5 = 32 sub-buckets per
+/// power of two, bounding the relative quantization error at 1/32 ≈ 3%.
+const HIST_SUB_BITS: u32 = 5;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+/// Values below 2^6 land in exact unit buckets (the first two "rows");
+/// above that, each power of two gets [`HIST_SUB`] log-spaced sub-buckets,
+/// up to the full `u64` range.
+const HIST_BUCKETS: usize = (64 - HIST_SUB_BITS as usize) * HIST_SUB;
+
+/// HDR-style log-bucketed latency histogram: fixed footprint, O(1)
+/// `record`, ≤ ~3% relative error on reported quantiles.
+///
+/// Values (nanoseconds, in the service bench) below 64 are counted
+/// exactly; a value in `[2^m, 2^{m+1})` falls into one of 32 sub-buckets
+/// of width `2^{m-5}`, so the bucket's upper edge — what
+/// [`percentile`](Self::percentile) reports — overstates the true value by
+/// at most one part in 32. This is the same bucketing HdrHistogram uses
+/// with 5 significant-value bits, rebuilt here because the build
+/// environment vendors no external crates.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; HIST_BUCKETS]>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~15 KiB of buckets).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0u64; HIST_BUCKETS]),
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v < (2 * HIST_SUB) as u64 {
+            return v as usize;
+        }
+        let m = 63 - v.leading_zeros(); // v >= 64, so m >= 6
+        let sub = (v >> (m - HIST_SUB_BITS)) as usize - HIST_SUB;
+        (m as usize - (HIST_SUB_BITS as usize - 1)) * HIST_SUB + sub
+    }
+
+    /// Upper edge of bucket `i` — the value [`percentile`](Self::percentile)
+    /// reports for samples in it.
+    fn bucket_high(i: usize) -> u64 {
+        if i < 2 * HIST_SUB {
+            return i as u64;
+        }
+        let m = (i / HIST_SUB + HIST_SUB_BITS as usize - 1) as u32;
+        let sub = (i % HIST_SUB) as u64;
+        let width = 1u64 << (m - HIST_SUB_BITS);
+        (HIST_SUB as u64 + sub) * width + (width - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds `other` into `self` (per-thread histograms merge after join).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The value at quantile `p` (in percent, e.g. `99.9`): the smallest
+    /// bucket upper edge such that at least `p`% of samples fall at or
+    /// below it. Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(i);
+            }
+        }
+        Self::bucket_high(HIST_BUCKETS - 1)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("p999", &self.percentile(99.9))
+            .finish()
+    }
+}
+
+/// Operation mix for the kv-store service workload, in parts per hundred.
+/// Must sum to 100; the driver asserts it.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceMix {
+    /// Percentage of point lookups.
+    pub get_pct: u32,
+    /// Percentage of inserts/overwrites (an insert that loses to a present
+    /// key counts as a completed put — kv-store "upsert" semantics are
+    /// approximated by insert-if-absent here, as in the paper's workloads).
+    pub put_pct: u32,
+    /// Percentage of deletes.
+    pub del_pct: u32,
+}
+
+impl ServiceMix {
+    /// A read-heavy cache-like mix: 90% get, 5% put, 5% delete.
+    pub fn read_heavy() -> Self {
+        ServiceMix {
+            get_pct: 90,
+            put_pct: 5,
+            del_pct: 5,
+        }
+    }
+
+    /// An update-heavy session-store mix: 50% get, 30% put, 20% delete.
+    pub fn update_heavy() -> Self {
+        ServiceMix {
+            get_pct: 50,
+            put_pct: 30,
+            del_pct: 20,
+        }
+    }
+}
+
+/// One measured service-bench cell: throughput plus tail latency and the
+/// garbage high-water mark.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Millions of completed operations per second.
+    pub mops: f64,
+    /// Completed operations.
+    pub ops: u64,
+    /// Median per-operation latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_ns: u64,
+    /// Mean of sampled (in-flight − post-prefill baseline) node counts.
+    pub garbage_avg: u64,
+    /// Peak of the same — the garbage high-water mark.
+    pub garbage_peak: u64,
+}
+
+/// Runs the kv-store service workload for the configured (`BENCH_MS`)
+/// duration; see [`run_service_for`].
+pub fn run_service<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    keys: u64,
+    theta: f64,
+    mix: ServiceMix,
+    threads: usize,
+) -> ServiceReport {
+    run_service_for(
+        map,
+        keys,
+        theta,
+        mix,
+        threads,
+        Duration::from_millis(bench_millis()),
+    )
+}
+
+/// Long-running kv-store driver: `threads` workers issue a
+/// get/put/delete `mix` against `map` for `dur`, with keys drawn from a
+/// zipfian distribution over `0..keys` at skew `theta` (0 = uniform, 0.99
+/// = YCSB's heavy default). Every operation is individually timed into a
+/// per-thread [`LatencyHistogram`]; histograms merge after join, so the
+/// tails include any stall a worker actually experienced.
+///
+/// The map is prefilled here (every key present, so the steady state is
+/// hit-dominated), and the garbage samples subtract the post-prefill
+/// baseline, as in [`run_map_batched`]. Worker loops are guard-batched per
+/// [`guard_batch`], but latency brackets each *operation*, not the batch.
+pub fn run_service_for<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    keys: u64,
+    theta: f64,
+    mix: ServiceMix,
+    threads: usize,
+    dur: Duration,
+) -> ServiceReport {
+    assert_eq!(
+        mix.get_pct + mix.put_pct + mix.del_pct,
+        100,
+        "service mix must sum to 100"
+    );
+    let batch = guard_batch();
+    // One generator shared by every worker: construction is O(keys) and
+    // sampling takes `&self`.
+    let zipf = rand::distributions::Zipf::new(keys, theta);
+    {
+        let guard = map.pin();
+        for k in 0..keys {
+            map.insert_with(k, k, &guard);
+        }
+    }
+    let baseline = map.in_flight_nodes();
+
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let (elapsed, hist, g_sum, g_peak, g_samples) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|tid| {
+                let stop = &stop;
+                let barrier = &barrier;
+                let map = &map;
+                let zipf = &zipf;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5E12_71CE + tid as u64);
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        let guard = map.pin();
+                        for _ in 0..batch {
+                            let k = zipf.sample(&mut rng);
+                            let dice = rng.gen_range(0..100u32);
+                            let t0 = Instant::now();
+                            if dice < mix.get_pct {
+                                map.get_with(&k, &guard);
+                            } else if dice < mix.get_pct + mix.put_pct {
+                                map.insert_with(k, k, &guard);
+                            } else {
+                                map.remove_with(&k, &guard);
+                            }
+                            hist.record(t0.elapsed().as_nanos() as u64);
+                        }
+                        drop(guard);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        // Sampler doubles as the timer, as in `run_map_batched`.
+        barrier.wait();
+        let started = Instant::now();
+        let tick = Duration::from_millis(sample_millis());
+        let mut g_sum = 0u128;
+        let mut g_peak = 0u64;
+        let mut g_samples = 0u64;
+        while started.elapsed() < dur {
+            std::thread::sleep(tick);
+            let extra = map.in_flight_nodes().saturating_sub(baseline);
+            g_sum += extra as u128;
+            g_peak = g_peak.max(extra);
+            g_samples += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let mut hist = LatencyHistogram::new();
+        for w in workers {
+            hist.merge(&w.join().expect("service worker panicked"));
+        }
+        (elapsed, hist, g_sum, g_peak, g_samples)
+    });
+    ServiceReport {
+        mops: hist.count() as f64 / elapsed.as_secs_f64() / 1.0e6,
+        ops: hist.count(),
+        p50_ns: hist.percentile(50.0),
+        p99_ns: hist.percentile(99.0),
+        p999_ns: hist.percentile(99.9),
+        garbage_avg: (g_sum / g_samples.max(1) as u128) as u64,
+        garbage_peak: g_peak,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +728,78 @@ mod tests {
             let expect = if k % 2 == 0 { None } else { Some(k) };
             assert_eq!(list.get_with(&k, &guard), expect);
         }
+    }
+
+    #[test]
+    fn histogram_is_exact_below_64() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.percentile(100.0), 63);
+        assert_eq!(h.percentile(50.0), 31);
+    }
+
+    #[test]
+    fn histogram_error_is_bounded() {
+        // Every reported edge must overstate its sample by at most 1/32.
+        let mut h = LatencyHistogram::new();
+        for shift in 6..40u64 {
+            let v = (1u64 << shift) + (1 << (shift - 2));
+            let mut one = LatencyHistogram::new();
+            one.record(v);
+            let got = one.percentile(100.0);
+            assert!(got >= v, "edge below the sample: {got} < {v}");
+            assert!(
+                (got - v) as f64 <= v as f64 / 32.0,
+                "error beyond 1/32 at {v}: {got}"
+            );
+            h.record(v);
+        }
+        assert_eq!(h.count(), 34);
+    }
+
+    #[test]
+    fn histogram_merge_and_percentiles() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let p50 = a.percentile(50.0);
+        assert!((480..=540).contains(&p50), "p50 = {p50}");
+        let p99 = a.percentile(99.0);
+        assert!((980..=1024).contains(&p99), "p99 = {p99}");
+        assert_eq!(a.percentile(50.0), p50, "percentile is pure");
+        assert_eq!(LatencyHistogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn run_service_produces_latencies() {
+        let map: lockfree::manual::ResizableHashMap<u64, u64, Ebr> =
+            lockfree::manual::ResizableHashMap::new();
+        let r = run_service_for(
+            &map,
+            256,
+            0.99,
+            ServiceMix::update_heavy(),
+            2,
+            Duration::from_millis(50),
+        );
+        assert!(r.mops > 0.0, "no throughput");
+        assert!(r.ops > 0, "empty histogram");
+        assert!(
+            r.p50_ns <= r.p99_ns && r.p99_ns <= r.p999_ns,
+            "tails ordered"
+        );
+        assert!(map.buckets() > 1, "service prefill grew the table");
     }
 
     #[test]

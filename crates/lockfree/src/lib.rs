@@ -255,3 +255,96 @@ impl NodeStats {
         a.saturating_sub(f)
     }
 }
+
+/// Split-ordering arithmetic shared by the resizable tables (Shalev &
+/// Shavit): bucket sentinels carry even bit-reversed keys, regular nodes
+/// odd ones, so doubling the bucket mask splits every bucket's contiguous
+/// so-key range without moving a node.
+pub(crate) mod split_order {
+    /// Directory segments; segment `l` holds buckets `[2^l, 2^{l+1})`, so
+    /// a table tops out at 2^33 buckets — far past any in-memory key count.
+    pub(crate) const SPINE_LEVELS: usize = 33;
+
+    /// Split-order key of bucket `b`'s sentinel: even, low bits all zero.
+    #[inline]
+    pub(crate) fn so_dummy(b: u64) -> u64 {
+        b.reverse_bits()
+    }
+
+    /// Split-order key of a regular node with hash `h`: odd, so it sorts
+    /// strictly after every sentinel sharing its reversed prefix.
+    #[inline]
+    pub(crate) fn so_regular(h: u64) -> u64 {
+        h.reverse_bits() | 1
+    }
+}
+
+/// One thread's insert/remove tallies for the live-element estimate of the
+/// resizable tables, aligned like [`StatLane`] and with the same
+/// single-writer discipline.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CountLane {
+    ins: AtomicU64,
+    dels: AtomicU64,
+}
+
+/// Approximate live-element counter driving the resizable tables' growth
+/// decisions: per-thread single-writer lanes (no shared `fetch_add` on the
+/// insert path), folded only on the growth-check cadence.
+#[derive(Debug)]
+pub(crate) struct ElementCount {
+    lanes: Box<[CountLane]>,
+}
+
+impl ElementCount {
+    /// How many successful inserts a lane absorbs between growth checks.
+    /// The live count can therefore lag by `MAX_THREADS * GROW_CHECK_EVERY`
+    /// in the worst case — bounded slack, spent on keeping the insert fast
+    /// path free of cross-thread folds.
+    const GROW_CHECK_EVERY: u64 = 64;
+
+    pub(crate) fn new() -> Self {
+        ElementCount {
+            lanes: (0..MAX_THREADS).map(|_| CountLane::default()).collect(),
+        }
+    }
+
+    /// Records one successful insert by thread `t`; returns `true` on the
+    /// lane's growth-check cadence (every [`Self::GROW_CHECK_EVERY`]th
+    /// insert), when the caller should fold the count and consider growing.
+    #[inline]
+    pub(crate) fn on_insert(&self, t: Tid) -> bool {
+        // Ordering: as `NodeStats::on_alloc` — single-writer lane.
+        let lane = &self.lanes[t.index()].ins;
+        let n = lane.load(Ordering::Relaxed) + 1;
+        lane.store(n, Ordering::Relaxed);
+        n.is_multiple_of(Self::GROW_CHECK_EVERY)
+    }
+
+    /// Records one successful remove by thread `t`.
+    #[inline]
+    pub(crate) fn on_remove(&self, t: Tid) {
+        let lane = &self.lanes[t.index()].dels;
+        lane.store(lane.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// Inserts − removes. Deletes are folded first for the same
+    /// monotonicity reason as [`NodeStats::in_flight`].
+    pub(crate) fn live(&self) -> u64 {
+        let hwm = registered_high_water_mark();
+        let d: u64 = self
+            .lanes
+            .iter()
+            .take(hwm)
+            .map(|lane| lane.dels.load(Ordering::Relaxed))
+            .sum();
+        let i: u64 = self
+            .lanes
+            .iter()
+            .take(hwm)
+            .map(|lane| lane.ins.load(Ordering::Relaxed))
+            .sum();
+        i.saturating_sub(d)
+    }
+}

@@ -30,7 +30,9 @@ where
     V: Clone + Send + Sync,
     S: AcquireRetire,
 {
-    /// Creates a table with `buckets` buckets (rounded up to 1 minimum).
+    /// Creates a table with `buckets` buckets (minimum 1, **rounded up to
+    /// a power of two** so bucket selection is a mask instead of a
+    /// division).
     pub fn with_buckets(buckets: usize) -> Self {
         let smr = Arc::new(S::new(
             Arc::new(smr::GlobalEpoch::new()),
@@ -38,7 +40,7 @@ where
         ));
         let stats = Arc::new(NodeStats::new());
         MichaelHashMap {
-            buckets: (0..buckets.max(1))
+            buckets: (0..buckets.max(1).next_power_of_two())
                 .map(|_| HarrisMichaelList::with_shared(Arc::clone(&smr), Arc::clone(&stats)))
                 .collect(),
             hasher: RandomState::new(),
@@ -48,8 +50,12 @@ where
     }
 
     fn bucket(&self, k: &K) -> &HarrisMichaelList<K, V, S> {
-        let h = self.hasher.hash_one(k) as usize;
-        &self.buckets[h % self.buckets.len()]
+        let h = self.hasher.hash_one(k);
+        // As in the RC table: multiplicative mix + mask, replacing the
+        // division of `hash % len` on the hottest read path. `len` is a
+        // power of two by construction.
+        let mixed = (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.buckets[mixed & (self.buckets.len() - 1)]
     }
 }
 

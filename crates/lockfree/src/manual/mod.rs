@@ -6,11 +6,13 @@ pub mod dlqueue;
 pub mod hash;
 pub mod list;
 pub mod nmtree;
+pub mod resizable;
 
 pub use dlqueue::DoubleLinkQueue;
 pub use hash::MichaelHashMap;
 pub use list::HarrisMichaelList;
 pub use nmtree::NatarajanMittalTree;
+pub use resizable::ResizableHashMap;
 
 /// Ownership marker shared by the manual structures: owns its nodes (for
 /// drop check / auto-trait purposes) while staying neutral in the scheme

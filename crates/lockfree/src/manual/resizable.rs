@@ -1,0 +1,688 @@
+//! Split-ordered resizable hash map (manual reclamation): the
+//! Shalev-Shavit lock-free extensible hash table over the generalized
+//! acquire-retire interface.
+//!
+//! Same algorithm as [`crate::rc::resizable`] — one Harris-Michael list
+//! sorted by bit-reversed hash, a lazily-doubled directory of sentinel
+//! shortcuts, growth by publishing a bigger mask — with the manual chores
+//! the RC variant deletes: every unlinking CAS must `retire` its victim,
+//! every ejected node must be freed, and traversal protection is
+//! hand-over-hand guard juggling instead of snapshot lifetimes.
+//!
+//! Sentinels are *immortal*: never marked, never retired, freed only at
+//! teardown. That is what makes the directory sound under manual SMR — a
+//! bucket shortcut read from the directory needs no guard at all, because
+//! the node it names cannot be reclaimed while the map exists.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smr::{untagged, AcquireRetire, Retired, Tid};
+
+use crate::split_order::{so_dummy, so_regular, SPINE_LEVELS};
+use crate::{ConcurrentMap, ElementCount, NodeStats};
+
+const MARK: usize = 1;
+
+struct Node<K, V> {
+    birth: u64,
+    so_key: u64,
+    /// `None` marks a bucket sentinel; sentinels are never removed and
+    /// never surface through the map API.
+    kv: Option<(K, V)>,
+    /// Next pointer; low bit set = this node is logically deleted.
+    next: AtomicUsize,
+}
+
+impl<K, V> Node<K, V> {
+    #[inline]
+    fn key(&self) -> Option<&K> {
+        self.kv.as_ref().map(|(k, _)| k)
+    }
+}
+
+impl<K, V> super::OutgoingEdges for Node<K, V> {
+    fn out_edges(&self, out: &mut Vec<usize>) {
+        out.push(untagged(self.next.load(Ordering::SeqCst)));
+    }
+}
+
+/// Lock-free resizable (split-ordered) hash map under manual SMR scheme
+/// `S` ("EBR", "IBR", "HP", "Hyaline" depending on `S`). Grows without
+/// stopping the world: no node is ever copied, no array ever retired.
+pub struct ResizableHashMap<K, V, S: AcquireRetire> {
+    /// Address of bucket 0's sentinel — the head of the entire list.
+    /// Installed at construction, never rewritten.
+    zero: AtomicUsize,
+    /// Segment `l` (once published) is a `Box<[AtomicUsize; 2^l]>` of
+    /// sentinel addresses (0 = bucket untouched), leaked to a raw pointer
+    /// and freed in `Drop`. Slots are CAS-installed at most once.
+    spine: [AtomicPtr<AtomicUsize>; SPINE_LEVELS],
+    /// `buckets - 1`; buckets is always a power of two. Grows monotonically
+    /// by `m -> 2m + 1`.
+    mask: AtomicU64,
+    count: ElementCount,
+    smr: Arc<S>,
+    stats: Arc<NodeStats>,
+    hasher: RandomState,
+    _marker: super::NodeMarker<Node<K, V>, S>,
+}
+
+// Safety: nodes are only dereferenced under scheme protection (or sentinel
+// immortality); values cross threads only via `V: Send + Sync` clones.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Send for ResizableHashMap<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: AcquireRetire> Sync for ResizableHashMap<K, V, S> {}
+
+/// Cursor produced by the find loop: `prev_loc` is the edge holding `cur_w`.
+struct Cursor<G> {
+    prev_loc: *const AtomicUsize,
+    prev_guard: Option<G>,
+    /// Unmarked word at `prev_loc` (0 = end of list).
+    cur_w: usize,
+    cur_guard: Option<G>,
+    found: bool,
+}
+
+impl<K, V, S> ResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    /// Creates a map with one bucket and its own scheme instance.
+    pub fn new() -> Self {
+        Self::with_capacity(1)
+    }
+
+    /// Creates a map pre-sized for `capacity` elements (rounded up to a
+    /// power of two; sentinels still splice in lazily), with its own
+    /// scheme instance.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_shared(
+            capacity,
+            Arc::new(S::new(
+                Arc::new(smr::GlobalEpoch::new()),
+                S::default_config(),
+            )),
+            Arc::new(NodeStats::new()),
+        )
+    }
+
+    /// As [`with_capacity`](Self::with_capacity), sharing a scheme
+    /// instance and stats (mirrors
+    /// [`HarrisMichaelList::with_shared`](crate::manual::HarrisMichaelList::with_shared)).
+    pub fn with_capacity_shared(capacity: usize, smr: Arc<S>, stats: Arc<NodeStats>) -> Self {
+        let buckets = capacity
+            .max(1)
+            .next_power_of_two()
+            .min(1usize << SPINE_LEVELS) as u64;
+        let t = smr::current_tid();
+        stats.on_alloc(t);
+        let zero = Box::into_raw(Box::new(Node::<K, V> {
+            birth: smr.birth_epoch(t),
+            so_key: so_dummy(0),
+            kv: None,
+            next: AtomicUsize::new(0),
+        }));
+        ResizableHashMap {
+            zero: AtomicUsize::new(zero as usize),
+            spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            mask: AtomicU64::new(buckets - 1),
+            count: ElementCount::new(),
+            smr,
+            stats,
+            hasher: RandomState::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Current bucket count (monotone; grows under load).
+    pub fn buckets(&self) -> u64 {
+        self.mask.load(Ordering::Relaxed) + 1
+    }
+
+    /// Approximate live element count (exact after joining workers).
+    pub fn len(&self) -> u64 {
+        self.count.live()
+    }
+
+    /// Whether the map is (approximately) empty; see [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies every ready eject: frees the node memory.
+    fn collect(&self, t: Tid) {
+        while let Some(r) = self.smr.eject(t) {
+            self.stats.on_free(t);
+            // Safety: ejected addresses were allocated by us as Node<K, V>
+            // and retired exactly once after being unlinked.
+            unsafe { drop(Box::from_raw(r.addr as *mut Node<K, V>)) };
+        }
+    }
+
+    /// The directory segment for `level`, publishing it first if needed.
+    fn segment(&self, level: usize) -> &[AtomicUsize] {
+        let slot = &self.spine[level];
+        let len = 1usize << level;
+        let mut p = slot.load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh: Box<[AtomicUsize]> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            let raw = Box::into_raw(fresh) as *mut AtomicUsize;
+            match slot.compare_exchange(
+                std::ptr::null_mut(),
+                raw,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => p = raw,
+                Err(winner) => {
+                    // Safety: `raw` was never published.
+                    unsafe { drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len))) };
+                    p = winner;
+                }
+            }
+        }
+        // Safety: published segments are never replaced and outlive `&self`.
+        unsafe { std::slice::from_raw_parts(p, len) }
+    }
+
+    /// The directory slot holding bucket `b`'s sentinel address.
+    fn slot(&self, b: usize) -> &AtomicUsize {
+        if b == 0 {
+            return &self.zero;
+        }
+        let level = (usize::BITS - 1 - b.leading_zeros()) as usize;
+        &self.segment(level)[b - (1usize << level)]
+    }
+
+    /// Returns bucket `b`'s sentinel address, splicing it (and any missing
+    /// ancestors, recursively) into the list on first touch. Must be called
+    /// inside a critical section.
+    fn ensure_bucket(&self, t: Tid, b: usize) -> usize {
+        let w = self.slot(b).load(Ordering::SeqCst);
+        if w != 0 {
+            return w;
+        }
+        debug_assert!(b > 0, "bucket 0's sentinel is installed at construction");
+        let level = (usize::BITS - 1 - b.leading_zeros()) as usize;
+        let parent = self.ensure_bucket(t, b - (1usize << level));
+        let addr = self.splice_sentinel(t, parent, so_dummy(b as u64));
+        // Losing this install race is harmless: the list admits exactly one
+        // node per (even) so-key, so any competing install wrote `addr` too.
+        let _ = self
+            .slot(b)
+            .compare_exchange(0, addr, Ordering::SeqCst, Ordering::SeqCst);
+        addr
+    }
+
+    /// Inserts (or finds) the sentinel with `so_key`, walking from `start`
+    /// (an ancestor sentinel's address). Returns the sentinel's address —
+    /// usable unguarded forever, since sentinels are immortal.
+    fn splice_sentinel(&self, t: Tid, start: usize, so_key: u64) -> usize {
+        self.stats.on_alloc(t);
+        let node = Box::into_raw(Box::new(Node::<K, V> {
+            birth: self.smr.birth_epoch(t),
+            so_key,
+            kv: None,
+            next: AtomicUsize::new(0),
+        }));
+        loop {
+            let mut c = self.find_from(t, start, so_key, None);
+            if c.found {
+                let addr = untagged(c.cur_w);
+                self.release_cursor(t, &mut c);
+                self.stats.on_free(t);
+                // Safety: never published; the list's winner is reused.
+                unsafe { drop(Box::from_raw(node)) };
+                return addr;
+            }
+            // Safety: node is ours until published.
+            unsafe { (*node).next.store(c.cur_w, Ordering::SeqCst) };
+            // Safety: prev_loc protected per find_from's contract.
+            let ok = unsafe {
+                (*c.prev_loc)
+                    .compare_exchange(c.cur_w, node as usize, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            };
+            self.release_cursor(t, &mut c);
+            if ok {
+                return node as usize;
+            }
+        }
+    }
+
+    fn release_cursor(&self, t: Tid, c: &mut Cursor<S::Guard>) {
+        if let Some(g) = c.prev_guard.take() {
+            self.smr.release(t, g);
+        }
+        if let Some(g) = c.cur_guard.take() {
+            self.smr.release(t, g);
+        }
+    }
+
+    fn release_guards(&self, t: Tid, a: &mut Option<S::Guard>, b: &mut Option<S::Guard>) {
+        if let Some(g) = a.take() {
+            self.smr.release(t, g);
+        }
+        if let Some(g) = b.take() {
+            self.smr.release(t, g);
+        }
+    }
+
+    /// Michael's find from `start`'s next edge to the first node ≥
+    /// `(so_key, key)` in split order, unlinking marked nodes along the
+    /// way. Restarts are bucket-local: `start` is an immortal sentinel, so
+    /// its next edge is always a valid (guard-free) anchor. Must be called
+    /// inside a critical section; returns with 0–2 guards held.
+    fn find_from(&self, t: Tid, start: usize, so_key: u64, key: Option<&K>) -> Cursor<S::Guard> {
+        let start_node = start as *const Node<K, V>;
+        'retry: loop {
+            // Safety: sentinels are never retired, so the start edge lives
+            // as long as the map — no guard needed (cf. `&self.head` in the
+            // plain list).
+            let mut prev_loc: *const AtomicUsize = unsafe { &(*start_node).next };
+            let mut prev_guard: Option<S::Guard> = None;
+            // Safety: `prev_loc` points into the immortal start sentinel.
+            let (mut cur_w, g) = self
+                .smr
+                .try_acquire(t, unsafe { &*prev_loc })
+                .expect("list traversal holds at most 3 guards");
+            let mut cur_guard = Some(g);
+            if cur_w & MARK != 0 {
+                // A sentinel's next edge is never marked (sentinels are not
+                // deleted); a marked word here is a transient publication
+                // race — restart.
+                self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                continue 'retry;
+            }
+            loop {
+                let cur = untagged(cur_w);
+                if cur == 0 {
+                    return Cursor {
+                        prev_loc,
+                        prev_guard,
+                        cur_w,
+                        cur_guard,
+                        found: false,
+                    };
+                }
+                let node = cur as *const Node<K, V>;
+                // Safety: `cur` is protected by cur_guard.
+                let next_field = unsafe { &(*node).next };
+                let (next_w, next_g) = self
+                    .smr
+                    .try_acquire(t, next_field)
+                    .expect("list traversal holds at most 3 guards");
+                let mut next_guard = Some(next_g);
+                // Validate that cur is still linked, unmarked, at prev_loc.
+                // Safety: prev_loc is a sentinel edge or one in a guarded
+                // node.
+                if unsafe { (*prev_loc).load(Ordering::SeqCst) } != cur_w {
+                    self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                    self.release_guards(t, &mut next_guard, &mut None);
+                    continue 'retry;
+                }
+                if next_w & MARK != 0 {
+                    // cur is logically deleted: help unlink it.
+                    let clean_next = next_w & !MARK;
+                    // Safety: prev_loc as above.
+                    if unsafe {
+                        (*prev_loc)
+                            .compare_exchange(cur_w, clean_next, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    } {
+                        // We unlinked cur: retire it (the manual chore).
+                        let birth = unsafe { (*node).birth };
+                        self.smr.retire(t, Retired::new(cur, birth));
+                        if let Some(g) = cur_guard.take() {
+                            self.smr.release(t, g);
+                        }
+                        cur_w = clean_next;
+                        cur_guard = next_guard.take();
+                        continue;
+                    }
+                    self.release_guards(t, &mut prev_guard, &mut cur_guard);
+                    self.release_guards(t, &mut next_guard, &mut None);
+                    continue 'retry;
+                }
+                // Split-order comparison: so-key first, then the real key
+                // (two distinct keys can share an odd so-key; sentinels are
+                // `None` and sort before every regular node).
+                // Safety: cur protected; keys are immutable after insert.
+                let cnode = unsafe { &*node };
+                match (cnode.so_key, cnode.key()).cmp(&(so_key, key)) {
+                    std::cmp::Ordering::Less => {
+                        // Advance hand-over-hand: cur becomes prev.
+                        if let Some(g) = prev_guard.take() {
+                            self.smr.release(t, g);
+                        }
+                        prev_guard = cur_guard.take();
+                        prev_loc = next_field as *const AtomicUsize;
+                        cur_w = next_w;
+                        cur_guard = next_guard.take();
+                    }
+                    order => {
+                        self.release_guards(t, &mut next_guard, &mut None);
+                        return Cursor {
+                            prev_loc,
+                            prev_guard,
+                            cur_w,
+                            cur_guard,
+                            found: order == std::cmp::Ordering::Equal,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Doubles the mask if the live estimate exceeds the bucket count
+    /// (load factor ≈ 1). Called on the insert-count cadence only.
+    fn maybe_grow(&self) {
+        let live = self.count.live();
+        let mask = self.mask.load(Ordering::Relaxed);
+        let buckets = mask + 1;
+        if live > buckets && buckets < (1u64 << SPINE_LEVELS) {
+            // Ordering: Relaxed — the mask is a routing hint; a stale mask
+            // routes to an ancestor sentinel, which is always correct.
+            let _ = self.mask.compare_exchange(
+                mask,
+                mask * 2 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    fn insert_impl(&self, t: Tid, key: K, value: V) -> bool {
+        let h = self.hasher.hash_one(&key);
+        let so = so_regular(h);
+        self.stats.on_alloc(t);
+        let new_node = Box::into_raw(Box::new(Node {
+            birth: self.smr.birth_epoch(t),
+            so_key: so,
+            kv: Some((key, value)),
+            next: AtomicUsize::new(0),
+        }));
+        loop {
+            // Re-read the mask each attempt: a concurrent grow between
+            // attempts may have split this key's bucket.
+            let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
+            // Safety: new_node is ours until published.
+            let key_ref = unsafe { (*new_node).key() };
+            let mut c = self.find_from(t, start, so, key_ref);
+            if c.found {
+                self.release_cursor(t, &mut c);
+                self.stats.on_free(t);
+                // Safety: never published.
+                unsafe { drop(Box::from_raw(new_node)) };
+                return false;
+            }
+            unsafe { (*new_node).next.store(c.cur_w, Ordering::SeqCst) };
+            // Safety: prev_loc protected per find_from's contract.
+            let ok = unsafe {
+                (*c.prev_loc)
+                    .compare_exchange(
+                        c.cur_w,
+                        new_node as usize,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+            };
+            self.release_cursor(t, &mut c);
+            if ok {
+                if self.count.on_insert(t) {
+                    self.maybe_grow();
+                }
+                return true;
+            }
+        }
+    }
+
+    fn remove_impl(&self, t: Tid, key: &K) -> bool {
+        let h = self.hasher.hash_one(key);
+        let so = so_regular(h);
+        loop {
+            let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
+            let mut c = self.find_from(t, start, so, Some(key));
+            if !c.found {
+                self.release_cursor(t, &mut c);
+                return false;
+            }
+            let cur = untagged(c.cur_w);
+            let node = cur as *const Node<K, V>;
+            // Logically delete: mark cur's next word, retrying in place on
+            // the witnessed word (cur stays protected by the cursor).
+            // Safety: cur protected by the cursor's guard.
+            let mut next_w = unsafe { (*node).next.load(Ordering::SeqCst) };
+            let marked = loop {
+                if next_w & MARK != 0 {
+                    break false; // someone else is deleting it
+                }
+                match unsafe {
+                    (*node).next.compare_exchange(
+                        next_w,
+                        next_w | MARK,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                } {
+                    Ok(_) => break true,
+                    Err(w) => next_w = w,
+                }
+            };
+            if !marked {
+                // Retry from find so it can help the competing delete.
+                self.release_cursor(t, &mut c);
+                continue;
+            }
+            // Physically unlink (best effort — find helps otherwise).
+            // Safety: prev_loc protected per find_from's contract.
+            if unsafe {
+                (*c.prev_loc)
+                    .compare_exchange(c.cur_w, next_w, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            } {
+                let birth = unsafe { (*node).birth };
+                self.smr.retire(t, Retired::new(cur, birth));
+            }
+            self.release_cursor(t, &mut c);
+            self.count.on_remove(t);
+            return true;
+        }
+    }
+
+    fn get_impl(&self, t: Tid, key: &K) -> Option<V> {
+        let h = self.hasher.hash_one(key);
+        let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
+        let mut c = self.find_from(t, start, so_regular(h), Some(key));
+        let out = if c.found {
+            let node = untagged(c.cur_w) as *const Node<K, V>;
+            // Safety: protected by the cursor guard; value immutable.
+            Some(unsafe { (*node).kv.as_ref().unwrap().1.clone() })
+        } else {
+            None
+        };
+        self.release_cursor(t, &mut c);
+        out
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for ResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    type Guard = smr::SectionGuard<S>;
+
+    fn pin(&self) -> Self::Guard {
+        smr::SectionGuard::enter(Arc::clone(&self.smr))
+    }
+
+    fn insert_with(&self, k: K, v: V, guard: &Self::Guard) -> bool {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
+        let r = self.insert_impl(t, k, v);
+        self.collect(t);
+        r
+    }
+
+    fn remove_with(&self, k: &K, guard: &Self::Guard) -> bool {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
+        let r = self.remove_impl(t, k);
+        self.collect(t);
+        r
+    }
+
+    fn get_with(&self, k: &K, guard: &Self::Guard) -> Option<V> {
+        debug_assert!(guard.covers(&self.smr), "guard from a foreign instance");
+        let t = guard.tid();
+        let r = self.get_impl(t, k);
+        self.collect(t);
+        r
+    }
+
+    fn in_flight_nodes(&self) -> u64 {
+        self.stats.in_flight()
+    }
+}
+
+impl<K, V, S> Default for ResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: AcquireRetire,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: AcquireRetire> Drop for ResizableHashMap<K, V, S> {
+    fn drop(&mut self) {
+        let t = smr::current_tid();
+        // The zero sentinel heads the entire list, so one root reaches
+        // every node — sentinels, live nodes and marked-but-linked ones.
+        // Directory slots hold plain addresses (no ownership): only their
+        // segment allocations need freeing.
+        let head = untagged(self.zero.load(Ordering::SeqCst));
+        // Safety: exclusive access; linked nodes are never retired.
+        unsafe { super::teardown::<Node<K, V>, S>([head], &self.smr, &self.stats, t) };
+        for (level, slot) in self.spine.iter().enumerate() {
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            let len = 1usize << level;
+            // Safety: exclusive access; published from a Box<[AtomicUsize]>.
+            unsafe { drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len))) };
+        }
+    }
+}
+
+impl<K, V, S: AcquireRetire> std::fmt::Debug for ResizableHashMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResizableHashMap")
+            .field("scheme", &S::scheme_name())
+            .field("buckets", &(self.mask.load(Ordering::Relaxed) + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr::{Ebr, Hp, Hyaline, Ibr};
+
+    fn smoke<S: AcquireRetire>() {
+        let m: ResizableHashMap<u64, u64, S> = ResizableHashMap::new();
+        assert!(m.insert(5, 50));
+        assert!(m.insert(3, 30));
+        assert!(!m.insert(5, 55), "duplicate rejected");
+        assert_eq!(m.get(&5), Some(50));
+        assert_eq!(m.get(&4), None);
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert_eq!(m.get(&5), None);
+        assert_eq!(m.get(&3), Some(30));
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<Ebr>();
+        smoke::<Ibr>();
+        smoke::<Hp>();
+        smoke::<Hyaline>();
+    }
+
+    #[test]
+    fn grows_under_single_threaded_load() {
+        let m: ResizableHashMap<u64, u64, Ebr> = ResizableHashMap::new();
+        assert_eq!(m.buckets(), 1);
+        for k in 0..4096u64 {
+            assert!(m.insert(k, k));
+        }
+        assert!(m.buckets() > 1, "mask never grew");
+        for k in 0..4096u64 {
+            assert_eq!(m.get(&k), Some(k), "key {k} lost across growth");
+        }
+    }
+
+    #[test]
+    fn concurrent_grow_under_churn() {
+        let m: Arc<ResizableHashMap<u64, u64, Hp>> = Arc::new(ResizableHashMap::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for j in 0..500u64 {
+                        let k = i * 10_000 + j;
+                        assert!(m.insert(k, k));
+                        assert_eq!(m.get(&k), Some(k));
+                        if j % 2 == 0 {
+                            assert!(m.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert!(m.buckets() > 1, "table grew during churn");
+        for i in 0..8u64 {
+            for j in 0..500u64 {
+                let k = i * 10_000 + j;
+                assert_eq!(m.get(&k), if j % 2 == 0 { None } else { Some(k) });
+            }
+        }
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let stats = Arc::new(NodeStats::new());
+        {
+            let m: ResizableHashMap<u64, u64, Ebr> = ResizableHashMap::with_capacity_shared(
+                1,
+                Arc::new(Ebr::new(
+                    Arc::new(smr::GlobalEpoch::new()),
+                    Ebr::default_config(),
+                )),
+                Arc::clone(&stats),
+            );
+            for k in 0..1000u64 {
+                m.insert(k, k);
+            }
+            for k in 0..500u64 {
+                m.remove(&k);
+            }
+        }
+        assert_eq!(stats.in_flight(), 0, "every node freed at drop");
+    }
+}

@@ -9,8 +9,10 @@ pub mod dlqueue;
 pub mod hash;
 pub mod list;
 pub mod nmtree;
+pub mod resizable;
 
 pub use dlqueue::RcDoubleLinkQueue;
 pub use hash::RcMichaelHashMap;
 pub use list::RcHarrisMichaelList;
 pub use nmtree::RcNatarajanMittalTree;
+pub use resizable::RcResizableHashMap;

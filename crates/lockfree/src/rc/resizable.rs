@@ -1,0 +1,671 @@
+//! Split-ordered resizable hash map over reference-counted pointers
+//! (Shalev & Shavit, "Split-ordered lists: lock-free extensible hash
+//! tables", adapted to the `cdrc` pointer types).
+//!
+//! # Why split-ordering instead of bucket-array migration
+//!
+//! A migrating resize must copy nodes between arrays, and every copy is a
+//! window where a straggling helper can resurrect a key that was copied
+//! and then deleted — closing that window costs per-bucket freeze markers
+//! and claim CASes on the hot path. Split-ordering moves **no nodes,
+//! ever**: the table is one Harris-Michael list sorted by *bit-reversed*
+//! hash (the "split-order key"), and a bucket is merely a shortcut pointer
+//! to a permanent sentinel ("dummy") node inside that list. Growing the
+//! table just publishes a bigger mask; new sentinels are spliced in lazily,
+//! on first touch, by the same insert CAS every other node uses. The
+//! witness-returning CAS family does all the work: retry loops resume from
+//! the witnessed word, and a successful unlink's displaced reference *is*
+//! the reclamation hand-off.
+//!
+//! # Split-order keys
+//!
+//! Regular nodes carry `so_key = hash.reverse_bits() | 1` (odd); the
+//! sentinel for bucket `b` carries `so_key = (b as u64).reverse_bits()`
+//! (even, all low bits zero). With the bucket of `h` chosen as
+//! `h & mask` (low bits), bit reversal sends every key of bucket `b` into
+//! the contiguous so-key range beginning at `b`'s sentinel — doubling the
+//! mask *splits* each range in two without reordering anything. Sentinels
+//! sort strictly before the regular nodes of their bucket (the `| 1`),
+//! collide with no regular key, and are never deleted, so a bucket pointer
+//! read once is valid forever.
+//!
+//! # The lazily-doubled directory
+//!
+//! Bucket pointers live in a `zero` slot plus `SPINE_LEVELS` lazily
+//! allocated segments, segment `l` holding buckets `[2^l, 2^{l+1})`. The
+//! directory only ever grows and established slots are never rewritten, so
+//! readers touch it with plain `Acquire` loads — no migration epoch, no
+//! array retirement. A thread observing a *stale* (smaller) mask simply
+//! starts its list walk at an ancestor sentinel: correct, just a few hops
+//! longer.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use cdrc::{
+    AtomicSharedPtr, CsGuard, DomainRef, EdgeCollector, GraphNode, Scheme, SharedPtr, SnapshotPtr,
+    TaggedPtr,
+};
+
+use crate::split_order::{so_dummy, so_regular, SPINE_LEVELS};
+use crate::{ConcurrentMap, ElementCount};
+
+const MARK: usize = 1;
+
+struct Node<K, V, S: Scheme> {
+    so_key: u64,
+    /// `None` marks a bucket sentinel; sentinels are never removed and
+    /// never surface through the map API.
+    kv: Option<(K, V)>,
+    next: AtomicSharedPtr<Node<K, V, S>, S>,
+}
+
+impl<K, V, S: Scheme> Node<K, V, S> {
+    #[inline]
+    fn key(&self) -> Option<&K> {
+        self.kv.as_ref().map(|(k, _)| k)
+    }
+}
+
+impl<K, V, S: Scheme> GraphNode<S> for Node<K, V, S> {
+    fn pop_edges(&mut self, out: &mut EdgeCollector<'_, S>) {
+        out.take_atomic(&mut self.next);
+    }
+}
+
+/// Lock-free resizable hash map over `cdrc` pointers with scheme `S`
+/// ("RCEBR", "RCIBR", "RCHP", "RCHyaline" depending on `S`): a
+/// split-ordered list that grows without stopping the world.
+///
+/// Grows by doubling the bucket mask once the (sharded, approximate) live
+/// count exceeds the bucket count — load factor ≈ 1, the classic
+/// One directory slot: a strong, CAS-installed-once pointer to a bucket's
+/// sentinel node (null until the bucket is first touched).
+type Slot<K, V, S> = AtomicSharedPtr<Node<K, V, S>, S>;
+
+/// Lock-free resizable hash map over `cdrc` pointers with scheme `S`
+/// ("RCEBR", "RCIBR", "RCHP", "RCHyaline" depending on `S`): a
+/// split-ordered list that grows without stopping the world.
+///
+/// Grows by doubling the bucket mask once the (sharded, approximate) live
+/// count exceeds the bucket count — load factor ≈ 1, the classic
+/// split-ordered policy. No operation ever blocks on a resize; there is no
+/// resize *phase* at all.
+pub struct RcResizableHashMap<K, V, S: Scheme> {
+    /// Bucket 0's sentinel — the head of the entire list. Installed at
+    /// construction and never rewritten, it anchors teardown: nulling it
+    /// (plus the other directory slots) releases the whole chain.
+    zero: AtomicSharedPtr<Node<K, V, S>, S>,
+    /// Segment `l` (once published) is a `Box<[AtomicSharedPtr; 2^l]>`
+    /// leaked to a raw pointer; slots start null and are CAS-installed at
+    /// most once. Freed in `Drop`.
+    spine: [AtomicPtr<Slot<K, V, S>>; SPINE_LEVELS],
+    /// `buckets - 1`; buckets is always a power of two. Grows by
+    /// `m -> 2m + 1`, monotonically.
+    mask: AtomicU64,
+    count: ElementCount,
+    hasher: RandomState,
+    domain: DomainRef<S>,
+    _marker: PhantomData<(K, V)>,
+}
+
+struct Cursor<'g, K, V, S: Scheme> {
+    /// Node containing the edge we are at; `None` = the bucket sentinel
+    /// the traversal started from.
+    prev: Option<SnapshotPtr<'g, Node<K, V, S>, S>>,
+    /// Snapshot read (unmarked) from that edge; null = end of list.
+    cur: SnapshotPtr<'g, Node<K, V, S>, S>,
+    found: bool,
+}
+
+impl<K, V, S> RcResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    /// Creates a map with one bucket, bound to the scheme's global domain.
+    pub fn new() -> Self {
+        Self::new_in(S::global_domain().clone())
+    }
+
+    /// Creates a map with one bucket, bound to `domain`.
+    pub fn new_in(domain: DomainRef<S>) -> Self {
+        Self::with_capacity_in(1, domain)
+    }
+
+    /// Creates a map pre-sized for `capacity` elements (rounded up to a
+    /// power of two; sentinels still splice in lazily), bound to the
+    /// scheme's global domain.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_in(capacity, S::global_domain().clone())
+    }
+
+    /// As [`with_capacity`](Self::with_capacity), bound to `domain`.
+    pub fn with_capacity_in(capacity: usize, domain: DomainRef<S>) -> Self {
+        let buckets = capacity
+            .max(1)
+            .next_power_of_two()
+            .min(1usize << SPINE_LEVELS) as u64;
+        let zero_sentinel = SharedPtr::new_graph_in(
+            Node {
+                so_key: so_dummy(0),
+                kv: None,
+                next: AtomicSharedPtr::null_in(&domain),
+            },
+            &domain,
+        );
+        RcResizableHashMap {
+            zero: AtomicSharedPtr::new_in(zero_sentinel, &domain),
+            spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            mask: AtomicU64::new(buckets - 1),
+            count: ElementCount::new(),
+            hasher: RandomState::new(),
+            domain,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The reclamation domain this map allocates and reclaims through.
+    pub fn domain(&self) -> &DomainRef<S> {
+        &self.domain
+    }
+
+    /// Current bucket count (monotone; grows under load).
+    pub fn buckets(&self) -> u64 {
+        self.mask.load(Ordering::Relaxed) + 1
+    }
+
+    /// Approximate live element count (exact once concurrent operations
+    /// have happened-before the call, e.g. after joining workers).
+    pub fn len(&self) -> u64 {
+        self.count.live()
+    }
+
+    /// Whether the map is (approximately) empty; see [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The directory segment for `level`, publishing it first if no thread
+    /// has touched any bucket in `[2^level, 2^{level+1})` yet.
+    fn segment(&self, level: usize) -> &[AtomicSharedPtr<Node<K, V, S>, S>] {
+        let slot = &self.spine[level];
+        let len = 1usize << level;
+        let mut p = slot.load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh: Box<[Slot<K, V, S>]> = (0..len)
+                .map(|_| AtomicSharedPtr::null_in(&self.domain))
+                .collect();
+            let raw = Box::into_raw(fresh) as *mut Slot<K, V, S>;
+            match slot.compare_exchange(
+                std::ptr::null_mut(),
+                raw,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => p = raw,
+                Err(winner) => {
+                    // Safety: `raw` was never published; rebuild the boxed
+                    // slice (all slots still null) and drop it.
+                    unsafe { drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len))) };
+                    p = winner;
+                }
+            }
+        }
+        // Safety: published segments are never replaced and outlive `&self`
+        // (freed only in `Drop`, which has exclusive access).
+        unsafe { std::slice::from_raw_parts(p, len) }
+    }
+
+    /// The directory slot holding bucket `b`'s sentinel pointer.
+    fn slot(&self, b: usize) -> &AtomicSharedPtr<Node<K, V, S>, S> {
+        if b == 0 {
+            return &self.zero;
+        }
+        let level = (usize::BITS - 1 - b.leading_zeros()) as usize;
+        &self.segment(level)[b - (1usize << level)]
+    }
+
+    /// Returns bucket `b`'s sentinel, splicing it (and, recursively, any
+    /// missing ancestors) into the list on first touch.
+    ///
+    /// The parent of `b` is `b` with its most significant set bit cleared —
+    /// the bucket whose so-key range contains `b`'s until the split.
+    /// Recursion depth is the popcount of `b` (≤ [`SPINE_LEVELS`]).
+    fn ensure_bucket<'g>(&self, b: usize, cs: &'g CsGuard<S>) -> SnapshotPtr<'g, Node<K, V, S>, S> {
+        let slot = self.slot(b);
+        let snap = slot.get_snapshot(cs);
+        if !snap.is_null() {
+            return snap;
+        }
+        debug_assert!(b > 0, "bucket 0's sentinel is installed at construction");
+        let level = (usize::BITS - 1 - b.leading_zeros()) as usize;
+        let parent = self.ensure_bucket(b - (1usize << level), cs);
+        let sentinel = self.splice_sentinel(&parent, so_dummy(b as u64), cs);
+        // Losing this install race is harmless: the list admits exactly one
+        // node per (even) so-key, so the winner published the same node.
+        let _ = slot.compare_exchange(TaggedPtr::null(), &sentinel);
+        slot.get_snapshot(cs)
+    }
+
+    /// Inserts (or finds) the sentinel with `so_key`, starting the walk at
+    /// `start` (an ancestor sentinel). Returns a strong reference to it.
+    fn splice_sentinel<'g>(
+        &self,
+        start: &SnapshotPtr<'g, Node<K, V, S>, S>,
+        so_key: u64,
+        cs: &'g CsGuard<S>,
+    ) -> SharedPtr<Node<K, V, S>, S> {
+        let mut sentinel: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
+            Node {
+                so_key,
+                kv: None,
+                next: AtomicSharedPtr::null_in(&self.domain),
+            },
+            &self.domain,
+        );
+        loop {
+            let c = self.find_from(start, so_key, None, cs);
+            if c.found {
+                return c.cur.to_shared(); // raced: reuse the winner's node
+            }
+            sentinel.as_ref().unwrap().next.store_from(&c.cur);
+            let keep = sentinel.clone();
+            match Self::edge(start, &c.prev).compare_exchange_tagged_owned(
+                c.cur.tagged(),
+                sentinel,
+                0,
+            ) {
+                Ok(displaced) => {
+                    drop(displaced);
+                    return keep;
+                }
+                Err(e) => {
+                    drop(keep);
+                    sentinel = e.desired;
+                }
+            }
+        }
+    }
+
+    fn edge<'a, 'g>(
+        start: &'a SnapshotPtr<'g, Node<K, V, S>, S>,
+        prev: &'a Option<SnapshotPtr<'g, Node<K, V, S>, S>>,
+    ) -> &'a AtomicSharedPtr<Node<K, V, S>, S> {
+        let holder = match prev {
+            None => start,
+            Some(p) => p,
+        };
+        &holder.as_ref().expect("cursor nodes are non-null").next
+    }
+
+    /// The Harris-Michael find, walking from `start`'s next edge to the
+    /// first node ≥ `(so_key, key)` in split order, helping unlink marked
+    /// nodes on the way. Restarts are bucket-local: `start` is a sentinel,
+    /// and sentinels are never deleted, so its next edge is always a valid
+    /// anchor — no walk ever restarts from the table head.
+    fn find_from<'g>(
+        &self,
+        start: &SnapshotPtr<'g, Node<K, V, S>, S>,
+        so_key: u64,
+        key: Option<&K>,
+        cs: &'g CsGuard<S>,
+    ) -> Cursor<'g, K, V, S> {
+        'retry: loop {
+            let mut prev: Option<SnapshotPtr<'g, Node<K, V, S>, S>> = None;
+            let mut cur = Self::edge(start, &prev).get_snapshot(cs);
+            if cur.tag() != 0 {
+                // A sentinel's next edge is never marked (sentinels are not
+                // deleted), so this only trips transiently mid-splice.
+                continue 'retry;
+            }
+            loop {
+                let Some(node) = cur.as_ref() else {
+                    return Cursor {
+                        prev,
+                        cur,
+                        found: false,
+                    };
+                };
+                let next = node.next.get_snapshot(cs);
+                // Validate cur is still linked unmarked at the prev edge.
+                if Self::edge(start, &prev).load_tagged() != cur.tagged() {
+                    continue 'retry;
+                }
+                if next.tag() & MARK != 0 {
+                    // cur is logically deleted: splice it out; the displaced
+                    // reference *is* the reclamation hand-off.
+                    match Self::edge(start, &prev).compare_exchange_tagged_with(
+                        cs,
+                        cur.tagged(),
+                        &next,
+                        0,
+                    ) {
+                        Ok(unlinked) => {
+                            drop(unlinked);
+                            cur = next.with_tag(0);
+                            continue;
+                        }
+                        Err(w) => {
+                            // Witness unmarked: a competing helper/inserter
+                            // moved the edge — resume from the witnessed
+                            // word, same prev, no re-walk. Marked: prev is
+                            // itself being deleted; restart at the sentinel.
+                            if w.tag() == 0 {
+                                cur = w;
+                                continue;
+                            }
+                            continue 'retry;
+                        }
+                    }
+                }
+                // Split-order comparison: so-key first, then the real key
+                // (two distinct keys can share an odd so-key; sentinels are
+                // `None` and sort before every regular node).
+                match (node.so_key, node.key()).cmp(&(so_key, key)) {
+                    std::cmp::Ordering::Less => {
+                        prev = Some(cur);
+                        cur = next;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        return Cursor {
+                            prev,
+                            cur,
+                            found: true,
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        return Cursor {
+                            prev,
+                            cur,
+                            found: false,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Doubles the mask if the live estimate exceeds the bucket count
+    /// (load factor ≈ 1). Called on the insert-count cadence only.
+    fn maybe_grow(&self) {
+        let live = self.count.live();
+        let mask = self.mask.load(Ordering::Relaxed);
+        let buckets = mask + 1;
+        if live > buckets && buckets < (1u64 << SPINE_LEVELS) {
+            // Ordering: Relaxed — the mask is a routing hint, not a guard:
+            // an operation using the old mask lands on an ancestor sentinel
+            // and walks a few extra hops, which is always correct. Losing
+            // the CAS means another thread already grew past `mask`.
+            let _ = self.mask.compare_exchange(
+                mask,
+                mask * 2 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// The sentinel to start `h`'s operation from under the current mask.
+    fn bucket_for<'g>(&self, h: u64, cs: &'g CsGuard<S>) -> SnapshotPtr<'g, Node<K, V, S>, S> {
+        let b = (h & self.mask.load(Ordering::Relaxed)) as usize;
+        self.ensure_bucket(b, cs)
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for RcResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    type Guard = CsGuard<S>;
+
+    fn pin(&self) -> Self::Guard {
+        self.domain.cs()
+    }
+
+    fn insert_with(&self, k: K, v: V, cs: &Self::Guard) -> bool {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
+        let h = self.hasher.hash_one(&k);
+        let so = so_regular(h);
+        let mut new_node: SharedPtr<Node<K, V, S>, S> = SharedPtr::new_graph_in(
+            Node {
+                so_key: so,
+                kv: Some((k, v)),
+                next: AtomicSharedPtr::null_in(&self.domain),
+            },
+            &self.domain,
+        );
+        loop {
+            // Re-read the mask each attempt: a concurrent grow between
+            // attempts may have split this key's bucket.
+            let start = self.bucket_for(h, cs);
+            let c = self.find_from(&start, so, new_node.as_ref().unwrap().key(), cs);
+            if c.found {
+                return false; // new_node drops; no manual free needed
+            }
+            new_node.as_ref().unwrap().next.store_from(&c.cur);
+            match Self::edge(&start, &c.prev).compare_exchange_tagged_owned(
+                c.cur.tagged(),
+                new_node,
+                0,
+            ) {
+                Ok(displaced) => {
+                    drop(displaced);
+                    if self.count.on_insert(smr::current_tid()) {
+                        self.maybe_grow();
+                    }
+                    return true;
+                }
+                // Failure hands new_node back untouched: re-find, no
+                // reallocation, no count round-trip.
+                Err(e) => new_node = e.desired,
+            }
+        }
+    }
+
+    fn remove_with(&self, k: &K, cs: &Self::Guard) -> bool {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
+        let h = self.hasher.hash_one(k);
+        let so = so_regular(h);
+        loop {
+            let start = self.bucket_for(h, cs);
+            let c = self.find_from(&start, so, Some(k), cs);
+            if !c.found {
+                return false;
+            }
+            let node = c.cur.as_ref().unwrap();
+            // Logically delete: mark cur's next word, retrying in place on
+            // the witness (cur stays protected by the cursor).
+            let mut next_t = node.next.load_tagged();
+            let marked = loop {
+                if next_t.tag() & MARK != 0 {
+                    break false; // someone else is deleting it
+                }
+                match node.next.try_set_tag(next_t, MARK) {
+                    Ok(_) => break true,
+                    Err(w) => next_t = w,
+                }
+            };
+            if !marked {
+                continue; // help the competing delete via find
+            }
+            // Marked: attempt the physical unlink; find() helps otherwise.
+            let next_snap = node.next.get_snapshot(cs);
+            if let Ok(unlinked) = Self::edge(&start, &c.prev).compare_exchange_tagged_with(
+                cs,
+                c.cur.tagged(),
+                &next_snap,
+                0,
+            ) {
+                drop(unlinked);
+            }
+            self.count.on_remove(smr::current_tid());
+            return true;
+        }
+    }
+
+    fn get_with(&self, k: &K, cs: &Self::Guard) -> Option<V> {
+        debug_assert!(cs.covers(&self.domain), "guard from a foreign domain");
+        let h = self.hasher.hash_one(k);
+        let c = self.find_from(&self.bucket_for(h, cs), so_regular(h), Some(k), cs);
+        if c.found {
+            Some(c.cur.as_ref().unwrap().kv.as_ref().unwrap().1.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Exact for this map's own domain (live nodes — including sentinels —
+    /// plus deferred garbage).
+    fn in_flight_nodes(&self) -> u64 {
+        self.domain.in_flight()
+    }
+}
+
+impl<K, V, S> Default for RcResizableHashMap<K, V, S>
+where
+    K: Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    S: Scheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S: Scheme> Drop for RcResizableHashMap<K, V, S> {
+    fn drop(&mut self) {
+        // Null every directory slot. The `zero` slot owns the list head, so
+        // dropping its reference cascades down the chain (immediate
+        // recursive destruction via `pop_edges`); the other slots hold
+        // additional strong references to sentinels and must be released
+        // too, then their segment allocations freed. Finally flush the
+        // domain so a private-domain map leaves `allocated() == freed()`.
+        self.zero.store(SharedPtr::null());
+        for (level, slot) in self.spine.iter().enumerate() {
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            let len = 1usize << level;
+            // Safety: exclusive access in Drop; the segment was published
+            // from a `Box<[AtomicSharedPtr; len]>` and never replaced.
+            let seg = unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len)) };
+            for s in seg.iter() {
+                s.store(SharedPtr::null());
+            }
+            drop(seg);
+        }
+        self.domain.process_deferred(smr::current_tid());
+    }
+}
+
+impl<K, V, S: Scheme> std::fmt::Debug for RcResizableHashMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcResizableHashMap")
+            .field("buckets", &(self.mask.load(Ordering::Relaxed) + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrc::{EbrScheme, HpScheme, HyalineScheme, IbrScheme};
+    use std::sync::Arc;
+
+    fn smoke<S: Scheme>() {
+        let m: RcResizableHashMap<u64, u64, S> = RcResizableHashMap::new();
+        assert!(m.insert(5, 50));
+        assert!(m.insert(3, 30));
+        assert!(!m.insert(5, 55));
+        assert_eq!(m.get(&5), Some(50));
+        assert_eq!(m.get(&4), None);
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert_eq!(m.get(&5), None);
+        assert_eq!(m.get(&3), Some(30));
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<EbrScheme>();
+        smoke::<IbrScheme>();
+        smoke::<HpScheme>();
+        smoke::<HyalineScheme>();
+    }
+
+    #[test]
+    fn grows_under_single_threaded_load() {
+        let m: RcResizableHashMap<u64, u64, EbrScheme> = RcResizableHashMap::new();
+        assert_eq!(m.buckets(), 1);
+        for k in 0..4096u64 {
+            assert!(m.insert(k, k));
+        }
+        assert!(m.buckets() > 1, "mask never grew");
+        for k in 0..4096u64 {
+            assert_eq!(m.get(&k), Some(k), "key {k} lost across growth");
+        }
+        for k in 0..4096u64 {
+            assert!(m.remove(&k));
+        }
+        for k in 0..4096u64 {
+            assert_eq!(m.get(&k), None);
+        }
+    }
+
+    #[test]
+    fn domain_balances_after_drop() {
+        let domain: DomainRef<EbrScheme> = DomainRef::new();
+        let m: RcResizableHashMap<u64, u64, EbrScheme> = RcResizableHashMap::new_in(domain.clone());
+        for k in 0..1024u64 {
+            assert!(m.insert(k, k));
+        }
+        for k in 0..512u64 {
+            assert!(m.remove(&k));
+        }
+        drop(m);
+        assert_eq!(domain.allocated(), domain.freed(), "Drop flushes all");
+    }
+
+    #[test]
+    fn concurrent_grow_under_churn() {
+        let m: Arc<RcResizableHashMap<u64, u64, HpScheme>> = Arc::new(RcResizableHashMap::new());
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for j in 0..500u64 {
+                        let k = i * 10_000 + j;
+                        assert!(m.insert(k, k));
+                        assert_eq!(m.get(&k), Some(k));
+                        if j % 2 == 0 {
+                            assert!(m.remove(&k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert!(m.buckets() > 1, "table grew during churn");
+        for i in 0..8u64 {
+            for j in 0..500u64 {
+                let k = i * 10_000 + j;
+                assert_eq!(m.get(&k), if j % 2 == 0 { None } else { Some(k) });
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let m: RcResizableHashMap<u64, u64, EbrScheme> = RcResizableHashMap::with_capacity(100);
+        assert_eq!(m.buckets(), 128);
+    }
+}

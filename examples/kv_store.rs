@@ -1,5 +1,6 @@
-//! A miniature concurrent key-value store on the Michael hash table, with
-//! the same code running over all four reclamation engines.
+//! A miniature concurrent key-value store on the *resizable*
+//! (split-ordered) hash table, with the same code running over all four
+//! reclamation engines.
 //!
 //! Run with: `cargo run --release --example kv_store`
 //!
@@ -12,8 +13,8 @@
 //! one domain and meters jointly.
 
 use cdrc::{DomainRef, EbrScheme, HpScheme, HyalineScheme, IbrScheme};
-use lockfree::manual::MichaelHashMap;
-use lockfree::rc::RcMichaelHashMap;
+use lockfree::manual::ResizableHashMap;
+use lockfree::rc::RcResizableHashMap;
 use lockfree::ConcurrentMap;
 use std::time::Instant;
 
@@ -62,33 +63,26 @@ fn drive<M: ConcurrentMap<u64, u64>>(store: &M, label: &str) {
 }
 
 fn main() {
+    // Every store below starts at a single bucket and grows itself to fit
+    // the working set — no capacity guess at construction.
     println!("-- automatic (reference counted), one engine per run --");
     drive(
-        &RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets(4096),
+        &RcResizableHashMap::<u64, u64, EbrScheme>::new(),
         "RC (EBR)",
     );
     drive(
-        &RcMichaelHashMap::<u64, u64, IbrScheme>::with_buckets(4096),
+        &RcResizableHashMap::<u64, u64, IbrScheme>::new(),
         "RC (IBR)",
     );
+    drive(&RcResizableHashMap::<u64, u64, HpScheme>::new(), "RC (HP)");
     drive(
-        &RcMichaelHashMap::<u64, u64, HpScheme>::with_buckets(4096),
-        "RC (HP)",
-    );
-    drive(
-        &RcMichaelHashMap::<u64, u64, HyalineScheme>::with_buckets(4096),
+        &RcResizableHashMap::<u64, u64, HyalineScheme>::new(),
         "RC (Hyaline)",
     );
 
     println!("-- manual (retire/eject by hand inside the structure) --");
-    drive(
-        &MichaelHashMap::<u64, u64, smr::Ebr>::with_buckets(4096),
-        "manual EBR",
-    );
-    drive(
-        &MichaelHashMap::<u64, u64, smr::Hp>::with_buckets(4096),
-        "manual HP",
-    );
+    drive(&ResizableHashMap::<u64, u64, smr::Ebr>::new(), "manual EBR");
+    drive(&ResizableHashMap::<u64, u64, smr::Hp>::new(), "manual HP");
 
     // ------------------------------------------------------------------
     // Reclamation domains: isolate or share, per structure.
@@ -101,9 +95,8 @@ fn main() {
     // run on the same scheme in the same process.
     let users_domain: DomainRef<EbrScheme> = DomainRef::new();
     let sessions_domain: DomainRef<EbrScheme> = DomainRef::new();
-    let users = RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets_in(256, users_domain.clone());
-    let sessions =
-        RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets_in(256, sessions_domain.clone());
+    let users = RcResizableHashMap::<u64, u64, EbrScheme>::new_in(users_domain.clone());
+    let sessions = RcResizableHashMap::<u64, u64, EbrScheme>::new_in(sessions_domain.clone());
     std::thread::scope(|scope| {
         scope.spawn(|| drive(&users, "users (own domain)"));
         scope.spawn(|| drive(&sessions, "sessions (own domain)"));
@@ -124,8 +117,8 @@ fn main() {
     // Shared domain: a cache and its index reclaim — and are metered —
     // together; one guard covers operations on both.
     let shared: DomainRef<EbrScheme> = DomainRef::new();
-    let cache = RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets_in(256, shared.clone());
-    let index = RcMichaelHashMap::<u64, u64, EbrScheme>::with_buckets_in(256, shared.clone());
+    let cache = RcResizableHashMap::<u64, u64, EbrScheme>::new_in(shared.clone());
+    let index = RcResizableHashMap::<u64, u64, EbrScheme>::new_in(shared.clone());
     let guard = cache.pin(); // same domain: also covers `index`
     for k in 0..1000u64 {
         cache.insert_with(k, k * 3, &guard);
