@@ -29,6 +29,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use lockfree::{ConcurrentMap, ConcurrentQueue};
+use smr::fault::{self, FaultKind, FaultPlan};
 
 /// Operation mix for a map workload, in parts per hundred. Updates are half
 /// inserts, half deletes; the remainder of `100 - update_pct - rq_pct` is
@@ -668,6 +669,196 @@ pub fn run_service_for<M: ConcurrentMap<u64, u64>>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Adversarial fault-injection driver
+// ---------------------------------------------------------------------
+
+/// One adversarial run's measurements: the garbage-over-time curve a scheme
+/// exhibits while a fault is active, and what recovery achieved.
+#[derive(Debug, Clone)]
+pub struct AdversaryOutcome {
+    /// Millions of completed writer operations per second over the run.
+    pub mops: f64,
+    /// `(milliseconds since start, extra nodes)` samples covering the whole
+    /// run: pre-fault baseline, fault window, and post-recovery tail.
+    pub curve: Vec<(u64, u64)>,
+    /// Garbage high-water mark over the run.
+    pub garbage_peak: u64,
+    /// The last sample of the run — after recovery for recoverable faults.
+    pub garbage_final: u64,
+    /// Whether the dead victim's slot was reclaimed; `None` for faults that
+    /// kill no thread.
+    pub recovered: Option<bool>,
+    /// Stalls injected during this run.
+    pub stalls: u64,
+    /// Scans delayed during this run.
+    pub scans_delayed: u64,
+}
+
+/// Drives `writers` update threads against `map` while injecting `plan`,
+/// sampling per-structure unreclaimed garbage over time.
+///
+/// Timeline: the plan is armed for the whole run; at `fault_at` the victim
+/// thread is spawned (a stalled reader pins its section for `plan.stall`; a
+/// dead-thread victim opens a section — after half-filling its decrement
+/// batch, for [`FaultKind::DropMidBatch`] — then abandons its registry slot
+/// and exits without unregistering). At `recover_at` the plan is disarmed
+/// and, for dead-thread faults, the victim is joined — establishing the
+/// happens-before edge `smr::reclaim_orphaned_slot` requires — and its slot
+/// reclaimed through the registry reaper chain. Writers run until `total`.
+///
+/// The map is prefilled here ([`prefill`]); samples subtract the
+/// post-prefill baseline as in [`run_map_batched`]. Faults are
+/// process-global, so concurrent `run_adversarial` calls panic in
+/// [`smr::fault::arm`] — run cells sequentially.
+///
+/// Recovery requires the map's reclamation to be reachable from the
+/// registry's orphan reapers; the `cdrc` domains register themselves, so
+/// use the reference-counted structures (manual structures' private engine
+/// instances are not reaped).
+pub fn run_adversarial<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    plan: FaultPlan,
+    spec: &Workload,
+    writers: usize,
+    total: Duration,
+    fault_at: Duration,
+    recover_at: Duration,
+) -> AdversaryOutcome {
+    let batch = guard_batch();
+    prefill(map, spec);
+    let baseline = map.in_flight_nodes();
+    let has_victim = matches!(
+        plan.kind,
+        FaultKind::StalledReader | FaultKind::DeadThreadInSection | FaultKind::DropMidBatch
+    );
+    let needs_reclaim = matches!(
+        plan.kind,
+        FaultKind::DeadThreadInSection | FaultKind::DropMidBatch
+    );
+    let stalls_before = fault::stalls_injected();
+    let scans_before = fault::scans_delayed();
+
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(writers + 1);
+    let (tx, rx) = std::sync::mpsc::channel::<smr::Tid>();
+
+    let (elapsed, curve, peak, recovered) = std::thread::scope(|s| {
+        for tid in 0..writers {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            let map = &map;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x0ADE_5A27 + tid as u64);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = map.pin();
+                    for _ in 0..batch {
+                        let k = rng.gen_range(0..spec.key_range);
+                        let dice = rng.gen_range(0..100u32);
+                        if dice < spec.update_pct {
+                            // Dice parity, not key parity: keying the
+                            // insert/remove choice on `k` would drive every
+                            // key to a fixed state after one pass and stop
+                            // the churn the fault is supposed to strand.
+                            if dice % 2 == 0 {
+                                map.insert_with(k, k, &guard);
+                            } else {
+                                map.remove_with(&k, &guard);
+                            }
+                        } else {
+                            map.get_with(&k, &guard);
+                        }
+                        ops += 1;
+                    }
+                    drop(guard);
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        // Armed only after the writers exist: arming is process-global and
+        // panics on double-arm, so the scope must not outlive this run.
+        let mut scope = Some(fault::arm(plan));
+        let started = Instant::now();
+        let tick = Duration::from_millis(sample_millis());
+        let mut curve = Vec::new();
+        let mut peak = 0u64;
+        let mut victim = None;
+        let mut recovered = None;
+        while started.elapsed() < total {
+            std::thread::sleep(tick);
+            let extra = map.in_flight_nodes().saturating_sub(baseline);
+            curve.push((started.elapsed().as_millis() as u64, extra));
+            peak = peak.max(extra);
+            if victim.is_none() && has_victim && started.elapsed() >= fault_at {
+                let tx = tx.clone();
+                let map = &map;
+                victim = Some(s.spawn(move || {
+                    let t = smr::current_tid();
+                    match plan.kind {
+                        FaultKind::StalledReader => {
+                            // The stall fires inside `pin` (after the
+                            // announcement), pinning the section for
+                            // `plan.stall`; the victim then exits cleanly.
+                            fault::designate_victim(t);
+                            drop(map.pin());
+                        }
+                        FaultKind::DeadThreadInSection | FaultKind::DropMidBatch => {
+                            let guard = map.pin();
+                            if plan.kind == FaultKind::DropMidBatch {
+                                // Half-fill the deferred-decrement batch:
+                                // each remove of a present key displaces one
+                                // reference into it.
+                                for k in 0..24u64 {
+                                    map.insert_with(k, k, &guard);
+                                    map.remove_with(&k, &guard);
+                                }
+                            }
+                            // Simulated SIGKILL: the section stays open, the
+                            // slot stays claimed, no exit callback runs.
+                            std::mem::forget(guard);
+                            let _ = tx.send(smr::abandon_current_slot());
+                        }
+                        _ => {}
+                    }
+                }));
+            }
+            if scope.is_some() && started.elapsed() >= recover_at {
+                scope.take();
+                if needs_reclaim {
+                    if let Some(h) = victim.take() {
+                        let _ = h.join();
+                    }
+                    recovered = Some(match rx.try_recv() {
+                        // Safety: the victim was just joined, so its death
+                        // happened-before this call and its slot can no
+                        // longer be touched by its owner.
+                        Ok(dead) => unsafe { smr::reclaim_orphaned_slot(dead) },
+                        Err(_) => false,
+                    });
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        (elapsed, curve, peak, recovered)
+        // Scope joins writers (and a still-running stalled victim) on exit.
+    });
+    AdversaryOutcome {
+        mops: total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1.0e6,
+        garbage_peak: peak,
+        garbage_final: curve.last().map(|&(_, g)| g).unwrap_or(0),
+        curve,
+        recovered,
+        stalls: fault::stalls_injected() - stalls_before,
+        scans_delayed: fault::scans_delayed() - scans_before,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,6 +991,48 @@ mod tests {
             "tails ordered"
         );
         assert!(map.buckets() > 1, "service prefill grew the table");
+    }
+
+    /// One test exercises both adversarial scenarios *sequentially*: fault
+    /// plans are process-global and `fault::arm` panics on double-arm, so a
+    /// second `run_adversarial` test in this binary would race it.
+    #[test]
+    fn run_adversarial_smoke() {
+        use cdrc::{DomainRef, EbrScheme};
+        use lockfree::rc::RcMichaelHashMap;
+
+        let spec = Workload::points(128, 100);
+        // Stalled reader: the victim pins its section for 60ms mid-run.
+        let map: RcMichaelHashMap<u64, u64, EbrScheme> =
+            RcMichaelHashMap::with_buckets_in(16, DomainRef::new());
+        let out = run_adversarial(
+            &map,
+            FaultPlan::stalled_reader(Duration::from_millis(60)),
+            &spec,
+            2,
+            Duration::from_millis(200),
+            Duration::from_millis(40),
+            Duration::from_millis(150),
+        );
+        assert!(out.mops > 0.0, "writers made no progress under stall");
+        assert!(!out.curve.is_empty(), "no garbage samples");
+        assert_eq!(out.stalls, 1, "exactly one stall should fire");
+        assert_eq!(out.recovered, None, "stall kills no thread");
+
+        // Dead thread in section: the victim's slot must be reclaimed.
+        let map: RcMichaelHashMap<u64, u64, EbrScheme> =
+            RcMichaelHashMap::with_buckets_in(16, DomainRef::new());
+        let out = run_adversarial(
+            &map,
+            FaultPlan::dead_thread_in_section(),
+            &spec,
+            2,
+            Duration::from_millis(200),
+            Duration::from_millis(40),
+            Duration::from_millis(120),
+        );
+        assert_eq!(out.recovered, Some(true), "orphaned slot not reclaimed");
+        assert!(out.mops > 0.0);
     }
 
     #[test]

@@ -148,13 +148,39 @@ impl<S: AcquireRetire> DomainRef<S> {
 
     /// Creates a fresh domain with explicit scheme tuning.
     pub fn with_config(cfg: SmrConfig) -> Self {
-        DomainRef(Arc::new(Domain::with_config(cfg, false)))
+        let d = DomainRef(Arc::new(Domain::with_config(cfg, false)));
+        d.register_reaper();
+        d
     }
 
     /// The process-wide default domain for [`Scheme::global_domain`]: held
     /// by a static forever, so the orphan-teardown check can skip it.
     pub(crate) fn new_default() -> Self {
-        DomainRef(Arc::new(Domain::with_config(S::default_config(), true)))
+        let d = DomainRef(Arc::new(Domain::with_config(S::default_config(), true)));
+        d.register_reaper();
+        d
+    }
+
+    /// Registers this domain with the registry's dead-thread reaper so that
+    /// [`smr::reclaim_orphaned_slot`] recovers the domain's per-thread state
+    /// (announcements on all three instances, retired lists, pending
+    /// decrement batches) for a thread that died without unregistering. The
+    /// closure holds only a weak handle — it never keeps the domain alive,
+    /// and returns `false` (pruning itself) once the domain is gone.
+    fn register_reaper(&self) {
+        let weak = Arc::downgrade(&self.0);
+        smr::register_orphan_reaper(Box::new(move |dead| match weak.upgrade() {
+            // Safety: reapers run only from inside
+            // `smr::reclaim_orphaned_slot`, whose (unsafe) caller vouches
+            // that `dead`'s owner terminated and that its death
+            // happened-before this call — exactly the contract
+            // `Domain::reclaim_orphaned_slot` requires.
+            Some(d) => {
+                unsafe { d.reclaim_orphaned_slot(dead) };
+                true
+            }
+            None => false,
+        }));
     }
 
     /// Whether two handles refer to the *same* domain. Domain identity is
@@ -497,6 +523,14 @@ impl<S: AcquireRetire> Domain<S> {
     /// Control blocks currently alive (allocated − freed): live objects plus
     /// deferred garbage. The benchmark harness samples this for the paper's
     /// "extra nodes" memory metric.
+    ///
+    /// Concurrent samples only ever **over**-report, never under-report: the
+    /// fold sums `frees` strictly before `allocs` (see the comment in the
+    /// body). This one-sidedness is what makes the adversarial garbage
+    /// curves trustworthy — while a stalled reader pins a scheme's
+    /// reclamation, a sampler racing the writers may blame the scheme for a
+    /// few extra nodes, but a reported bound is never an artifact of the
+    /// counter losing track of garbage that actually existed.
     pub fn in_flight(&self) -> u64 {
         // Fold order matters under concurrency: `frees` is summed *before*
         // `allocs`. Every free has a matching alloc that happened-before it,
@@ -512,6 +546,16 @@ impl<S: AcquireRetire> Domain<S> {
     /// The shared epoch clock (exposed for tests and benchmarks).
     pub fn epoch(&self) -> u64 {
         self.clock.load()
+    }
+
+    /// Whether no critical section is currently open on any of the domain's
+    /// three instances. Inherently racy (a section may open right after the
+    /// check) and useful as a diagnostic: a dead thread that stranded an
+    /// open announcement keeps this `false` until
+    /// [`reclaim_orphaned_slot`](Self::reclaim_orphaned_slot) force-closes
+    /// it.
+    pub fn quiescent(&self) -> bool {
+        self.strong_ar.quiescent() && self.weak_ar.quiescent() && self.dispose_ar.quiescent()
     }
 
     // ------------------------------------------------------------------
@@ -1019,6 +1063,77 @@ impl<S: AcquireRetire> Domain<S> {
             self.collect(t);
         }
     }
+
+    /// Recovers the per-thread state a dead thread stranded in this domain:
+    /// force-closes its announcements on all three instances (migrating its
+    /// retired lists into the calling thread's), drains its orphaned pending
+    /// decrement batches — the `on_thread_exit` flush that would normally
+    /// retire them never ran — and resets its slot-local flags so the slot's
+    /// next owner starts clean.
+    ///
+    /// Batch entries are applied directly when both snapshot-bearing
+    /// instances are quiescent (the same re-validation as `flush_batches`:
+    /// every entry was displaced from its location before the owner died, so
+    /// with no open section anywhere no reader can still hold an uncounted
+    /// snapshot); otherwise they are retired through the ordinary deferred
+    /// machinery under the *calling* thread's slot.
+    ///
+    /// Normally invoked through the registry reaper chain
+    /// ([`smr::reclaim_orphaned_slot`]) rather than directly.
+    ///
+    /// # Safety
+    ///
+    /// The thread owning slot `dead` has terminated (or will provably never
+    /// touch this domain again), its death happened-before this call (e.g.
+    /// via `join` or the `Acquire` load in [`smr::slot_abandoned`]), and no
+    /// other thread concurrently reclaims the same slot. `dead` must not be
+    /// the calling thread's own slot.
+    pub unsafe fn reclaim_orphaned_slot(&self, dead: Tid) {
+        let t = smr::current_tid();
+        assert_ne!(
+            t.index(),
+            dead.index(),
+            "a thread cannot reclaim its own slot"
+        );
+        // Force-close the dead thread's sections and adopt its retired
+        // lists. Instance order does not matter: the owner is dead, so no
+        // scheme-level invariant links the three announcements any more.
+        self.strong_ar.reclaim_slot(dead, t);
+        self.weak_ar.reclaim_slot(dead, t);
+        self.dispose_ar.reclaim_slot(dead, t);
+        // Drain the orphaned decrement batches. Exclusive access to the dead
+        // slot's cells follows from the safety contract.
+        let local = &self.locals[dead.index()];
+        let (strong, ns) = local.pending_strong.take();
+        let (weak, nw) = local.pending_weak.take();
+        if ns != 0 || nw != 0 {
+            if self.strong_ar.quiescent() && self.weak_ar.quiescent() {
+                for r in &strong[..ns] {
+                    // Safety: each entry owes one strong reference
+                    // transferred at `batch_decrement`; quiescence grants
+                    // apply rights as in `flush_batches`.
+                    self.decrement(t, r.addr);
+                }
+                for r in &weak[..nw] {
+                    // Safety: as above, for one weak reference.
+                    self.weak_decrement(t, r.addr);
+                }
+            } else {
+                for r in &strong[..ns] {
+                    self.strong_ar.retire(t, *r);
+                }
+                for r in &weak[..nw] {
+                    self.weak_ar.retire(t, *r);
+                }
+            }
+        }
+        // Reset slot-local flags for the slot's next owner: the unregister
+        // callback that would have cleared `flush_registered` never ran, and
+        // the owner may have died mid-collection with `applying` set.
+        local.flush_registered.set(false);
+        local.applying.set(false);
+        self.collect(t);
+    }
 }
 
 impl<S: AcquireRetire> Drop for Domain<S> {
@@ -1040,6 +1155,13 @@ impl<S: AcquireRetire> Drop for Domain<S> {
 /// `data` is the domain the hook was installed for; see
 /// [`Domain::register_thread_flush`] for why it is still alive here.
 unsafe fn exit_flush<S: AcquireRetire>(data: *const (), t: Tid) {
+    // A section can end while the thread is unwinding from a panic (the
+    // RAII guards close it on purpose). Flushing would run user destructors
+    // and a second panic aborts; leave the batch for the next natural flush
+    // point — entries pin their blocks, so nothing is lost, merely deferred.
+    if std::thread::panicking() {
+        return;
+    }
     let d = &*(data as *const Domain<S>);
     if d.has_pending_batch(t) {
         d.flush_batches(t);
@@ -1102,8 +1224,14 @@ impl<S: AcquireRetire> Drop for CsGuard<S> {
     fn drop(&mut self) {
         self.domain.strong_ar.end_critical_section(self.t);
         // Leaving a section is where region schemes (Hyaline in particular)
-        // ready new ejects; apply them now.
-        self.domain.collect(self.t);
+        // ready new ejects; apply them now — unless this drop runs during a
+        // panic unwind, where applying ejects executes user destructors and
+        // a second panic would abort the process. The section itself is
+        // still exited above (never pinning other threads' garbage); the
+        // skipped work runs at the next natural flush point.
+        if !std::thread::panicking() {
+            self.domain.collect(self.t);
+        }
     }
 }
 
@@ -1196,35 +1324,59 @@ impl<S: AcquireRetire> OpGuard<S> for WeakCsGuard<S> {
 }
 
 /// Internal helper: runs `f` inside a temporary strong critical section.
+///
+/// Panic-safe: the section is ended by a drop guard, so a panic in `f`
+/// unwinds with the announcement closed rather than pinning the epoch (and
+/// thus all other threads' garbage) forever. Collection is skipped while
+/// unwinding — see [`CsGuard`]'s `Drop` for why — and runs at the next
+/// natural flush point instead.
 #[inline]
 pub(crate) fn with_strong_cs<S: AcquireRetire, R>(
     domain: &Domain<S>,
     t: Tid,
     f: impl FnOnce() -> R,
 ) -> R {
+    struct End<'a, S: AcquireRetire>(&'a Domain<S>, Tid);
+    impl<S: AcquireRetire> Drop for End<'_, S> {
+        fn drop(&mut self) {
+            self.0.strong_ar.end_critical_section(self.1);
+            if !std::thread::panicking() {
+                self.0.collect(self.1);
+            }
+        }
+    }
     domain.strong_ar.begin_critical_section(t);
-    let r = f();
-    domain.strong_ar.end_critical_section(t);
-    domain.collect(t);
-    r
+    let _end = End(domain, t);
+    f()
 }
 
 /// Internal helper: runs `f` inside a temporary full critical section.
+///
+/// Panic-safe on the same pattern as [`with_strong_cs`]; the strong section
+/// ends last so the exit-hook flush (skipped while unwinding) keeps its
+/// "once per outermost section of any flavour" contract.
 #[inline]
 pub(crate) fn with_full_cs<S: AcquireRetire, R>(
     domain: &Domain<S>,
     t: Tid,
     f: impl FnOnce() -> R,
 ) -> R {
+    struct End<'a, S: AcquireRetire>(&'a Domain<S>, Tid);
+    impl<S: AcquireRetire> Drop for End<'_, S> {
+        fn drop(&mut self) {
+            self.0.dispose_ar.end_critical_section(self.1);
+            self.0.weak_ar.end_critical_section(self.1);
+            self.0.strong_ar.end_critical_section(self.1);
+            if !std::thread::panicking() {
+                self.0.collect(self.1);
+            }
+        }
+    }
     domain.strong_ar.begin_critical_section(t);
     domain.weak_ar.begin_critical_section(t);
     domain.dispose_ar.begin_critical_section(t);
-    let r = f();
-    domain.dispose_ar.end_critical_section(t);
-    domain.weak_ar.end_critical_section(t);
-    domain.strong_ar.end_critical_section(t);
-    domain.collect(t);
-    r
+    let _end = End(domain, t);
+    f()
 }
 
 /// Marker: a borrowed handle that guarantees the referent's strong count is

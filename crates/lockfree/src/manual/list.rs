@@ -315,8 +315,10 @@ where
 
     /// Counts live (unmarked) nodes — test helper, not linearizable.
     pub fn iter_count(&self) -> usize {
-        let t = smr::current_tid();
-        self.smr.begin_critical_section(t);
+        // RAII section (not bare begin/end): a panic while traversing must
+        // not strand the announcement open and pin reclamation forever.
+        let guard = smr::SectionGuard::enter(Arc::clone(&self.smr));
+        let t = guard.tid();
         let mut n = 0;
         let mut w = self.head.load(Ordering::SeqCst);
         while untagged(w) != 0 {
@@ -327,7 +329,7 @@ where
             }
             w = next & !MARK;
         }
-        self.smr.end_critical_section(t);
+        drop(guard);
         self.collect(t);
         n
     }

@@ -12,9 +12,10 @@
 //! critical section, which is why EBR pays one fence per *operation* rather
 //! than one per *read* (§2).
 
-use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
+use crate::{THROTTLE_ROUNDS, THROTTLE_SLEEP};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -102,10 +103,27 @@ impl Ebr {
         self.slots[t.index()].local.get()
     }
 
+    /// Bounded retire-side backpressure (the `max_garbage` escape hatch):
+    /// scan and briefly sleep until the retired list drops under the
+    /// watermark or the round budget runs out. Only ever called with
+    /// `depth == 0` — sleeping inside the caller's own section would
+    /// self-deadlock the watermark (its own announcement pins the garbage).
+    #[cold]
+    fn throttle(&self, local: &mut Local, cap: usize) {
+        for _ in 0..THROTTLE_ROUNDS {
+            std::thread::sleep(THROTTLE_SLEEP);
+            self.scan(local);
+            if local.retired.len() < cap {
+                return;
+            }
+        }
+    }
+
     /// Moves every retired entry whose epoch precedes all announcements into
     /// the ready queue. Allocation-free: the retired list is retained in
     /// place rather than rebuilt.
     fn scan(&self, local: &mut Local) {
+        crate::fault::on_scan();
         // Ordering: fence(SeqCst) — pairs with the fence in
         // `begin_critical_section`. For any reader, one of the two fences is
         // first in the SeqCst total order: if the reader's is, our
@@ -188,6 +206,8 @@ unsafe impl AcquireRetire for Ebr {
             // `scan` (a scanner that misses this announcement fenced
             // *before* us, so our reads see all of its unlinks).
             announce_u64(&self.slots[t.index()].ann, self.clock.load());
+            beat(t);
+            crate::fault::on_section_entry(t);
         }
     }
 
@@ -206,6 +226,7 @@ unsafe impl AcquireRetire for Ebr {
             // sequenced before this store and cannot sink below it, so a
             // scanner that sees EMPTY knows the section's reads are done.
             self.slots[t.index()].ann.store(EMPTY, Ordering::Release);
+            beat(t);
             // Section fully exited: anything the hook retires from here is
             // stamped with a fresh epoch, which only widens protection.
             if let Some(h) = self.exit_hook.get() {
@@ -261,6 +282,14 @@ unsafe impl AcquireRetire for Ebr {
         if local.retired.len() >= self.cfg.eject_threshold.max(local.next_scan) {
             self.scan(local);
         }
+        // Escape hatch: over the watermark and outside any section, apply
+        // bounded backpressure so a stalled reader elsewhere caps this
+        // thread's garbage instead of pinning an ever-growing list.
+        if let Some(cap) = self.cfg.max_garbage {
+            if local.retired.len() >= cap && local.depth == 0 {
+                self.throttle(local, cap);
+            }
+        }
     }
 
     #[inline]
@@ -302,6 +331,34 @@ unsafe impl AcquireRetire for Ebr {
             out.extend(local.ready.drain(..));
         }
         out
+    }
+
+    unsafe fn reclaim_slot(&self, dead: Tid, into: Tid) {
+        debug_assert_ne!(dead, into, "cannot reclaim a slot into itself");
+        // Exclusive access to the dead slot's local state is the caller's
+        // contract (the owner terminated; the abandon/join edge published
+        // its writes).
+        let (retired, ready) = {
+            let dead_local = &mut *self.local(dead);
+            dead_local.depth = 0;
+            dead_local.allocs = 0;
+            dead_local.next_scan = 0;
+            (
+                std::mem::take(&mut dead_local.retired),
+                std::mem::take(&mut dead_local.ready),
+            )
+        };
+        // Ordering: Release — force-close the dead section. Scanners that
+        // now read EMPTY may eject entries the dead announcement pinned;
+        // that is sound precisely because the owner is dead: no post-fence
+        // reads of its section can ever execute.
+        self.slots[dead.index()].ann.store(EMPTY, Ordering::Release);
+        // Migrate the orphaned deferred state into the caller's slot so its
+        // scans (rather than the slot's eventual next owner) drain it.
+        let local = &mut *self.local(into);
+        local.retired.extend(retired);
+        local.ready.extend(ready);
+        self.scan(local);
     }
 }
 

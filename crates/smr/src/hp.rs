@@ -15,7 +15,7 @@
 //! currently announced and keeps `min(#retired, #announced)` copies in the
 //! retired list, ejecting the surplus. Critical sections are no-ops.
 
-use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_usize, prefetch_read, CachePadded};
 use crate::{untagged, AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
@@ -149,6 +149,7 @@ impl Hp {
     }
 
     fn scan(&self, local: &mut Local) {
+        crate::fault::on_scan();
         // Ordering: fence(SeqCst) — pairs with the publication fence in
         // `protect`: any announcement we miss below was published after
         // this fence, so its owner's validating re-read sees our caller's
@@ -235,6 +236,10 @@ unsafe impl AcquireRetire for Hp {
         // the nesting count so misuse is caught in debug builds.
         let local = unsafe { &mut *self.local(t) };
         local.depth += 1;
+        if local.depth == 1 {
+            beat(t);
+            crate::fault::on_section_entry(t);
+        }
     }
 
     #[inline]
@@ -248,6 +253,7 @@ unsafe impl AcquireRetire for Hp {
             local.depth == 0
         };
         if outermost {
+            beat(t);
             // Sections carry no protection here, but the depth count still
             // marks operation boundaries — the natural batch-flush point.
             // Hazard announcements are per-pointer, so hook-issued retires
@@ -354,6 +360,36 @@ unsafe impl AcquireRetire for Hp {
             out.extend(local.ready.drain(..));
         }
         out
+    }
+
+    // No `max_garbage` hatch: HP's garbage is bounded by construction — a
+    // scan keeps at most one retired copy per *published announcement word*,
+    // of which there are `hwm × (hp_slots + 1)` process-wide, however long a
+    // reader stalls.
+    unsafe fn reclaim_slot(&self, dead: Tid, into: Tid) {
+        debug_assert_ne!(dead, into, "cannot reclaim a slot into itself");
+        let (retired, ready) = {
+            let k = self.cfg.hp_slots;
+            let dead_local = &mut *self.local(dead);
+            dead_local.depth = 0;
+            dead_local.free = (0..k).rev().collect();
+            dead_local.reserved_busy = false;
+            dead_local.next_scan = 0;
+            (
+                std::mem::take(&mut dead_local.retired),
+                std::mem::take(&mut dead_local.ready),
+            )
+        };
+        // Clear every hazard the dead thread left published. Sound because
+        // the owner is dead: no validated read through these announcements
+        // can ever be consumed.
+        for ann in self.slots[dead.index()].anns.iter() {
+            ann.store(0, Ordering::Release);
+        }
+        let local = &mut *self.local(into);
+        local.retired.extend(retired);
+        local.ready.extend(ready);
+        self.scan(local);
     }
 }
 

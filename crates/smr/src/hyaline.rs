@@ -28,9 +28,10 @@
 //! leaves and decrements the batch. Readers that enter after the retire
 //! cannot reach the object, because retirement follows unlinking.
 
-use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_usize, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
+use crate::{THROTTLE_ROUNDS, THROTTLE_SLEEP};
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -93,6 +94,13 @@ pub struct Hyaline {
     cfg: SmrConfig,
     slots: Box<[CachePadded<Slot>]>,
     exit_hook: OnceLock<ExitHook>,
+    /// Retired items distributed into batches but not yet claimed, instance-
+    /// wide — the garbage gauge the `max_garbage` escape hatch throttles on.
+    /// Hyaline-1 has no scan to bound garbage with: a reader stalled inside
+    /// a section holds a reference on *every* batch distributed while it is
+    /// active, so without the hatch this count grows without bound under a
+    /// stalled reader.
+    outstanding: AtomicUsize,
 }
 
 unsafe impl Send for Hyaline {}
@@ -120,7 +128,28 @@ impl Hyaline {
             // the nodes.
             if (*batch).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let batch = Box::from_raw(batch);
+                // Ordering: Relaxed — a throttle/diagnostic gauge; no
+                // protection decision reads it.
+                self.outstanding
+                    .fetch_sub(batch.items.len(), Ordering::Relaxed);
                 local.ready.extend(batch.items);
+            }
+        }
+    }
+
+    /// Bounded retire-side backpressure (the `max_garbage` escape hatch):
+    /// sleep in short rounds while the instance-wide unclaimed count stays
+    /// over the watermark. Hyaline has no scan to force progress with — the
+    /// count only falls when a pushed-to section leaves — so this is pure
+    /// backpressure, bounded by the round budget for liveness. Only ever
+    /// called with `depth == 0`: sleeping inside the caller's own section
+    /// would pin the very batches being waited on.
+    #[cold]
+    fn throttle(&self, cap: usize) {
+        for _ in 0..THROTTLE_ROUNDS {
+            std::thread::sleep(THROTTLE_SLEEP);
+            if self.outstanding.load(Ordering::Relaxed) < cap {
+                return;
             }
         }
     }
@@ -130,9 +159,15 @@ impl Hyaline {
         if local.current.is_empty() {
             return;
         }
+        crate::fault::on_scan();
+        let items = std::mem::take(&mut local.current);
+        // Ordering: Relaxed — throttle gauge (see `outstanding`); counted
+        // before the pushes so a racing claimer can only *under*-read,
+        // never see the decrement before the increment.
+        self.outstanding.fetch_add(items.len(), Ordering::Relaxed);
         let batch = Box::into_raw(Box::new(Batch {
             refs: AtomicIsize::new(0),
-            items: std::mem::take(&mut local.current),
+            items,
         }));
         // Ordering: fence(SeqCst) — pairs with the fence in
         // `begin_critical_section`: a reader whose active head we miss below
@@ -189,6 +224,9 @@ impl Hyaline {
         let old = unsafe { &*batch }.refs.fetch_add(pushes, Ordering::AcqRel);
         if old + pushes == 0 {
             let batch = unsafe { Box::from_raw(batch) };
+            // Ordering: Relaxed — throttle gauge, see `process_list`.
+            self.outstanding
+                .fetch_sub(batch.items.len(), Ordering::Relaxed);
             local.ready.extend(batch.items);
         }
     }
@@ -220,6 +258,7 @@ unsafe impl AcquireRetire for Hyaline {
             cfg: config,
             slots,
             exit_hook: OnceLock::new(),
+            outstanding: AtomicUsize::new(0),
         }
     }
 
@@ -238,6 +277,8 @@ unsafe impl AcquireRetire for Hyaline {
             // our active head ⇒ we fenced later ⇒ our reads see your
             // unlinks).
             announce_usize(&self.slots[t.index()].head, 0);
+            beat(t);
+            crate::fault::on_section_entry(t);
         }
     }
 
@@ -263,6 +304,7 @@ unsafe impl AcquireRetire for Hyaline {
             }
         };
         if outermost {
+            beat(t);
             // After `process_list`: hook-issued retires form batches that
             // count only the sections still active now — every section that
             // already left (including this one) is done reading.
@@ -306,6 +348,13 @@ unsafe impl AcquireRetire for Hyaline {
         local.current.push(r);
         if local.current.len() >= self.cfg.batch_size {
             self.distribute(local);
+        }
+        // Escape hatch: over the instance-wide unclaimed watermark and
+        // outside any section, apply bounded backpressure — see `throttle`.
+        if let Some(cap) = self.cfg.max_garbage {
+            if local.depth == 0 && self.outstanding.load(Ordering::Relaxed) >= cap {
+                self.throttle(cap);
+            }
         }
     }
 
@@ -355,6 +404,34 @@ unsafe impl AcquireRetire for Hyaline {
             out.extend(local.ready.drain(..));
         }
         out
+    }
+
+    unsafe fn reclaim_slot(&self, dead: Tid, into: Tid) {
+        debug_assert_ne!(dead, into, "cannot reclaim a slot into itself");
+        // Force-leave the dead section: detach its handoff list and process
+        // it *as the caller* — decrements land exactly as if the dead
+        // thread had left normally, and zeroed batches are claimed into the
+        // caller's ready queue. Sound because the owner is dead: its
+        // section's reads are over (they will never execute again).
+        let head = self.slots[dead.index()]
+            .head
+            .swap(INVALID, Ordering::AcqRel);
+        let (current, ready) = {
+            let dead_local = &mut *self.local(dead);
+            dead_local.depth = 0;
+            (
+                std::mem::take(&mut dead_local.current),
+                std::mem::take(&mut dead_local.ready),
+            )
+        };
+        let local = &mut *self.local(into);
+        self.process_list(head, local);
+        // Migrate the dead thread's unsealed batch and unclaimed ready
+        // items; distributing the former lets every *other* live section be
+        // counted normally.
+        local.current.extend(current);
+        local.ready.extend(ready);
+        self.distribute(local);
     }
 }
 

@@ -13,7 +13,7 @@
 //! a global minimum: a stalled thread only protects objects born before its
 //! announced `end`, not everything retired since it went quiet.
 
-use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
+use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
@@ -102,6 +102,7 @@ impl Ibr {
     }
 
     fn scan(&self, local: &mut Local) {
+        crate::fault::on_scan();
         // Ordering: fence(SeqCst) — pairs with the fence in
         // `begin_critical_section` (and the one in `acquire`'s extension
         // path): a reader whose announcement we miss fenced after us and
@@ -199,6 +200,8 @@ unsafe impl AcquireRetire for Ibr {
             // announcement fence that follows.
             slot.begin_ann.store(e, Ordering::Relaxed);
             announce_u64(&slot.end_ann, e);
+            beat(t);
+            crate::fault::on_section_entry(t);
         }
     }
 
@@ -228,6 +231,7 @@ unsafe impl AcquireRetire for Ibr {
             // requirement above.
             slot.begin_ann.store(EMPTY, Ordering::Release);
             slot.end_ann.store(EMPTY, Ordering::Release);
+            beat(t);
             // Retires issued by the hook are stamped with the post-section
             // epoch — a later lifetime upper bound only delays ejection.
             if let Some(h) = self.exit_hook.get() {
@@ -295,6 +299,19 @@ unsafe impl AcquireRetire for Ibr {
         if local.retired.len() >= self.cfg.eject_threshold.max(local.next_scan) {
             self.scan(local);
         }
+        // Escape hatch: interval tightening. IBR's garbage under a stalled
+        // reader is structurally bounded — only objects born at or before
+        // the stalled interval's `end` are pinned — so over the watermark we
+        // advance the clock immediately: subsequently allocated objects are
+        // born strictly after every already-announced `end` and their
+        // retirement can never be pinned by the staller, then rescan to
+        // shed whatever the tightened bound released.
+        if let Some(cap) = self.cfg.max_garbage {
+            if local.retired.len() >= cap {
+                self.clock.advance();
+                self.scan(local);
+            }
+        }
     }
 
     #[inline]
@@ -335,6 +352,32 @@ unsafe impl AcquireRetire for Ibr {
             out.extend(local.ready.drain(..));
         }
         out
+    }
+
+    unsafe fn reclaim_slot(&self, dead: Tid, into: Tid) {
+        debug_assert_ne!(dead, into, "cannot reclaim a slot into itself");
+        let (retired, ready) = {
+            let dead_local = &mut *self.local(dead);
+            dead_local.depth = 0;
+            dead_local.allocs = 0;
+            dead_local.prev_epoch = EMPTY;
+            dead_local.next_scan = 0;
+            (
+                std::mem::take(&mut dead_local.retired),
+                std::mem::take(&mut dead_local.ready),
+            )
+        };
+        let slot = &self.slots[dead.index()];
+        // `begin` first, as in `end_critical_section`: a torn read sees
+        // either [EMPTY, ..] (ignored) or the old conservative interval.
+        // Sound because the owner is dead: no post-fence reads of its
+        // section can ever execute.
+        slot.begin_ann.store(EMPTY, Ordering::Release);
+        slot.end_ann.store(EMPTY, Ordering::Release);
+        let local = &mut *self.local(into);
+        local.retired.extend(retired);
+        local.ready.extend(ready);
+        self.scan(local);
     }
 }
 

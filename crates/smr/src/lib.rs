@@ -47,11 +47,33 @@
 //! inside a critical section, each guard is released at most once, a thread
 //! holds at most one `acquire`-guard at a time, and a thread never exits
 //! while inside a critical section or holding a guard.
+//!
+//! # Fault tolerance
+//!
+//! Improper executions — a reader stalled inside a section, a thread that
+//! dies without unregistering — are injectable through [`fault`] and have a
+//! measured, per-scheme story. Garbage under a stalled reader is bounded by
+//! construction for [`Hp`] (hazard-slot count) and effectively for
+//! [`Hyaline`] (departing-operation refcounts); [`Ebr`] and [`Ibr`] are
+//! unbounded by construction, and [`SmrConfig::max_garbage`] arms a *soft*
+//! watermark that throttles retire-side progress (EBR), tightens the clock
+//! and scan cadence (IBR), or gates on an outstanding-garbage gauge
+//! (Hyaline) to rate-limit growth while preserving liveness. A dead thread
+//! is recovered by [`reclaim_orphaned_slot`] once its death is established
+//! out-of-band (e.g. by joining it): registered orphan reapers force-close
+//! the dead slot's announcements via
+//! [`AcquireRetire::reclaim_slot`] and drain its orphaned state, and the
+//! slot returns to the pool. [`abandon_current_slot`] simulates such a
+//! death; [`OrphanWatch`] flags slots whose heartbeat stagnates. A dead
+//! *idle* HP section pins nothing at all (hazard pointers protect
+//! individual pointers, not regions — [`AcquireRetire::PROTECTS_REGIONS`]
+//! is `false`), which is HP's fault-tolerance-by-construction story.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ebr;
+pub mod fault;
 pub mod hp;
 pub mod hyaline;
 pub mod ibr;
@@ -63,12 +85,23 @@ pub use hp::Hp;
 pub use hyaline::Hyaline;
 pub use ibr::Ibr;
 pub use registry::{
-    active_threads, current_tid, on_thread_exit, registered_high_water_mark, Tid, MAX_THREADS,
+    abandon_current_slot, active_threads, current_tid, heartbeat_of, on_thread_exit,
+    reclaim_orphaned_slot, register_orphan_reaper, registered_high_water_mark, slot_abandoned,
+    slot_in_use, OrphanWatch, Tid, MAX_THREADS,
 };
 
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Rounds of scan-then-sleep the [`SmrConfig::max_garbage`] backpressure
+/// loop runs before giving up. Bounded so an over-watermark `retire` slows
+/// to a crawl but never blocks forever (the watermark is a *soft* cap:
+/// liveness is preserved even when the stalled reader never wakes).
+pub(crate) const THROTTLE_ROUNDS: u32 = 20;
+
+/// Sleep per backpressure round (see [`THROTTLE_ROUNDS`]).
+pub(crate) const THROTTLE_SLEEP: std::time::Duration = std::time::Duration::from_micros(100);
 
 /// Low bits of a pointer word reserved for data-structure tags (marks).
 ///
@@ -170,6 +203,29 @@ pub struct SmrConfig {
     /// Prefetch the pointee cache line before announcing (HP only) — the
     /// paper's §5.1 optimization that hides the announcement fence latency.
     pub prefetch: bool,
+    /// Robustness escape hatch: a per-thread unreclaimed-garbage watermark
+    /// (`None` = off, the default). When a thread's deferred garbage on one
+    /// instance exceeds the watermark and it is *not* inside a critical
+    /// section, the scheme takes scheme-specific corrective action so a
+    /// stalled reader elsewhere caps garbage instead of pinning it forever:
+    ///
+    /// * **EBR** — bounded retire-side backpressure: the retiring thread
+    ///   scans and briefly sleeps for up to a fixed number of rounds, so
+    ///   over-watermark garbage production slows to a crawl (a *soft* cap —
+    ///   liveness is preserved by giving up after the round limit).
+    /// * **IBR** — interval tightening: the retiring thread advances the
+    ///   epoch clock immediately, so subsequently allocated objects are born
+    ///   outside every currently announced interval and their retirement is
+    ///   never pinned by an already-stalled reader (shrinks the constant in
+    ///   IBR's structural bound).
+    /// * **Hyaline** — the same bounded backpressure as EBR, keyed off an
+    ///   instance-wide count of distributed-but-unclaimed retirements
+    ///   (Hyaline-1's garbage under a stalled reader is otherwise unbounded:
+    ///   every batch distributed during the stalled section holds a
+    ///   reference from it).
+    /// * **HP** — ignored: garbage is already bounded by the number of
+    ///   published hazard slots, by construction.
+    pub max_garbage: Option<usize>,
 }
 
 impl Default for SmrConfig {
@@ -180,6 +236,7 @@ impl Default for SmrConfig {
             hp_slots: 16,
             batch_size: 32,
             prefetch: true,
+            max_garbage: None,
         }
     }
 }
@@ -398,6 +455,25 @@ pub unsafe trait AcquireRetire: Send + Sync + 'static {
     /// instance and no critical section is active (typically: after joining
     /// all worker threads, or from `Drop` of an owning domain).
     unsafe fn drain_all(&self) -> Vec<Retired>;
+
+    /// Dead-thread recovery: force-closes slot `dead`'s protection on this
+    /// instance (open critical-section announcement, published hazard
+    /// slots, Hyaline handoff list) and migrates its deferred state
+    /// (retired and ready lists, partial batches) into slot `into`'s lists
+    /// so the caller's subsequent scans can eject it. After the call, slot
+    /// `dead` holds no protection and no stranded garbage on this instance
+    /// and is safe to hand to a new owner.
+    ///
+    /// # Safety
+    ///
+    /// * The thread that owned slot `dead` has terminated, and the caller
+    ///   has a happens-before edge to its death (thread join, or an
+    ///   `Acquire` observation of [`slot_abandoned`]`(dead)`) — the call
+    ///   reads the dead thread's plain-written per-slot state.
+    /// * `into` is the *calling* thread's own [`Tid`], and the caller is not
+    ///   inside a critical section on this instance.
+    /// * No other thread concurrently reclaims the same `dead` slot.
+    unsafe fn reclaim_slot(&self, dead: Tid, into: Tid);
 }
 
 /// Convenience RAII guard for a critical section on one instance.
@@ -502,6 +578,10 @@ impl<S: AcquireRetire> SectionGuard<S> {
 
 impl<S: AcquireRetire> Drop for SectionGuard<S> {
     fn drop(&mut self) {
+        // Runs during panic unwinds too: ending the section is pure
+        // announcement bookkeeping (plus any installed exit hook, which is
+        // responsible for its own unwind safety), so a panicking operation
+        // never strands an open section pinning everyone else's garbage.
         self.scheme.end_critical_section(self.t);
     }
 }

@@ -9,7 +9,10 @@
 //! needed.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::util::CachePadded;
 
 /// Maximum number of concurrently live threads that may use SMR schemes.
 ///
@@ -45,6 +48,31 @@ static REGISTRY: Registry = Registry {
     active: AtomicUsize::new(0),
 };
 
+#[allow(clippy::declare_interior_mutable_const)]
+const BEAT_ZERO: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
+
+/// Per-slot liveness heartbeats, bumped by the engines at every outermost
+/// section boundary and by slot acquire/release. Padded: each slot's counter
+/// is written by exactly one thread on its section fast path, so sharing a
+/// cache line across slots would make unrelated threads bounce it.
+static HEARTBEATS: [CachePadded<AtomicU64>; MAX_THREADS] = [BEAT_ZERO; MAX_THREADS];
+
+#[allow(clippy::declare_interior_mutable_const)]
+const NOT_ABANDONED: AtomicBool = AtomicBool::new(false);
+
+/// Set for a slot whose owner declared (via [`abandon_current_slot`]) that it
+/// is about to die without unregistering — the simulated-`SIGKILL` ground
+/// truth the reaper's heartbeat heuristic is validated against.
+static ABANDONED: [AtomicBool; MAX_THREADS] = [NOT_ABANDONED; MAX_THREADS];
+
+/// A dead-slot reaper registered by a consumer (the `cdrc` domain registers
+/// one per domain). Invoked with the orphaned [`Tid`] during
+/// [`reclaim_orphaned_slot`]; returns `false` when the consumer is gone and
+/// the reaper should be pruned.
+type OrphanReaper = Box<dyn Fn(Tid) -> bool + Send + Sync>;
+
+static ORPHAN_REAPERS: Mutex<Vec<OrphanReaper>> = Mutex::new(Vec::new());
+
 impl Registry {
     fn acquire_slot(&self) -> usize {
         for i in 0..MAX_THREADS {
@@ -71,6 +99,10 @@ impl Registry {
                 // Ordering: Relaxed — `active` is a diagnostic gauge; no
                 // reader derives protection from it.
                 self.active.fetch_add(1, Ordering::Relaxed);
+                // Fresh owner: advance the liveness heartbeat so an
+                // `OrphanWatch` does not inherit the predecessor's
+                // stagnation count for this slot.
+                beat(Tid(i));
                 return i;
             }
         }
@@ -87,6 +119,37 @@ impl Registry {
     }
 }
 
+/// Bumps slot `t`'s liveness heartbeat. Engines call this at outermost
+/// section boundaries; the orphan detector ([`OrphanWatch`]) flags slots
+/// whose beat stops advancing.
+#[inline]
+pub(crate) fn beat(t: Tid) {
+    let h = &HEARTBEATS[t.index()];
+    // Ordering: Relaxed — single-writer diagnostic counter on its own cache
+    // line; no protection decision reads it, only the stall heuristic.
+    h.store(h.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+}
+
+/// Reads slot `t`'s liveness heartbeat (see [`OrphanWatch`]).
+pub fn heartbeat_of(t: Tid) -> u64 {
+    HEARTBEATS[t.index()].load(Ordering::Relaxed)
+}
+
+/// Whether slot `t` is currently claimed by some thread (live or dead).
+pub fn slot_in_use(t: Tid) -> bool {
+    REGISTRY.in_use[t.index()].load(Ordering::Acquire)
+}
+
+/// Whether slot `t`'s owner declared via [`abandon_current_slot`] that it
+/// died without unregistering.
+pub fn slot_abandoned(t: Tid) -> bool {
+    // Ordering: Acquire — pairs with the Release store in
+    // `abandon_current_slot`: observing the flag also makes every write the
+    // dead thread performed through its scheme slots visible, which is what
+    // lets a reaper touch that state without a data race.
+    ABANDONED[t.index()].load(Ordering::Acquire)
+}
+
 /// A thread-exit callback; receives the unregistering thread's [`Tid`].
 type ExitCallback = Box<dyn FnMut(Tid)>;
 
@@ -98,10 +161,18 @@ struct SlotGuard {
     /// inside the guard so they run exactly at slot release, independent of
     /// the platform's TLS destructor ordering.
     exit_callbacks: RefCell<Vec<ExitCallback>>,
+    /// When set (by [`abandon_current_slot`]), the drop skips both the
+    /// callback drain and the slot release — the thread "dies" the way a
+    /// `SIGKILL`'d one would, leaving its slot claimed and its announcements
+    /// published until a reaper recovers them.
+    abandoned: Cell<bool>,
 }
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
+        if self.abandoned.get() {
+            return;
+        }
         let t = Tid(self.index);
         // Take the list first so the borrow is released while callbacks
         // run. Re-registration during the drain is impossible:
@@ -120,9 +191,126 @@ thread_local! {
     static SLOT: SlotGuard = SlotGuard {
         index: REGISTRY.acquire_slot(),
         exit_callbacks: RefCell::new(Vec::new()),
+        abandoned: Cell::new(false),
     };
     /// Cached index so the hot path is a plain thread-local read.
     static CACHED: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Simulates this thread dying without unregistering (fault injection for
+/// [`FaultKind::DeadThreadInSection`](crate::fault::FaultKind) and
+/// [`FaultKind::DropMidBatch`](crate::fault::FaultKind)): the thread's
+/// [`Tid`] is marked abandoned, its exit callbacks are suppressed, and its
+/// slot stays claimed after the thread exits — exactly the wreckage a killed
+/// thread leaves. Returns the abandoned [`Tid`].
+///
+/// After calling this the thread must not touch any SMR state again; the
+/// slot (including any open announcements and deferred batches) becomes the
+/// property of whoever calls [`reclaim_orphaned_slot`] once the thread has
+/// actually terminated.
+pub fn abandon_current_slot() -> Tid {
+    let t = current_tid();
+    SLOT.with(|s| s.abandoned.set(true));
+    // Ordering: Release — publishes everything this thread wrote through its
+    // scheme slots (open announcements, half-filled batches, retired lists)
+    // to the reaper, whose `slot_abandoned` Acquire load pairs with this.
+    ABANDONED[t.index()].store(true, Ordering::Release);
+    t
+}
+
+/// Registers a process-wide dead-slot reaper, called with the orphaned
+/// [`Tid`] whenever [`reclaim_orphaned_slot`] recovers a slot. The reaper
+/// returns `false` when its consumer no longer exists, which prunes it.
+///
+/// The `cdrc` domain registers one reaper per domain (holding a weak handle)
+/// that force-closes the dead thread's sections on all three of its scheme
+/// instances and drains the orphaned decrement batch.
+pub fn register_orphan_reaper(f: Box<dyn Fn(Tid) -> bool + Send + Sync>) {
+    ORPHAN_REAPERS.lock().unwrap().push(f);
+}
+
+/// Recovers the slot of a thread that died without unregistering: runs every
+/// registered orphan reaper for `t` (force-closing announcements and
+/// draining orphaned batches), then releases the slot for reuse. Returns
+/// `false` (doing nothing) if the slot is not currently claimed.
+///
+/// Detection is the caller's burden — pair an [`OrphanWatch`] (no heartbeat
+/// progress across K observations) with out-of-band knowledge that the owner
+/// is dead, or use the [`abandon_current_slot`] ground truth in tests.
+///
+/// # Safety
+///
+/// The thread that owned slot `t` must have terminated (or be permanently
+/// guaranteed never to touch SMR state again), and the caller must have a
+/// happens-before edge to its death — joining the thread, or observing
+/// [`slot_abandoned`]`(t)`. Reclaiming a slot whose owner is merely *slow*
+/// is unsound: the owner would keep using per-slot state concurrently with
+/// the reapers and with the slot's next owner. The calling thread must be
+/// registered and must not be `t` itself.
+pub unsafe fn reclaim_orphaned_slot(t: Tid) -> bool {
+    assert_ne!(t, current_tid(), "a thread cannot reap its own slot");
+    if !slot_in_use(t) {
+        return false;
+    }
+    let mut reapers = ORPHAN_REAPERS.lock().unwrap();
+    reapers.retain(|reap| reap(t));
+    drop(reapers);
+    ABANDONED[t.index()].store(false, Ordering::Release);
+    beat(t);
+    REGISTRY.release_slot(t.index());
+    true
+}
+
+/// Heartbeat-stagnation detector for orphaned slots.
+///
+/// Call [`observe`](OrphanWatch::observe) periodically (e.g. once per scan
+/// interval); a claimed slot whose heartbeat has not advanced across `k`
+/// consecutive observations is reported as a suspect. Suspicion is a
+/// heuristic, not proof: a live-but-idle thread (registered, doing no SMR
+/// work) and a reader stalled inside a section look identical to a dead
+/// thread. Reaping a suspect therefore still requires the out-of-band
+/// certainty of death documented on [`reclaim_orphaned_slot`].
+#[derive(Debug)]
+pub struct OrphanWatch {
+    last: [u64; MAX_THREADS],
+    stagnant: [u32; MAX_THREADS],
+    k: u32,
+}
+
+impl OrphanWatch {
+    /// A watch flagging slots stagnant for `k` consecutive observations.
+    pub fn new(k: u32) -> Self {
+        OrphanWatch {
+            last: [0; MAX_THREADS],
+            stagnant: [0; MAX_THREADS],
+            k: k.max(1),
+        }
+    }
+
+    /// Samples every claimed slot's heartbeat and returns the current
+    /// suspects (claimed, stagnant for ≥ `k` observations).
+    pub fn observe(&mut self) -> Vec<Tid> {
+        let mut suspects = Vec::new();
+        let hwm = registered_high_water_mark();
+        for i in 0..hwm {
+            let t = Tid(i);
+            if !slot_in_use(t) {
+                self.stagnant[i] = 0;
+                continue;
+            }
+            let now = heartbeat_of(t);
+            if now == self.last[i] {
+                self.stagnant[i] = self.stagnant[i].saturating_add(1);
+            } else {
+                self.last[i] = now;
+                self.stagnant[i] = 0;
+            }
+            if self.stagnant[i] >= self.k {
+                suspects.push(t);
+            }
+        }
+        suspects
+    }
 }
 
 /// Registers a callback to run when the **current thread** releases its SMR

@@ -101,4 +101,53 @@ fn churn_recycles_tids_and_bounds_the_high_water_mark() {
         "churn below the mark reuses recycled slots"
     );
     assert_eq!(active_threads(), baseline_active);
+
+    // Phase 4 — abandoned deaths: a thread that dies without unregistering
+    // leaves its slot claimed; reclaiming after each death keeps the mark
+    // flat across 100 deaths instead of marching toward `MAX_THREADS`.
+    let hwm3 = registered_high_water_mark();
+    for _ in 0..100 {
+        let dead = std::thread::spawn(|| {
+            let _ = current_tid();
+            smr::abandon_current_slot()
+        })
+        .join()
+        .unwrap();
+        assert!(smr::slot_in_use(dead), "abandoned slot stays claimed");
+        assert!(smr::slot_abandoned(dead), "abandonment is published");
+        // Safety: the owner was joined above, so its death happened-before
+        // this call and it can never touch the slot again.
+        assert!(unsafe { smr::reclaim_orphaned_slot(dead) });
+        assert!(!smr::slot_in_use(dead), "reclaim releases the slot");
+        assert!(!smr::slot_abandoned(dead), "reclaim clears the flag");
+        assert!(!unsafe { smr::reclaim_orphaned_slot(dead) }, "idempotent");
+    }
+    assert!(
+        registered_high_water_mark() <= hwm3.max(2),
+        "reclaimed deaths must not consume fresh slots: {hwm3} -> {}",
+        registered_high_water_mark()
+    );
+    assert_eq!(active_threads(), baseline_active, "deaths all reclaimed");
+
+    // Phase 5 — OrphanWatch: an abandoned slot's heartbeat stagnates and the
+    // watch flags it after k observations. (Idle live threads look the same
+    // — the watch is a detector, not an oracle — so filter by the abandoned
+    // ground truth as a real monitor would by out-of-band liveness.)
+    let dead = std::thread::spawn(|| {
+        let _ = current_tid();
+        smr::abandon_current_slot()
+    })
+    .join()
+    .unwrap();
+    let mut watch = smr::OrphanWatch::new(3);
+    let mut flagged = Vec::new();
+    for _ in 0..5 {
+        flagged = watch.observe();
+    }
+    assert!(
+        flagged.iter().any(|&t| t == dead && smr::slot_abandoned(t)),
+        "watch must flag the dead slot as stagnant"
+    );
+    assert!(unsafe { smr::reclaim_orphaned_slot(dead) });
+    assert_eq!(active_threads(), baseline_active);
 }

@@ -325,7 +325,67 @@ fn foreign_guard_is_caught_in_debug_builds() {
 }
 
 // ---------------------------------------------------------------------
-// 8. Cross-domain pointer installation panics (all builds): a foreign
+// 8. `in_flight` only ever over-reports under concurrent churn: it folds
+//    deferred decrements in before reading the allocation counters, so a
+//    racing sample can miss a decrement (counting a block twice) but never
+//    miss an increment. With K nodes provably live for the whole run,
+//    every sample must read >= K — the property that makes the
+//    adversarial garbage curves trustworthy while a stalled reader pins
+//    reclamation.
+// ---------------------------------------------------------------------
+
+fn in_flight_never_under_reports<S: Scheme>() {
+    use cdrc::{AtomicSharedPtr, SharedPtr};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const FLOOR: usize = 1000;
+    let d: DomainRef<S> = DomainRef::new();
+    // The floor: FLOOR blocks owned by this thread for the whole test.
+    let live: Vec<SharedPtr<u64, S>> = (0..FLOOR as u64)
+        .map(|i| SharedPtr::new_in(i, &d))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::null_in(&d);
+                while !stop.load(Ordering::Relaxed) {
+                    let _cs = d.cs();
+                    // Displacing stores route the old block through the
+                    // deferred-decrement path — the raciest counter traffic
+                    // the domain has.
+                    for i in 0..16u64 {
+                        slot.store(SharedPtr::new_in(i, &d));
+                    }
+                    slot.store(SharedPtr::null());
+                }
+            });
+        }
+        for _ in 0..2000 {
+            assert!(
+                d.in_flight() >= FLOOR as u64,
+                "{}: in_flight under-reported below the live floor",
+                S::scheme_name()
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    drop(live);
+    drain(&d);
+    assert_eq!(d.allocated(), d.freed());
+}
+
+#[test]
+fn in_flight_never_under_reports_all_schemes() {
+    in_flight_never_under_reports::<EbrScheme>();
+    in_flight_never_under_reports::<IbrScheme>();
+    in_flight_never_under_reports::<HpScheme>();
+    in_flight_never_under_reports::<HyalineScheme>();
+}
+
+// ---------------------------------------------------------------------
+// 9. Cross-domain pointer installation panics (all builds): a foreign
 //    pointer stored into a location would otherwise defer its reclamation
 //    through an instance its readers never announce to.
 // ---------------------------------------------------------------------

@@ -1,0 +1,87 @@
+//! Registry-level dead-thread recovery, end to end through the `cdrc`
+//! domain reapers: a thread that dies *inside* an open critical section —
+//! with a half-full deferred-decrement batch — leaves its slot claimed, its
+//! announcements published (pinning every other thread's garbage), and its
+//! batch orphaned. `smr::reclaim_orphaned_slot` must recover all three:
+//! force-close the announcements, drain the batch, release the slot, and
+//! leave the domain reclaimable to `allocated() == freed()`.
+
+use cdrc::SharedPtr;
+use cdrc::{AtomicSharedPtr, DomainRef, EbrScheme, HpScheme, HyalineScheme, IbrScheme, Scheme};
+
+/// A victim dies mid-section with displaced-but-unflushed decrements; the
+/// reaper chain recovers everything.
+fn dead_in_section_recovers<S: Scheme>() {
+    let d: DomainRef<S> = DomainRef::new();
+    let slot: AtomicSharedPtr<u64, S> = AtomicSharedPtr::null_in(&d);
+    let dead = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let guard = d.cs();
+            // Displacing stores: each batches one deferred strong
+            // decrement; fewer than the batch capacity, so the entries sit
+            // in this thread's buffer, unflushed.
+            for i in 0..8 {
+                slot.store(SharedPtr::new_in(i, &d));
+            }
+            // Simulated SIGKILL inside the section: the announcement stays
+            // published, the exit callbacks never run, the slot stays
+            // claimed.
+            std::mem::forget(guard);
+            smr::abandon_current_slot()
+        });
+        h.join().unwrap()
+    });
+    assert!(smr::slot_in_use(dead), "dead slot must still be claimed");
+    assert!(smr::slot_abandoned(dead));
+    // Region schemes publish a per-section announcement, so the dead
+    // section is visible as non-quiescence. HP protects individual
+    // pointers instead: a dead HP thread pins only what its hazard slots
+    // name, and an idle section leaves the instance quiescent — that *is*
+    // its fault-tolerance-by-construction story.
+    if <S as smr::AcquireRetire>::PROTECTS_REGIONS {
+        assert!(
+            !d.quiescent(),
+            "the dead thread's announcement must still be open"
+        );
+    }
+
+    // Safety: the victim was joined (scope exit), so its death
+    // happened-before this call.
+    assert!(unsafe { smr::reclaim_orphaned_slot(dead) });
+    assert!(!smr::slot_in_use(dead), "slot released for reuse");
+    assert!(
+        d.quiescent(),
+        "recovery must force-close the dead announcement"
+    );
+
+    // The orphaned batch was drained into the deferred machinery; dropping
+    // the last occupant and draining must reclaim every block.
+    slot.store(SharedPtr::null());
+    drop(slot);
+    // Safety: single-threaded from here on; the domain is privately owned.
+    unsafe { d.drain_and_apply_all(smr::current_tid()) };
+    assert_eq!(
+        d.allocated(),
+        d.freed(),
+        "{}: orphaned batch leaked through recovery",
+        <S as smr::AcquireRetire>::scheme_name()
+    );
+}
+
+macro_rules! scheme_tests {
+    ($name:ident, $s:ty) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn dead_in_section() {
+                dead_in_section_recovers::<$s>();
+            }
+        }
+    };
+}
+
+scheme_tests!(ebr, EbrScheme);
+scheme_tests!(ibr, IbrScheme);
+scheme_tests!(hp, HpScheme);
+scheme_tests!(hyaline, HyalineScheme);
