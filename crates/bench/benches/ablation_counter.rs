@@ -5,7 +5,7 @@
 //! one thread performs linearizable loads. The CAS loop degrades as P grows
 //! (O(P) amortized per upgrade); the sticky counter stays flat.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use smr::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Duration;
 

@@ -44,8 +44,8 @@
 //! one JSON line per cell), `HOT_PATH_THREADS` (comma list, default
 //! `1,2,4`), `HOT_PATH_SMOKE`.
 
+use smr::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::hint::black_box;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 

@@ -370,8 +370,8 @@ pub(crate) unsafe fn domain_ptr_of<S: AcquireRetire>(addr: usize) -> *const Doma
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::atomic::{AtomicUsize, Ordering};
     use smr::Ebr;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn alloc_unowned<T>(value: T, birth: u64) -> *mut Counted<T> {
         // Domain-less blocks: release_domain is a no-op on null.

@@ -28,11 +28,11 @@
 //! [`Domain::process_deferred`] first (the `lockfree` structures do this in
 //! their `Drop`).
 
+use crate::sync::atomic::AtomicUsize;
 use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Deref;
-use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use smr::util::{CachePadded, ShardedCounter};

@@ -38,8 +38,8 @@
 //! re-install into a location) is unaffected. Transferring the reference
 //! back into an atomic location erases the bit — locations always retire.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, Tid};
 

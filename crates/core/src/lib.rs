@@ -225,6 +225,12 @@ mod strong;
 mod tagged;
 mod weak;
 
+/// The suite-wide `sync` facade (real `std::sync::atomic`, or the
+/// `interleave` model checker's wrapper atomics under `model-check`) —
+/// re-exported from [`smr`] so `cdrc`-level code and downstream crates
+/// route through one switch point.
+pub use smr::sync;
+
 pub use cas::CompareExchangeErr;
 pub use counted::{EdgeCollector, GraphNode};
 pub use domain::{CsGuard, Domain, DomainRef, OpGuard, Scheme, StrongRef, WeakCsGuard};

@@ -49,9 +49,9 @@
 //! snapshot operations assert (debug builds) that the supplied guard covers
 //! this location's domain.
 
+use crate::sync::atomic::AtomicUsize;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::AtomicUsize;
 
 use smr::{untagged, AcquireRetire};
 use sticky::Counter;
@@ -908,9 +908,9 @@ impl<T: fmt::Debug, S: Scheme> fmt::Debug for SnapshotPtr<'_, T, S> {
 mod tests {
     use super::*;
     use crate::domain::Scheme;
+    use crate::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use crate::sync::atomic::Ordering;
     use smr::Ebr;
-    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
-    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     type Sp<T> = SharedPtr<T, Ebr>;

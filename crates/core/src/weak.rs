@@ -31,9 +31,9 @@
 //! before reading its word, and its install-family operations panic on
 //! cross-domain pointers.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smr::{untagged, AcquireRetire};
 use sticky::Counter;
@@ -669,8 +669,8 @@ pub(crate) fn weak_count(addr: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::atomic::AtomicUsize as Std;
     use smr::Ebr;
-    use std::sync::atomic::AtomicUsize as Std;
     use std::sync::Arc;
 
     type Sp<T> = SharedPtr<T, Ebr>;

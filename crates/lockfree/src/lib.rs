@@ -22,7 +22,7 @@ pub mod locked;
 pub mod manual;
 pub mod rc;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use smr::sync::atomic::{AtomicU64, Ordering};
 
 use smr::{registered_high_water_mark, Tid, MAX_THREADS};
 

@@ -7,8 +7,8 @@
 //! libraries for `atomic<shared_ptr>`: correct, simple, and — the point of
 //! the comparison — serializing every access to the same pointer.
 
+use smr::sync::atomic::{AtomicBool, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use crate::ConcurrentQueue;

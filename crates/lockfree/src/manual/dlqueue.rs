@@ -14,8 +14,8 @@
 //! ([`crate::rc::RcDoubleLinkQueue`]) implements the helping exactly as the
 //! paper's Fig. 10, where weak pointers make it safe.
 
+use smr::sync::atomic::{AtomicUsize, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smr::{AcquireRetire, Retired, Tid};

@@ -11,8 +11,8 @@
 //! in a node that is itself still protected, so no unprotected memory is
 //! ever dereferenced.
 
+use smr::sync::atomic::{AtomicUsize, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smr::{untagged, AcquireRetire, Retired, Tid};

@@ -19,8 +19,8 @@
 //! the structure is safe under protected-pointer schemes as well — the
 //! "modified, correct HP variant" the paper mentions (§5.1).
 
+use smr::sync::atomic::{AtomicUsize, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smr::{AcquireRetire, Retired, Tid};

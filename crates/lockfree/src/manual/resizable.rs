@@ -14,9 +14,9 @@
 //! bucket shortcut read from the directory needs no guard at all, because
 //! the node it names cannot be reclaimed while the map exists.
 
+use smr::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smr::{untagged, AcquireRetire, Retired, Tid};

@@ -39,10 +39,10 @@
 //! starts its list walk at an ancestor sentinel: correct, just a few hops
 //! longer.
 
+use smr::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use cdrc::{
     AtomicSharedPtr, CsGuard, DomainRef, EdgeCollector, GraphNode, Scheme, SharedPtr, SnapshotPtr,

@@ -1,0 +1,117 @@
+//! Model-aware thread spawn/join.
+//!
+//! Inside a model run, [`spawn`] registers the child with the kernel (a
+//! schedule point) and runs the closure on a real OS thread that
+//! participates in the scheduler turnstile; [`JoinHandle::join`] is a
+//! blocking model operation that establishes the usual happens-before
+//! edge from the child's completion. Outside a run both are thin
+//! wrappers over `std::thread`.
+
+use crate::kernel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread as real;
+
+/// Handle to a spawned thread; joinable exactly once.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Real(real::JoinHandle<T>),
+    Model {
+        os: real::JoinHandle<()>,
+        tid: usize,
+        result: Arc<Mutex<Option<real::Result<T>>>>,
+        kernel: Arc<kernel::Kernel>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// In a model run this blocks the calling *model* thread (freeing
+    /// the scheduler to explore the child) and joins the child's final
+    /// memory view into the caller's on success.
+    pub fn join(self) -> real::Result<T> {
+        match self.inner {
+            Inner::Real(h) => h.join(),
+            Inner::Model {
+                os,
+                tid,
+                result,
+                kernel,
+            } => {
+                let (_, me) = kernel::current_ctx()
+                    .expect("joining a model thread from outside the model run");
+                kernel::op_join(&kernel, me, tid);
+                // The model-level join above guarantees the child has
+                // passed its finish point; the OS-level join is then
+                // bounded by the child's epilogue (TLS destructors).
+                let _ = os.join();
+                let res = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model thread finished without storing a result");
+                res
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Model-aware: see the module docs.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match kernel::spawn_ctx() {
+        None => JoinHandle {
+            inner: Inner::Real(real::spawn(f)),
+        },
+        Some((kernel, me)) => {
+            let tid = kernel::op_spawn(&kernel, me);
+            let result: Arc<Mutex<Option<real::Result<T>>>> = Arc::new(Mutex::new(None));
+            let result2 = Arc::clone(&result);
+            let kernel2 = Arc::clone(&kernel);
+            let os = real::Builder::new()
+                .name(format!("interleave-{tid}"))
+                .spawn(move || {
+                    kernel::enter_model_thread(&kernel2, tid);
+                    let out = catch_unwind(AssertUnwindSafe(f));
+                    kernel::leave_model_thread();
+                    let panic_msg = match &out {
+                        Ok(_) => None,
+                        // `p` is `&Box<dyn Any>`; without the explicit
+                        // `as_ref` the *box* would coerce to `&dyn Any` and
+                        // the `&str`/`String` downcasts inside would miss.
+                        Err(p) => Some(kernel::payload_msg(&**p)),
+                    };
+                    *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(match out {
+                        Ok(v) => Ok(v),
+                        Err(p) => Err(p),
+                    });
+                    kernel::finish_model_thread(&kernel2, tid, panic_msg);
+                })
+                .expect("failed to spawn model OS thread");
+            JoinHandle {
+                inner: Inner::Model {
+                    os,
+                    tid,
+                    result,
+                    kernel,
+                },
+            }
+        }
+    }
+}
+
+/// Yields: a voluntary (budget-free) schedule point in a model run,
+/// `std::thread::yield_now` outside.
+pub fn yield_now() {
+    match kernel::current_ctx() {
+        Some((kernel, me)) => kernel::op_yield(&kernel, me),
+        None => real::yield_now(),
+    }
+}

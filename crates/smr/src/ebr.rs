@@ -17,10 +17,10 @@ use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 use crate::{THROTTLE_ROUNDS, THROTTLE_SLEEP};
 
+use crate::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Announcement value meaning "not in a critical section".

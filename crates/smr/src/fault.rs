@@ -21,8 +21,13 @@
 //! thread itself; the plan
 //! still names them so harnesses can drive one scenario per plan.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// Fault-injection state is process-global test infrastructure: every atomic
+// access below runs under `exempt` so checkpoints add no schedule points
+// (and no cross-iteration state) to model-checked scenarios.
+use crate::sync::exempt;
 
 use crate::registry::Tid;
 
@@ -126,21 +131,25 @@ impl Drop for FaultScope {
 /// Only one plan may be armed at a time (faults are process-global, like the
 /// registry); arming while armed panics — serialize adversarial tests.
 pub fn arm(plan: FaultPlan) -> FaultScope {
-    assert!(
-        !ARMED.swap(true, Ordering::SeqCst),
-        "a FaultPlan is already armed; adversarial scenarios must be serialized"
-    );
-    STALL_NS.store(plan.stall.as_nanos() as u64, Ordering::SeqCst);
-    SCAN_DELAY_NS.store(plan.scan_delay.as_nanos() as u64, Ordering::SeqCst);
+    exempt(|| {
+        assert!(
+            !ARMED.swap(true, Ordering::SeqCst),
+            "a FaultPlan is already armed; adversarial scenarios must be serialized"
+        );
+        STALL_NS.store(plan.stall.as_nanos() as u64, Ordering::SeqCst);
+        SCAN_DELAY_NS.store(plan.scan_delay.as_nanos() as u64, Ordering::SeqCst);
+    });
     FaultScope(())
 }
 
 /// Disarms any armed plan and clears the victim designation.
 pub fn disarm() {
-    STALL_NS.store(0, Ordering::SeqCst);
-    SCAN_DELAY_NS.store(0, Ordering::SeqCst);
-    VICTIM.store(NO_VICTIM, Ordering::SeqCst);
-    ARMED.store(false, Ordering::SeqCst);
+    exempt(|| {
+        STALL_NS.store(0, Ordering::SeqCst);
+        SCAN_DELAY_NS.store(0, Ordering::SeqCst);
+        VICTIM.store(NO_VICTIM, Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+    });
 }
 
 /// Whether a plan is currently armed.
@@ -149,24 +158,26 @@ pub fn armed() -> bool {
     // Ordering: Relaxed — the checkpoint fast path. Arming strictly before
     // the victim starts running is the harness's job; engines only need an
     // eventually-visible flag.
-    ARMED.load(Ordering::Relaxed)
+    exempt(|| ARMED.load(Ordering::Relaxed))
 }
 
 /// Designates the calling thread as the stall victim. The next outermost
 /// section entry on any engine by this thread sleeps for the armed plan's
 /// `stall`, once.
 pub fn designate_victim(t: Tid) {
-    VICTIM.store(t.index(), Ordering::SeqCst);
+    exempt(|| VICTIM.store(t.index(), Ordering::SeqCst));
 }
 
 /// Number of stalls injected since process start (test observability).
 pub fn stalls_injected() -> u64 {
-    STALLS_INJECTED.load(Ordering::Relaxed)
+    // Ordering: Relaxed — monotonic test-observability counter.
+    exempt(|| STALLS_INJECTED.load(Ordering::Relaxed))
 }
 
 /// Number of scans delayed since process start (test observability).
 pub fn scans_delayed() -> u64 {
-    SCANS_DELAYED.load(Ordering::Relaxed)
+    // Ordering: Relaxed — monotonic test-observability counter.
+    exempt(|| SCANS_DELAYED.load(Ordering::Relaxed))
 }
 
 /// Engine checkpoint: called by every engine after announcing an outermost
@@ -183,16 +194,24 @@ pub fn on_section_entry(t: Tid) {
 fn section_entry_slow(t: Tid) {
     // One-shot: claim the victim designation so nested sections and later
     // entries by the same thread do not re-stall.
-    if VICTIM.load(Ordering::SeqCst) == t.index()
-        && VICTIM
-            .compare_exchange(t.index(), NO_VICTIM, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-    {
-        let ns = STALL_NS.load(Ordering::SeqCst);
-        if ns > 0 {
-            STALLS_INJECTED.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(Duration::from_nanos(ns));
+    let ns = exempt(|| {
+        if VICTIM.load(Ordering::SeqCst) == t.index()
+            && VICTIM
+                .compare_exchange(t.index(), NO_VICTIM, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            let ns = STALL_NS.load(Ordering::SeqCst);
+            if ns > 0 {
+                // Ordering: Relaxed — test-observability counter.
+                STALLS_INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            ns
+        } else {
+            0
         }
+    });
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
     }
 }
 
@@ -207,9 +226,15 @@ pub fn on_scan() {
 
 #[cold]
 fn scan_slow() {
-    let ns = SCAN_DELAY_NS.load(Ordering::SeqCst);
+    let ns = exempt(|| {
+        let ns = SCAN_DELAY_NS.load(Ordering::SeqCst);
+        if ns > 0 {
+            // Ordering: Relaxed — test-observability counter.
+            SCANS_DELAYED.fetch_add(1, Ordering::Relaxed);
+        }
+        ns
+    });
     if ns > 0 {
-        SCANS_DELAYED.fetch_add(1, Ordering::Relaxed);
         std::thread::sleep(Duration::from_nanos(ns));
     }
 }

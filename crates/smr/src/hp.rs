@@ -19,10 +19,10 @@ use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_usize, prefetch_read, CachePadded};
 use crate::{untagged, AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
+use crate::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Protection token: the index of the announcement slot holding the pointer.
@@ -384,6 +384,9 @@ unsafe impl AcquireRetire for Hp {
         // the owner is dead: no validated read through these announcements
         // can ever be consumed.
         for ann in self.slots[dead.index()].anns.iter() {
+            // Ordering: Release — the takeover of the dead thread's retired
+            // lists above must not sink below the un-announcement a
+            // concurrent scan may act on.
             ann.store(0, Ordering::Release);
         }
         let local = &mut *self.local(into);

@@ -33,10 +33,10 @@ use crate::util::{announce_usize, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 use crate::{THROTTLE_ROUNDS, THROTTLE_SLEEP};
 
+use crate::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Slot-head sentinel: the slot's thread is not in a critical section.
@@ -148,6 +148,8 @@ impl Hyaline {
     fn throttle(&self, cap: usize) {
         for _ in 0..THROTTLE_ROUNDS {
             std::thread::sleep(THROTTLE_SLEEP);
+            // Ordering: Relaxed — backpressure heuristic; staleness merely
+            // costs one more bounded round.
             if self.outstanding.load(Ordering::Relaxed) < cap {
                 return;
             }
@@ -352,6 +354,8 @@ unsafe impl AcquireRetire for Hyaline {
         // Escape hatch: over the instance-wide unclaimed watermark and
         // outside any section, apply bounded backpressure — see `throttle`.
         if let Some(cap) = self.cfg.max_garbage {
+            // Ordering: Relaxed — watermark trigger is a heuristic; the
+            // throttle loop re-reads under its own bounded rounds.
             if local.depth == 0 && self.outstanding.load(Ordering::Relaxed) >= cap {
                 self.throttle(cap);
             }
@@ -413,6 +417,10 @@ unsafe impl AcquireRetire for Hyaline {
         // thread had left normally, and zeroed batches are claimed into the
         // caller's ready queue. Sound because the owner is dead: its
         // section's reads are over (they will never execute again).
+        // Ordering: AcqRel — acquires the distributors' link publications
+        // so the caller walks fully-initialized batch nodes, and releases
+        // the takeover against the CAS of a concurrent distributor that
+        // loses to `INVALID`.
         let head = self.slots[dead.index()]
             .head
             .swap(INVALID, Ordering::AcqRel);

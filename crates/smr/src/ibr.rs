@@ -17,10 +17,10 @@ use crate::registry::{beat, registered_high_water_mark, Tid, MAX_THREADS};
 use crate::util::{announce_u64, CachePadded};
 use crate::{AcquireRetire, ExitHook, GlobalEpoch, Retired, SmrConfig};
 
+use crate::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 const EMPTY: u64 = u64::MAX;
@@ -372,6 +372,9 @@ unsafe impl AcquireRetire for Ibr {
         // either [EMPTY, ..] (ignored) or the old conservative interval.
         // Sound because the owner is dead: no post-fence reads of its
         // section can ever execute.
+        // Ordering: Release on both — mirrors `end_critical_section`: the
+        // retired-list takeover above must not sink below the
+        // un-announcement a concurrent scan may act on.
         slot.begin_ann.store(EMPTY, Ordering::Release);
         slot.end_ann.store(EMPTY, Ordering::Release);
         let local = &mut *self.local(into);

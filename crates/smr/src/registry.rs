@@ -9,8 +9,13 @@
 //! needed.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// The registry is process-global infrastructure shared across model-checker
+// iterations: every atomic access below runs under `exempt` so slot
+// bookkeeping never enters the model (and never leaks per-iteration state).
+use crate::sync::exempt;
 
 use crate::util::CachePadded;
 
@@ -75,6 +80,10 @@ static ORPHAN_REAPERS: Mutex<Vec<OrphanReaper>> = Mutex::new(Vec::new());
 
 impl Registry {
     fn acquire_slot(&self) -> usize {
+        exempt(|| self.acquire_slot_inner())
+    }
+
+    fn acquire_slot_inner(&self) -> usize {
         for i in 0..MAX_THREADS {
             // Ordering: Relaxed pre-check — a cheap filter; the CAS below is
             // the authoritative claim.
@@ -110,12 +119,14 @@ impl Registry {
     }
 
     fn release_slot(&self, i: usize) {
-        // Ordering: Relaxed — diagnostic gauge, see `acquire_slot`.
-        self.active.fetch_sub(1, Ordering::Relaxed);
-        // Ordering: Release — publishes everything this thread did through
-        // the slot (its scheme-local state) to the next owner, whose
-        // claiming CAS Acquires it.
-        self.in_use[i].store(false, Ordering::Release);
+        exempt(|| {
+            // Ordering: Relaxed — diagnostic gauge, see `acquire_slot`.
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            // Ordering: Release — publishes everything this thread did through
+            // the slot (its scheme-local state) to the next owner, whose
+            // claiming CAS Acquires it.
+            self.in_use[i].store(false, Ordering::Release);
+        });
     }
 }
 
@@ -124,20 +135,23 @@ impl Registry {
 /// whose beat stops advancing.
 #[inline]
 pub(crate) fn beat(t: Tid) {
-    let h = &HEARTBEATS[t.index()];
-    // Ordering: Relaxed — single-writer diagnostic counter on its own cache
-    // line; no protection decision reads it, only the stall heuristic.
-    h.store(h.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+    exempt(|| {
+        let h = &HEARTBEATS[t.index()];
+        // Ordering: Relaxed — single-writer diagnostic counter on its own
+        // cache line; no protection decision reads it, only the stall
+        // heuristic.
+        h.store(h.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+    });
 }
 
 /// Reads slot `t`'s liveness heartbeat (see [`OrphanWatch`]).
 pub fn heartbeat_of(t: Tid) -> u64 {
-    HEARTBEATS[t.index()].load(Ordering::Relaxed)
+    exempt(|| HEARTBEATS[t.index()].load(Ordering::Relaxed))
 }
 
 /// Whether slot `t` is currently claimed by some thread (live or dead).
 pub fn slot_in_use(t: Tid) -> bool {
-    REGISTRY.in_use[t.index()].load(Ordering::Acquire)
+    exempt(|| REGISTRY.in_use[t.index()].load(Ordering::Acquire))
 }
 
 /// Whether slot `t`'s owner declared via [`abandon_current_slot`] that it
@@ -147,7 +161,7 @@ pub fn slot_abandoned(t: Tid) -> bool {
     // `abandon_current_slot`: observing the flag also makes every write the
     // dead thread performed through its scheme slots visible, which is what
     // lets a reaper touch that state without a data race.
-    ABANDONED[t.index()].load(Ordering::Acquire)
+    exempt(|| ABANDONED[t.index()].load(Ordering::Acquire))
 }
 
 /// A thread-exit callback; receives the unregistering thread's [`Tid`].
@@ -214,7 +228,7 @@ pub fn abandon_current_slot() -> Tid {
     // Ordering: Release — publishes everything this thread wrote through its
     // scheme slots (open announcements, half-filled batches, retired lists)
     // to the reaper, whose `slot_abandoned` Acquire load pairs with this.
-    ABANDONED[t.index()].store(true, Ordering::Release);
+    exempt(|| ABANDONED[t.index()].store(true, Ordering::Release));
     t
 }
 
@@ -255,7 +269,9 @@ pub unsafe fn reclaim_orphaned_slot(t: Tid) -> bool {
     let mut reapers = ORPHAN_REAPERS.lock().unwrap();
     reapers.retain(|reap| reap(t));
     drop(reapers);
-    ABANDONED[t.index()].store(false, Ordering::Release);
+    // Ordering: Release — the reapers' recovery writes above happen-before
+    // any thread that observes the slot un-abandoned and claims it.
+    exempt(|| ABANDONED[t.index()].store(false, Ordering::Release));
     beat(t);
     REGISTRY.release_slot(t.index());
     true
@@ -349,7 +365,7 @@ pub fn current_tid() -> Tid {
 pub fn active_threads() -> usize {
     // Ordering: Relaxed — a monotone-in/monotone-out gauge read for
     // diagnostics only; no protection decision depends on it.
-    REGISTRY.active.load(Ordering::Relaxed)
+    exempt(|| REGISTRY.active.load(Ordering::Relaxed))
 }
 
 /// One past the highest slot index ever handed out — the bound scheme scans
@@ -364,7 +380,7 @@ pub fn registered_high_water_mark() -> usize {
     // unlinks that preceded the scan fence and cannot reach scanned-away
     // objects. (Registration is sequenced before any announcement through
     // the slot, so seeing the announcement implies seeing the mark.)
-    REGISTRY.hwm.load(Ordering::Relaxed)
+    exempt(|| REGISTRY.hwm.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -402,7 +418,7 @@ mod tests {
 
     #[test]
     fn exit_callbacks_run_at_thread_unregister() {
-        use std::sync::atomic::AtomicUsize as Count;
+        use crate::sync::atomic::AtomicUsize as Count;
         use std::sync::Arc;
         let fired = Arc::new(Count::new(0));
         let seen_tid = Arc::new(Count::new(usize::MAX));

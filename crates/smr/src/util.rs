@@ -1,7 +1,9 @@
 //! Small shared utilities.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::exempt;
 
 use crate::registry::{registered_high_water_mark, Tid, MAX_THREADS};
 
@@ -78,8 +80,12 @@ impl ShardedCounter {
         // need only monotone per-lane values, and cross-thread visibility
         // for exact totals comes from an external happens-before edge
         // (thread join / test mutex).
-        let lane = &self.lanes[t.index()];
-        lane.store(lane.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        // Statistics, not protocol: exempt from model checking (a modeled
+        // per-lane counter array would dwarf the protocol state space).
+        exempt(|| {
+            let lane = &self.lanes[t.index()];
+            lane.store(lane.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        });
     }
 
     /// Folds all lanes ever used into a total.
@@ -89,11 +95,13 @@ impl ShardedCounter {
         // before this call" and "all increments so far"; that is the
         // documented (and sufficient) contract for a statistics counter.
         // Lanes at index >= the registry high-water mark were never written.
-        self.lanes
-            .iter()
-            .take(registered_high_water_mark())
-            .map(|lane| lane.load(Ordering::Relaxed))
-            .sum()
+        exempt(|| {
+            self.lanes
+                .iter()
+                .take(registered_high_water_mark())
+                .map(|lane| lane.load(Ordering::Relaxed))
+                .sum()
+        })
     }
 }
 
@@ -116,29 +124,31 @@ macro_rules! announce_fn {
         /// fence are fused into one `SeqCst` swap (`lock xchg`, a full
         /// barrier under TSO) — crossbeam-epoch pins the same way. Both
         /// forms *are* the scheme's announcement fence and pair with the
-        /// scanner-side `fence(SeqCst)`.
+        /// scanner-side `fence(SeqCst)`. Model-check builds always take
+        /// the portable form: the fence pairing is the thing the checker
+        /// must see, not the host's TSO shortcut.
         #[inline]
         pub fn $name(slot: &$atomic, val: $int) {
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(target_arch = "x86_64", not(feature = "model-check")))]
             {
                 // Ordering: SeqCst swap — the x86 form of the announcement
                 // fence (see above); the returned previous value is
                 // irrelevant.
                 slot.swap(val, Ordering::SeqCst);
             }
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(any(not(target_arch = "x86_64"), feature = "model-check"))]
             {
                 // Ordering: Relaxed store + fence(SeqCst) — the portable
                 // form of the announcement fence (see above).
                 slot.store(val, Ordering::Relaxed);
-                std::sync::atomic::fence(Ordering::SeqCst);
+                crate::sync::atomic::fence(Ordering::SeqCst);
             }
         }
     };
 }
 
 announce_fn!(announce_u64, AtomicU64, u64);
-announce_fn!(announce_usize, std::sync::atomic::AtomicUsize, usize);
+announce_fn!(announce_usize, crate::sync::atomic::AtomicUsize, usize);
 
 /// Issues a best-effort prefetch of the cache line containing `addr`.
 ///

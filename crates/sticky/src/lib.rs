@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use smr::sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The interface shared by the wait-free [`StickyCounter`] and the CAS-loop
 /// [`CasCounter`] baseline.
@@ -287,7 +287,7 @@ impl fmt::Debug for CasCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use smr::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     fn assert_send_sync<T: Send + Sync>() {}

@@ -336,7 +336,7 @@ fn foreign_guard_is_caught_in_debug_builds() {
 
 fn in_flight_never_under_reports<S: Scheme>() {
     use cdrc::{AtomicSharedPtr, SharedPtr};
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use smr::sync::atomic::{AtomicBool, Ordering};
 
     const FLOOR: usize = 1000;
     let d: DomainRef<S> = DomainRef::new();

@@ -1,0 +1,484 @@
+//! Bounded model checking of the engine protocol on the vendored
+//! `interleave` checker (`cargo test --features model-check --test model_check`).
+//!
+//! Every scenario here is explored over **all interleavings** of 2–3 threads
+//! under a small preemption bound, with the suite's atomics routed through
+//! `smr::sync` onto the checker's C11 acquire/release + modification-order
+//! semantics — weaker than the x86 the native tests run on. The scenarios
+//! assert two properties across every explored schedule:
+//!
+//! * **no use-after-free** — an object a reader holds protected (hazard
+//!   slot, announced epoch/interval, Hyaline reference) is never handed back
+//!   by `eject`/`scan` while the reader still uses it; and
+//! * **count balance** — every retired entry comes back exactly once
+//!   (ejected or drained), and the cdrc domain ends with
+//!   `allocated() == freed()`.
+//!
+//! "Freeing" is simulated: ejection sets an exempt side-table flag that the
+//! reader asserts against, so a protocol violation becomes a checker-reported
+//! panic instead of real undefined behaviour.
+//!
+//! Bounds (see `interleave::Config`): preemption bound 1–2 depending on the
+//! scenario's op count, 1–2 shared words, ≤3 threads. The epoch-clock litmus
+//! justifies the `GlobalEpoch::advance` SeqCst→AcqRel relaxation (PR 3's
+//! ordering table); the IBR regression re-seeds the PR 5
+//! `PROTECTS_SECTION_READS` hole and demonstrates the checker catches it.
+
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use cdrc::{AtomicSharedPtr, DomainRef, SharedPtr};
+use interleave::thread as mthread;
+use interleave::{try_check, Config, Report, Violation};
+use smr::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use smr::sync::exempt;
+use smr::{current_tid, AcquireRetire, Ebr, GlobalEpoch, Hp, Hyaline, Ibr, Retired, SmrConfig};
+
+// ---------------------------------------------------------------------------
+// Harness discipline
+// ---------------------------------------------------------------------------
+
+/// Serializes the tests in this binary *and* pins the registry's high-water
+/// mark before any exploration starts.
+///
+/// Scheme scans iterate announcement slots `0..registered_high_water_mark()`,
+/// and the mark only grows. If it grew *mid-exploration* (another test's
+/// threads registering, or this scenario's own threads raising it on the
+/// first iteration), the number of modeled loads per scan would differ
+/// between a recorded tape and its replay — a spurious nondeterminism
+/// report. Pre-warming with more concurrent registrations than any scenario
+/// uses fixes the mark for the whole process; the mutex keeps other tests'
+/// slot churn out of an in-progress exploration.
+fn serial() -> MutexGuard<'static, ()> {
+    static M: Mutex<()> = Mutex::new(());
+    let g = M.lock().unwrap_or_else(|e| e.into_inner());
+    let gate = Arc::new(Barrier::new(4));
+    let warmers: Vec<_> = (0..4)
+        .map(|_| {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = current_tid();
+                gate.wait();
+            })
+        })
+        .collect();
+    for w in warmers {
+        w.join().unwrap();
+    }
+    g
+}
+
+fn cfg(preemptions: usize) -> Config {
+    Config {
+        preemption_bound: Some(preemptions),
+        ..Config::default()
+    }
+}
+
+/// Scheme tuning that makes every protocol edge reachable within the bounds:
+/// the epoch clock ticks on every allocation, a single retired entry
+/// triggers a scan, and Hyaline distributes one-node batches.
+fn tight<S: AcquireRetire>() -> SmrConfig {
+    let mut c = S::default_config();
+    c.epoch_freq = 1;
+    c.eject_threshold = 1;
+    c.batch_size = 1;
+    c.prefetch = false;
+    c.max_garbage = None;
+    c
+}
+
+/// Fake object addresses: nonzero, 8-aligned (no tag bits), and identical
+/// across iterations so schedules replay deterministically. The schemes
+/// treat retired words as opaque — nothing dereferences them.
+const OBJ_A: usize = 8;
+const OBJ_B: usize = 16;
+
+fn obj_idx(w: usize) -> usize {
+    w / 8 - 1
+}
+
+// ---------------------------------------------------------------------------
+// Per-scheme announce/scan handshake: reader vs. retirer
+// ---------------------------------------------------------------------------
+
+/// One reader holds an acquired pointer inside a critical section while the
+/// root swaps it out, retires it, and ejects everything a scan releases.
+/// Across every interleaving: the reader's object is never ejected while
+/// held, and both objects are handed back exactly once afterwards.
+fn reader_vs_retirer<S: AcquireRetire + Send + Sync + 'static>() -> Result<Report, Violation> {
+    try_check(cfg(2), || {
+        let s = Arc::new(S::new(Arc::new(GlobalEpoch::new()), tight::<S>()));
+        let t = current_tid();
+        let birth_a = s.birth_epoch(t);
+        let slot = Arc::new(AtomicUsize::new(OBJ_A));
+        let ejected = Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+
+        let reader = {
+            let s = Arc::clone(&s);
+            let slot = Arc::clone(&slot);
+            let ejected = Arc::clone(&ejected);
+            mthread::spawn(move || {
+                let t = current_tid();
+                s.begin_critical_section(t);
+                let (w, g) = s.acquire(t, &slot);
+                if w != 0 {
+                    // Let the retirer run a full retire/scan/eject pass
+                    // while we still hold the protection.
+                    mthread::yield_now();
+                    let gone = exempt(|| ejected[obj_idx(w)].load(Ordering::Relaxed));
+                    assert!(
+                        !gone,
+                        "{}: ejected an object a reader still holds acquired",
+                        S::scheme_name()
+                    );
+                }
+                s.release(t, g);
+                s.end_critical_section(t);
+            })
+        };
+
+        let birth_b = s.birth_epoch(t);
+        let old = slot.swap(OBJ_B, Ordering::SeqCst);
+        s.retire(
+            t,
+            Retired {
+                addr: old,
+                birth: birth_a,
+            },
+        );
+        s.flush(t);
+        while let Some(r) = s.eject(t) {
+            exempt(|| ejected[obj_idx(r.addr)].store(true, Ordering::Relaxed));
+        }
+        reader.join().unwrap();
+
+        // Quiesce: retire the survivor too, then every entry must come back
+        // exactly once — via eject or the final drain, never both or neither.
+        s.retire(
+            t,
+            Retired {
+                addr: OBJ_B,
+                birth: birth_b,
+            },
+        );
+        s.flush(t);
+        while let Some(r) = s.eject(t) {
+            exempt(|| ejected[obj_idx(r.addr)].store(true, Ordering::Relaxed));
+        }
+        let drained = unsafe { s.drain_all() };
+        let mut returns = [0usize; 2];
+        for (i, flag) in ejected.iter().enumerate() {
+            returns[i] += exempt(|| flag.load(Ordering::Relaxed)) as usize;
+        }
+        for r in &drained {
+            returns[obj_idx(r.addr)] += 1;
+        }
+        assert_eq!(
+            returns,
+            [1, 1],
+            "{}: retire/eject count imbalance",
+            S::scheme_name()
+        );
+    })
+}
+
+#[test]
+fn ebr_reader_vs_retirer_has_no_uaf() {
+    let _s = serial();
+    reader_vs_retirer::<Ebr>().expect("EBR handshake violates protection under some interleaving");
+}
+
+#[test]
+fn ibr_reader_vs_retirer_has_no_uaf() {
+    let _s = serial();
+    reader_vs_retirer::<Ibr>().expect("IBR handshake violates protection under some interleaving");
+}
+
+#[test]
+fn hp_reader_vs_retirer_has_no_uaf() {
+    let _s = serial();
+    reader_vs_retirer::<Hp>().expect("HP handshake violates protection under some interleaving");
+}
+
+#[test]
+fn hyaline_reader_vs_retirer_has_no_uaf() {
+    let _s = serial();
+    reader_vs_retirer::<Hyaline>()
+        .expect("Hyaline handshake violates protection under some interleaving");
+}
+
+// ---------------------------------------------------------------------------
+// RcWord load / witness / install / retire through the full cdrc stack
+// ---------------------------------------------------------------------------
+
+/// A reader snapshots through a critical section while the root swaps in a
+/// replacement and drops the displaced strong reference (decrement → retire
+/// → scan in-model). After joining, a witness-seeded CAS retry exercises the
+/// failure path, and the domain must balance its allocation ledger across
+/// every interleaving.
+fn rc_word_protocol<S: cdrc::Scheme + Send + Sync>() -> Result<Report, Violation> {
+    try_check(cfg(1), || {
+        let d: DomainRef<S> = DomainRef::with_config(tight::<S>());
+        let t = current_tid();
+        {
+            let slot = Arc::new(AtomicSharedPtr::<u64, S>::new_in(
+                SharedPtr::new_in(1, &d),
+                &d,
+            ));
+            let stale = slot.load_tagged();
+
+            let reader = {
+                let d = d.clone();
+                let slot = Arc::clone(&slot);
+                mthread::spawn(move || {
+                    let t = current_tid();
+                    {
+                        let cs = d.cs();
+                        let snap = slot.get_snapshot(&cs);
+                        if let Some(v) = snap.as_ref() {
+                            let v = *v;
+                            assert!(v == 1 || v == 2, "snapshot saw a never-installed value");
+                        }
+                    }
+                    // Drain the decrement batch in-model: nothing protocol-
+                    // relevant may run from real TLS destructors.
+                    d.process_deferred(t);
+                })
+            };
+
+            let two = SharedPtr::new_in(2, &d);
+            let displaced = slot.swap(two.clone());
+            drop(displaced);
+            reader.join().unwrap();
+
+            // Witness-seeded retry (single-threaded tail, so it costs no
+            // schedule branching): the stale expected must fail and name the
+            // current holder; retrying with the witness must succeed.
+            let w = slot
+                .compare_exchange(stale, &two)
+                .expect_err("stale CAS must fail with a witness");
+            let displaced = slot
+                .compare_exchange(w, &two)
+                .expect("witness-seeded retry must succeed");
+            drop(displaced);
+            drop(two);
+            let Ok(slot) = Arc::try_unwrap(slot) else {
+                panic!("reader clone was joined; the Arc must be unique");
+            };
+            drop(slot);
+        }
+        d.process_deferred(t);
+        unsafe { d.drain_and_apply_all(t) };
+        assert_eq!(
+            d.allocated(),
+            d.freed(),
+            "{}: domain ledger unbalanced after quiescence",
+            S::scheme_name()
+        );
+    })
+}
+
+#[test]
+fn ebr_rc_word_protocol_balances() {
+    let _s = serial();
+    rc_word_protocol::<cdrc::EbrScheme>().expect("RcWord protocol violation under EBR");
+}
+
+#[test]
+fn ibr_rc_word_protocol_balances() {
+    let _s = serial();
+    rc_word_protocol::<cdrc::IbrScheme>().expect("RcWord protocol violation under IBR");
+}
+
+#[test]
+fn hp_rc_word_protocol_balances() {
+    let _s = serial();
+    rc_word_protocol::<cdrc::HpScheme>().expect("RcWord protocol violation under HP");
+}
+
+#[test]
+fn hyaline_rc_word_protocol_balances() {
+    let _s = serial();
+    rc_word_protocol::<cdrc::HyalineScheme>().expect("RcWord protocol violation under Hyaline");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-clock litmus: justifies `GlobalEpoch::advance` AcqRel
+// ---------------------------------------------------------------------------
+
+const NO_ANN: u64 = u64::MAX;
+
+/// Distilled EBR eject race — advancer / announcing reader / unlink-scan
+/// writer — with the clock advanced by `fetch_add(AcqRel)` exactly as
+/// `GlobalEpoch::advance` now does. The writer stamps the retire epoch with
+/// `stamp_order` and frees when the announcement is absent or newer than the
+/// stamp. A SeqCst stamp participates in the total order with the reader's
+/// SeqCst clock read, so a reader that announced an epoch the writer's stamp
+/// predates is always visible; an Acquire stamp may read the clock stale and
+/// under-stamp the retirement, freeing under a live announcement.
+fn epoch_clock_litmus(stamp_order: Ordering) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        let ann = Arc::new(AtomicU64::new(NO_ANN));
+        let slot = Arc::new(AtomicUsize::new(1));
+        let freed = Arc::new(AtomicBool::new(false));
+
+        let advancer = {
+            let clock = Arc::clone(&clock);
+            // Ordering: AcqRel — mirrors `GlobalEpoch::advance`; the litmus
+            // exists to show the *stamp load* is where SeqCst must remain.
+            mthread::spawn(move || {
+                clock.fetch_add(1, Ordering::AcqRel);
+            })
+        };
+
+        let reader = {
+            let clock = Arc::clone(&clock);
+            let ann = Arc::clone(&ann);
+            let slot = Arc::clone(&slot);
+            let freed = Arc::clone(&freed);
+            mthread::spawn(move || {
+                // Section entry: announce the observed epoch, fence, then
+                // trust subsequent reads (the `announce_fn!` idiom).
+                let e = clock.load(Ordering::SeqCst);
+                ann.store(e, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                let p = slot.load(Ordering::Relaxed);
+                if p == 1 {
+                    // Still linked from our announced epoch's vantage:
+                    // give the writer a chance to scan, then check we were
+                    // not freed from under the announcement.
+                    mthread::yield_now();
+                    let gone = exempt(|| freed.load(Ordering::Relaxed));
+                    assert!(!gone, "object freed while an announcement protected it");
+                }
+                ann.store(NO_ANN, Ordering::Release);
+            })
+        };
+
+        // Writer: unlink, stamp the retirement, scan announcements.
+        slot.store(0, Ordering::SeqCst);
+        let stamp = clock.load(stamp_order);
+        fence(Ordering::SeqCst);
+        let a = ann.load(Ordering::Relaxed);
+        if a == NO_ANN || stamp < a {
+            exempt(|| freed.store(true, Ordering::Relaxed));
+        }
+        advancer.join().unwrap();
+        reader.join().unwrap();
+    })
+}
+
+/// The relaxation the checker licenses: with the clock advanced by AcqRel
+/// RMWs, a **SeqCst** retire-stamp load keeps every interleaving sound —
+/// `GlobalEpoch::advance` does not need its old SeqCst success ordering.
+#[test]
+fn epoch_clock_seqcst_load_is_sound() {
+    let _s = serial();
+    let report = epoch_clock_litmus(Ordering::SeqCst)
+        .expect("SeqCst retire stamp must be sound under an AcqRel clock");
+    assert!(report.iterations > 1, "litmus explored only one schedule");
+}
+
+/// The boundary of that relaxation: weakening the retire-stamp load itself
+/// to Acquire lets the writer under-stamp and free under a live
+/// announcement — the checker finds the interleaving. This is why
+/// `GlobalEpoch::load` stays SeqCst.
+#[test]
+fn epoch_clock_acquire_load_is_unsound() {
+    let _s = serial();
+    let v = epoch_clock_litmus(Ordering::Acquire)
+        .expect_err("Acquire retire stamp must be caught by the checker");
+    assert!(
+        v.message
+            .contains("freed while an announcement protected it"),
+        "unexpected violation: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// IBR PROTECTS_SECTION_READS regression (the PR 5 hole, re-seeded)
+// ---------------------------------------------------------------------------
+
+/// IBR advertises `PROTECTS_SECTION_READS = false`: a critical section only
+/// protects objects born at or before the announced interval's end. This
+/// scenario installs an object born *after* the reader's entry announcement.
+/// The buggy consumer reads it with a bare load (what the PR 5 hole did);
+/// the correct consumer goes through `acquire`, which widens the announced
+/// interval before trusting the read.
+fn ibr_section_read(use_acquire: bool) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let s = Arc::new(Ibr::new(Arc::new(GlobalEpoch::new()), tight::<Ibr>()));
+        let t = current_tid();
+        let slot = Arc::new(AtomicUsize::new(0));
+        let ejected = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let s = Arc::clone(&s);
+            let slot = Arc::clone(&slot);
+            let ejected = Arc::clone(&ejected);
+            mthread::spawn(move || {
+                let t = current_tid();
+                s.begin_critical_section(t);
+                // Let the writer allocate (advancing the epoch past our
+                // announced interval) and install.
+                mthread::yield_now();
+                let (w, g) = if use_acquire {
+                    s.acquire(t, &slot)
+                } else {
+                    // Re-seeded hole: trusting a section-time read without
+                    // the acquire protocol. The interval announced at entry
+                    // does not cover an object born after it.
+                    (slot.load(Ordering::Acquire), Default::default())
+                };
+                if w != 0 {
+                    mthread::yield_now();
+                    let gone = exempt(|| ejected.load(Ordering::Relaxed));
+                    assert!(
+                        !gone,
+                        "IBR ejected an object born beyond the announced bound"
+                    );
+                }
+                s.release(t, g);
+                s.end_critical_section(t);
+            })
+        };
+
+        let birth_b = s.birth_epoch(t);
+        slot.store(OBJ_B, Ordering::Release);
+        mthread::yield_now();
+        let old = slot.swap(0, Ordering::SeqCst);
+        s.retire(
+            t,
+            Retired {
+                addr: old,
+                birth: birth_b,
+            },
+        );
+        s.flush(t);
+        while s.eject(t).is_some() {
+            exempt(|| ejected.store(true, Ordering::Relaxed));
+        }
+        reader.join().unwrap();
+
+        let drained = unsafe { s.drain_all() };
+        let returns = exempt(|| ejected.load(Ordering::Relaxed)) as usize + drained.len();
+        assert_eq!(returns, 1, "IBR retire/eject count imbalance");
+    })
+}
+
+#[test]
+fn ibr_section_reads_hole_is_detected() {
+    let _s = serial();
+    let v = ibr_section_read(false).expect_err("the checker must catch the section-reads hole");
+    assert!(
+        v.message.contains("born beyond the announced bound"),
+        "unexpected violation: {v}"
+    );
+}
+
+#[test]
+fn ibr_acquire_closes_the_hole() {
+    let _s = serial();
+    ibr_section_read(true).expect("acquire-protocol reads must be protected in every schedule");
+}

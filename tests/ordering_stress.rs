@@ -14,7 +14,7 @@
 //! Integration-test binaries run in their own process, so metering the
 //! per-scheme global domains only needs the serialization mutex below.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use smr::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cdrc::{

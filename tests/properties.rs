@@ -159,7 +159,7 @@ proptest! {
     fn hp_multi_retire_accounting(retires in 1usize..8, announces in 0usize..6) {
         use smr::{GlobalEpoch, Retired, SmrConfig};
         use std::sync::Arc;
-        use std::sync::atomic::AtomicUsize;
+        use smr::sync::atomic::AtomicUsize;
 
         let hp = smr::Hp::new(
             Arc::new(GlobalEpoch::new()),
@@ -194,7 +194,7 @@ proptest! {
     /// sequences, dropping every handle collects the object exactly once.
     #[test]
     fn weak_strong_handle_churn(script in proptest::collection::vec(0u8..6, 0..60)) {
-        use std::sync::atomic::{AtomicUsize as A, Ordering};
+        use smr::sync::atomic::{AtomicUsize as A, Ordering};
         use std::sync::Arc as StdArc;
         struct Probe(StdArc<A>);
         impl Drop for Probe {

@@ -11,7 +11,7 @@
 //!   store/swap/take sequence over a slot behaves exactly like a `Vec`
 //!   model, and the domain still balances afterwards.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use smr::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;

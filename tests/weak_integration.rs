@@ -1,7 +1,7 @@
 //! Weak-pointer semantics across schemes: upgrade/expiry races, weak
 //! snapshot linearizability corners (§4.5), and the queue of Fig. 10.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use smr::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdrc::{
