@@ -73,11 +73,22 @@ pub(crate) struct Counted<T> {
 }
 
 unsafe fn dispose_impl<T>(h: *mut Header) {
+    smr::sanitize::on_dispose(h as usize);
     let counted = h as *mut Counted<T>;
     ptr::drop_in_place((*counted).value.as_mut_ptr());
+    // Poison the disposed payload so a latent dangling read that slips past
+    // the shadow-state checks still fails loudly instead of observing stale
+    // but plausible bytes. Sanitize builds only.
+    #[cfg(feature = "sanitize")]
+    ptr::write_bytes(
+        (*counted).value.as_mut_ptr() as *mut u8,
+        0xDB,
+        std::mem::size_of::<T>(),
+    );
 }
 
 unsafe fn dealloc_impl<T>(h: *mut Header) {
+    smr::sanitize::on_free(h as usize);
     drop(Box::from_raw(h as *mut Counted<T>));
 }
 
@@ -248,7 +259,7 @@ impl<T> Counted<T> {
         birth: u64,
         domain: *const (),
     ) -> *mut Counted<T> {
-        Box::into_raw(Box::new(Counted {
+        let p = Box::into_raw(Box::new(Counted {
             header: Header {
                 strong: StickyCounter::new(1),
                 weak: StickyCounter::new(1),
@@ -257,7 +268,9 @@ impl<T> Counted<T> {
                 vtable: &VtableOf::<T, S>::VTABLE,
             },
             value: MaybeUninit::new(value),
-        }))
+        }));
+        smr::sanitize::on_alloc(p as usize);
+        p
     }
 
     /// As [`allocate`](Self::allocate), but with the graph-aware vtable:
@@ -271,7 +284,7 @@ impl<T> Counted<T> {
     where
         T: GraphNode<S>,
     {
-        Box::into_raw(Box::new(Counted {
+        let p = Box::into_raw(Box::new(Counted {
             header: Header {
                 strong: StickyCounter::new(1),
                 weak: StickyCounter::new(1),
@@ -280,7 +293,9 @@ impl<T> Counted<T> {
                 vtable: &GraphVtableOf::<T, S>::VTABLE,
             },
             value: MaybeUninit::new(value),
-        }))
+        }));
+        smr::sanitize::on_alloc(p as usize);
+        p
     }
 }
 
@@ -388,9 +403,12 @@ mod tests {
             assert_eq!((*h).strong.load(), 1);
             assert_eq!((*h).weak.load(), 1);
             assert_eq!((*p).value.assume_init_read(), 42);
-            // Payload was read out (Copy), dispose not needed for u64.
+            // Payload was read out (Copy); dispose is a no-op drop for u64
+            // but keeps the dispose-before-free lifecycle uniform (the
+            // sanitizer enforces it).
             let release = (*h).vtable.release_domain;
             let domain = (*h).domain;
+            ((*h).vtable.dispose)(h);
             ((*h).vtable.dealloc)(h);
             release(domain); // no-op for the null domain
         }
@@ -421,6 +439,9 @@ mod tests {
         assert!(std::mem::align_of::<Counted<u8>>() >= 8);
         let p = alloc_unowned(1u8, 0);
         assert_eq!(p as usize & smr::TAG_MASK, 0);
-        unsafe { ((*(p as *mut Header)).vtable.dealloc)(p as *mut Header) };
+        unsafe {
+            ((*(p as *mut Header)).vtable.dispose)(p as *mut Header);
+            ((*(p as *mut Header)).vtable.dealloc)(p as *mut Header);
+        }
     }
 }

@@ -587,6 +587,7 @@ impl<S: AcquireRetire> Domain<S> {
     ///
     /// Caller owns one strong reference to `addr` and forfeits it.
     pub(crate) unsafe fn decrement(&self, t: Tid, addr: usize) {
+        smr::sanitize::on_decrement(addr, smr::sanitize::Channel::Strong);
         let h = as_header(addr);
         if (*h).strong.decrement() {
             if (*h).weak.load() == 1 {
@@ -612,6 +613,7 @@ impl<S: AcquireRetire> Domain<S> {
     ///
     /// Caller owns one weak reference to `addr` and forfeits it.
     pub(crate) unsafe fn weak_decrement(&self, t: Tid, addr: usize) {
+        smr::sanitize::on_decrement(addr, smr::sanitize::Channel::Weak);
         if (*as_header(addr)).weak.decrement() {
             self.free_block(t, addr);
         }
@@ -695,11 +697,13 @@ impl<S: AcquireRetire> Domain<S> {
                 pop(h, &mut *sink as *mut EdgeSink);
             }
             ((*h).vtable.dispose)(h);
+            smr::sanitize::on_decrement(a, smr::sanitize::Channel::Weak);
             if (*h).weak.decrement() {
                 self.free_block(t, a);
             }
             for e in sink.strong_direct.drain(..) {
                 let eh = as_header(e);
+                smr::sanitize::on_decrement(e, smr::sanitize::Channel::Strong);
                 if (*eh).strong.decrement() {
                     // Only graph children join the worklist; a non-graph
                     // child's `Drop` relinquishes its own edges and could
@@ -712,6 +716,7 @@ impl<S: AcquireRetire> Domain<S> {
                 }
             }
             for e in sink.weak_direct.drain(..) {
+                smr::sanitize::on_decrement(e, smr::sanitize::Channel::Weak);
                 if (*as_header(e)).weak.decrement() {
                     self.free_block(t, e);
                 }
@@ -733,6 +738,7 @@ impl<S: AcquireRetire> Domain<S> {
     ///
     /// One strong reference to `addr` is transferred to the domain.
     pub(crate) unsafe fn delayed_decrement(&self, t: Tid, addr: usize) {
+        smr::sanitize::on_retire(addr, smr::sanitize::Channel::Strong);
         let birth = (*as_header(addr)).birth;
         self.strong_ar.retire(t, Retired::new(addr, birth));
         self.collect(t);
@@ -744,6 +750,7 @@ impl<S: AcquireRetire> Domain<S> {
     ///
     /// One weak reference to `addr` is transferred to the domain.
     pub(crate) unsafe fn delayed_weak_decrement(&self, t: Tid, addr: usize) {
+        smr::sanitize::on_retire(addr, smr::sanitize::Channel::Weak);
         let birth = (*as_header(addr)).birth;
         self.weak_ar.retire(t, Retired::new(addr, birth));
         self.collect(t);
@@ -756,6 +763,7 @@ impl<S: AcquireRetire> Domain<S> {
     /// The strong count of `addr` is zero; disposal responsibility is
     /// transferred to the domain.
     pub(crate) unsafe fn delayed_dispose(&self, t: Tid, addr: usize) {
+        smr::sanitize::on_retire(addr, smr::sanitize::Channel::Dispose);
         let birth = (*as_header(addr)).birth;
         self.dispose_ar.retire(t, Retired::new(addr, birth));
         self.collect(t);
@@ -800,6 +808,16 @@ impl<S: AcquireRetire> Domain<S> {
     }
 
     unsafe fn batch_push(&self, t: Tid, addr: usize, weak: bool) {
+        // The batch entry *is* a retire whose engine-level issue is merely
+        // deferred to the flush; ownership transfers to the domain here.
+        smr::sanitize::on_retire(
+            addr,
+            if weak {
+                smr::sanitize::Channel::Weak
+            } else {
+                smr::sanitize::Channel::Strong
+            },
+        );
         let local = &self.locals[t.index()];
         if !local.flush_registered.get() {
             if !self.register_thread_flush() {

@@ -247,15 +247,22 @@ impl<S: Scheme, K: RefKind<S>> RcWord<S, K> {
     /// The shared install swap.
     fn install(&self, new: usize) -> usize {
         check_same_domain(untagged(new), &self.domain);
+        // The reference being installed must target a live block — storing
+        // a disposed or freed pointer publishes a dangling reference.
+        smr::sanitize::on_install(new);
         // Ordering: SeqCst swap — the Release half publishes the pointee
         // (and any pre-taken reference on it) to readers' Acquire loads, the
         // Acquire half makes the displaced occupant's header readable for
-        // its deferred decrement, and it must additionally be SeqCst because
-        // the retire that follows stamps the record with a clock value read
-        // *after* this unlink — the epoch-based eject rules are only sound
-        // if that read cannot be ordered before the swap (see
-        // `GlobalEpoch::load`). On x86-64 every swap is a `lock xchg`
-        // regardless of ordering, so this costs nothing over AcqRel.
+        // its deferred decrement (`rc_unlink_relaxed_swap_is_unsound` shows
+        // this half tearing at Relaxed), and SeqCst places the unlink in the
+        // SC order *before* the retire stamp that follows — the epoch eject
+        // rules lean on the chain unlink ≤ stamp ≤ a reader's clock read ≤
+        // its announcement fence, which forces any reader announcing a
+        // newer-than-stamp epoch to observe this unlink. AcqRel is not
+        // enough: `unlink_acqrel_swap_is_unsound` (model_check) exhibits a
+        // reader that announces a fresh epoch yet still loads the stale
+        // pointer while the scan under-stamps and frees it. On x86-64 every
+        // swap is a `lock xchg` regardless, so this costs nothing here.
         self.word.swap(new, Ordering::SeqCst)
     }
 
@@ -327,14 +334,23 @@ impl<S: Scheme, K: RefKind<S>> RcWord<S, K> {
     /// The shared compare-exchange.
     #[inline]
     fn cex(&self, expected: usize, new: usize, weak_cas: bool) -> Result<usize, usize> {
+        // Liveness holds whether or not the CAS lands: the caller's borrow
+        // or pre-increment keeps `new` alive for the duration of the call.
+        smr::sanitize::on_install(new);
         // Ordering: SeqCst on success — publishes the new occupant (and its
         // reference), acquires the displaced occupant's header for the
-        // deferred decrement, and keeps that retire's epoch stamp ordered
-        // after this unlink (see `GlobalEpoch::load`; free on x86-64, where
-        // the CAS is `lock cmpxchg` at any ordering). Acquire on failure —
-        // the witnessed word is handed back to the caller, who may seed a
-        // protected snapshot from it (`compare_exchange_with`) and
-        // dereference: the publisher's Release must be visible.
+        // deferred decrement, and keeps this unlink in the SC order before
+        // the retire stamp that follows, exactly as in `install`: the epoch
+        // eject rules need the chain unlink ≤ stamp ≤ reader's clock read ≤
+        // its announcement fence, and `unlink_acqrel_swap_is_unsound`
+        // (model_check) shows AcqRel breaking it — a freshly-announced
+        // reader loads the stale pointer while the scan under-stamps and
+        // frees it. Free on x86-64, where the CAS is `lock cmpxchg` at any
+        // ordering.
+        // Ordering: Acquire on failure — the witnessed word is handed back
+        // to the caller, who may seed a protected snapshot from it
+        // (`compare_exchange_with`) and dereference: the publisher's Release
+        // must be visible.
         if weak_cas {
             self.word
                 .compare_exchange_weak(expected, new, Ordering::SeqCst, Ordering::Acquire)

@@ -213,6 +213,22 @@
 //! section exit, buffer capacity, [`Domain::process_deferred`], thread
 //! unregister), replacing a retire + collect round-trip per store with a
 //! vector push.
+//!
+//! ## Reclamation sanitizer
+//!
+//! Build with `--features sanitize` and every `cdrc` access is validated
+//! against `smr`'s shadow-state checker: payload dereferences must be
+//! covered by a live protection of the right kind for the scheme
+//! (section, interval, or hazard — snapshot reads on schemes where
+//! `PROTECTS_SECTION_READS` is `false` need a per-block acquire), and the
+//! engine's installs, retires, disposals and frees must respect the
+//! Live → Disposed → Freed lifecycle. Violations — use-after-retire,
+//! double retire, cross-domain protection, leaked sections — panic at the
+//! offending call site with the block's recent event trail, and disposed
+//! payloads are poison-filled (`0xDB`). The hooks compile to empty
+//! inline functions without the feature; see the README's "Reclamation
+//! sanitizer" section and `tests/sanitizer.rs` for the catalogue of
+//! caught bug classes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

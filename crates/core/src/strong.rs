@@ -205,11 +205,13 @@ impl<T, S: Scheme> SharedPtr<T, S> {
     }
 
     /// Borrows the managed value, or `None` for null.
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn as_ref(&self) -> Option<&T> {
         let block = self.block();
         if block == 0 {
             None
         } else {
+            smr::sanitize::check_payload(block);
             // Safety: we own a strong reference, so the payload is alive.
             unsafe { Some(&*(*as_counted::<T>(block)).value.as_ptr()) }
         }
@@ -838,11 +840,19 @@ impl<'g, T, S: Scheme> SnapshotPtr<'g, T, S> {
     }
 
     /// Borrows the managed value, or `None` for null.
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn as_ref(&self) -> Option<&T> {
         let addr = untagged(self.word);
         if addr == 0 {
             None
         } else {
+            if self.guard.is_some() {
+                // Count-free fast path: liveness rests entirely on the
+                // thread's protection covering this block.
+                smr::sanitize::check_protected_read(addr);
+            } else {
+                smr::sanitize::check_payload(addr);
+            }
             // Safety: the snapshot's protection (guard or owned reference)
             // keeps the strong count positive, hence the payload alive.
             unsafe { Some(&*(*as_counted::<T>(addr)).value.as_ptr()) }

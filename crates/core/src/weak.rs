@@ -137,11 +137,13 @@ impl<T, S: Scheme> WeakPtr<T, S> {
 
     /// Whether the managed object has been destroyed (strong count zero).
     /// Null pointers report `true`.
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn expired(&self) -> bool {
         let block = self.block();
         if block == 0 {
             return true;
         }
+        smr::sanitize::check_header(block);
         // Safety: our weak reference keeps the control block alive.
         unsafe { counted::expired(block) }
     }
@@ -149,11 +151,13 @@ impl<T, S: Scheme> WeakPtr<T, S> {
     /// Attempts to obtain a strong reference; `None` if the object has
     /// expired. Wait-free thanks to the sticky counter's constant-time
     /// increment-if-not-zero (§4.3).
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn upgrade(&self) -> Option<SharedPtr<T, S>> {
         let block = self.block();
         if block == 0 {
             return None;
         }
+        smr::sanitize::check_header(block);
         // Safety: the control block is alive; increment-if-not-zero never
         // resurrects a dead object.
         if unsafe { counted::increment(block) } {
@@ -578,11 +582,19 @@ impl<'g, T, S: Scheme> WeakSnapshotPtr<'g, T, S> {
     /// Borrows the managed value, or `None` for null. Reading is safe even
     /// if the object has since expired — that is the point of the deferred
     /// dispose instance.
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn as_ref(&self) -> Option<&T> {
         let addr = untagged(self.word);
         if addr == 0 {
             None
         } else {
+            if self.guard.is_some() {
+                // Count-free path: only the thread's protection keeps the
+                // (possibly expired) payload undisposed.
+                smr::sanitize::check_protected_read(addr);
+            } else {
+                smr::sanitize::check_payload(addr);
+            }
             // Safety: disposal is blocked by our guard (or we own a strong
             // reference), so the payload has not been destroyed.
             unsafe { Some(&*(*as_counted::<T>(addr)).value.as_ptr()) }

@@ -240,6 +240,8 @@ impl NodeStats {
         // fold could count a free whose alloc it had not yet seen and
         // under-report live garbage.
         let hwm = registered_high_water_mark();
+        // Ordering: Relaxed — statistics lanes; the fold order above, not
+        // any acquire edge, is what keeps the estimate one-sided.
         let f: u64 = self
             .lanes
             .iter()
@@ -333,6 +335,8 @@ impl ElementCount {
     /// monotonicity reason as [`NodeStats::in_flight`].
     pub(crate) fn live(&self) -> u64 {
         let hwm = registered_high_water_mark();
+        // Ordering: Relaxed — statistics lanes, deletes folded first; same
+        // one-sided-estimate argument as `NodeStats::in_flight`.
         let d: u64 = self
             .lanes
             .iter()

@@ -22,6 +22,10 @@ struct SpinLock {
 impl SpinLock {
     fn lock(&self) {
         loop {
+            // Ordering: Acquire on the winning swap — synchronizes with the
+            // previous holder's Release unlock, so the critical section
+            // sees everything it wrote. The spin re-read is Relaxed: it
+            // only decides when to retry the swap, which re-synchronizes.
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
@@ -32,6 +36,8 @@ impl SpinLock {
     }
 
     fn unlock(&self) {
+        // Ordering: Release — publishes the critical section's writes to
+        // the next Acquire winner.
         self.locked.store(false, Ordering::Release);
     }
 }

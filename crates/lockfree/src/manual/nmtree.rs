@@ -71,6 +71,9 @@ struct Node<K, V> {
 
 impl<K, V> super::OutgoingEdges for Node<K, V> {
     fn out_edges(&self, out: &mut Vec<usize>) {
+        // Ordering: Relaxed — edge harvest runs at destruction time, when
+        // the reclaimer has exclusive access to the node; the words can no
+        // longer change and their pointees were acquired at unlink.
         out.push(addr(self.left.load(Ordering::Relaxed)));
         out.push(addr(self.right.load(Ordering::Relaxed)));
     }

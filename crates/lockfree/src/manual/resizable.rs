@@ -140,6 +140,8 @@ where
 
     /// Current bucket count (monotone; grows under load).
     pub fn buckets(&self) -> u64 {
+        // Ordering: Relaxed — reporting read of a monotone routing mask; a
+        // stale value is just an older (still valid) size.
         self.mask.load(Ordering::Relaxed) + 1
     }
 
@@ -167,6 +169,11 @@ where
     fn segment(&self, level: usize) -> &[AtomicUsize] {
         let slot = &self.spine[level];
         let len = 1usize << level;
+        // Ordering: Acquire load / AcqRel CAS — the segment is a heap
+        // allocation published through this slot: the winner's Release
+        // makes the fresh slots visible, and every reader (including a
+        // losing CAS, via its Acquire failure ordering) acquires them
+        // before indexing into the segment.
         let mut p = slot.load(Ordering::Acquire);
         if p.is_null() {
             let fresh: Box<[AtomicUsize]> = (0..len).map(|_| AtomicUsize::new(0)).collect();
@@ -383,6 +390,8 @@ where
     /// (load factor ≈ 1). Called on the insert-count cadence only.
     fn maybe_grow(&self) {
         let live = self.count.live();
+        // Ordering: Relaxed — the mask is a routing hint, not a guard; the
+        // CAS below revalidates it and a stale read only delays growth.
         let mask = self.mask.load(Ordering::Relaxed);
         let buckets = mask + 1;
         if live > buckets && buckets < (1u64 << SPINE_LEVELS) {
@@ -410,6 +419,8 @@ where
         loop {
             // Re-read the mask each attempt: a concurrent grow between
             // attempts may have split this key's bucket.
+            // Ordering: Relaxed — stale masks route to an ancestor
+            // sentinel, which reaches the same bucket via extra hops.
             let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
             // Safety: new_node is ours until published.
             let key_ref = unsafe { (*new_node).key() };
@@ -447,6 +458,8 @@ where
         let h = self.hasher.hash_one(key);
         let so = so_regular(h);
         loop {
+            // Ordering: Relaxed — stale masks route to an ancestor
+            // sentinel, which reaches the same bucket via extra hops.
             let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
             let mut c = self.find_from(t, start, so, Some(key));
             if !c.found {
@@ -498,6 +511,8 @@ where
 
     fn get_impl(&self, t: Tid, key: &K) -> Option<V> {
         let h = self.hasher.hash_one(key);
+        // Ordering: Relaxed — same ancestor-sentinel routing argument as
+        // the insert/remove paths.
         let start = self.ensure_bucket(t, (h & self.mask.load(Ordering::Relaxed)) as usize);
         let mut c = self.find_from(t, start, so_regular(h), Some(key));
         let out = if c.found {
@@ -575,6 +590,9 @@ impl<K, V, S: AcquireRetire> Drop for ResizableHashMap<K, V, S> {
         // Safety: exclusive access; linked nodes are never retired.
         unsafe { super::teardown::<Node<K, V>, S>([head], &self.smr, &self.stats, t) };
         for (level, slot) in self.spine.iter().enumerate() {
+            // Ordering: Acquire — pairs with the publishing CAS in
+            // `segment`; Drop's exclusivity covers mutation, not the
+            // visibility of another thread's published allocation.
             let p = slot.load(Ordering::Acquire);
             if p.is_null() {
                 continue;
@@ -588,6 +606,7 @@ impl<K, V, S: AcquireRetire> Drop for ResizableHashMap<K, V, S> {
 
 impl<K, V, S: AcquireRetire> std::fmt::Debug for ResizableHashMap<K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Ordering: Relaxed — diagnostic snapshot only.
         f.debug_struct("ResizableHashMap")
             .field("scheme", &S::scheme_name())
             .field("buckets", &(self.mask.load(Ordering::Relaxed) + 1))

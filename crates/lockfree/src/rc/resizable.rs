@@ -175,6 +175,8 @@ where
 
     /// Current bucket count (monotone; grows under load).
     pub fn buckets(&self) -> u64 {
+        // Ordering: Relaxed — reporting read of a monotone routing mask; a
+        // stale value is just an older (still valid) size.
         self.mask.load(Ordering::Relaxed) + 1
     }
 
@@ -194,12 +196,19 @@ where
     fn segment(&self, level: usize) -> &[AtomicSharedPtr<Node<K, V, S>, S>] {
         let slot = &self.spine[level];
         let len = 1usize << level;
+        // Ordering: Acquire load / AcqRel CAS — the segment is a heap
+        // allocation published through this slot: the winner's Release
+        // makes the fresh slots visible, and every reader (including a
+        // losing CAS, via its Acquire failure ordering) acquires them
+        // before indexing into the segment.
         let mut p = slot.load(Ordering::Acquire);
         if p.is_null() {
             let fresh: Box<[Slot<K, V, S>]> = (0..len)
                 .map(|_| AtomicSharedPtr::null_in(&self.domain))
                 .collect();
             let raw = Box::into_raw(fresh) as *mut Slot<K, V, S>;
+            // Ordering: AcqRel / Acquire — see the publication comment on
+            // the slot load above.
             match slot.compare_exchange(
                 std::ptr::null_mut(),
                 raw,
@@ -393,6 +402,8 @@ where
     /// (load factor ≈ 1). Called on the insert-count cadence only.
     fn maybe_grow(&self) {
         let live = self.count.live();
+        // Ordering: Relaxed — the mask is a routing hint, not a guard; the
+        // CAS below revalidates it and a stale read only delays growth.
         let mask = self.mask.load(Ordering::Relaxed);
         let buckets = mask + 1;
         if live > buckets && buckets < (1u64 << SPINE_LEVELS) {
@@ -411,6 +422,8 @@ where
 
     /// The sentinel to start `h`'s operation from under the current mask.
     fn bucket_for<'g>(&self, h: u64, cs: &'g CsGuard<S>) -> SnapshotPtr<'g, Node<K, V, S>, S> {
+        // Ordering: Relaxed — stale masks route to an ancestor sentinel,
+        // which reaches the same bucket through a few extra hops.
         let b = (h & self.mask.load(Ordering::Relaxed)) as usize;
         self.ensure_bucket(b, cs)
     }
@@ -548,6 +561,9 @@ impl<K, V, S: Scheme> Drop for RcResizableHashMap<K, V, S> {
         // domain so a private-domain map leaves `allocated() == freed()`.
         self.zero.store(SharedPtr::null());
         for (level, slot) in self.spine.iter().enumerate() {
+            // Ordering: Acquire — pairs with the publishing CAS in
+            // `segment`; Drop's exclusivity covers mutation, not the
+            // visibility of another thread's published allocation.
             let p = slot.load(Ordering::Acquire);
             if p.is_null() {
                 continue;
@@ -567,6 +583,7 @@ impl<K, V, S: Scheme> Drop for RcResizableHashMap<K, V, S> {
 
 impl<K, V, S: Scheme> std::fmt::Debug for RcResizableHashMap<K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Ordering: Relaxed — diagnostic snapshot only.
         f.debug_struct("RcResizableHashMap")
             .field("buckets", &(self.mask.load(Ordering::Relaxed) + 1))
             .finish_non_exhaustive()

@@ -208,6 +208,9 @@ unsafe impl AcquireRetire for Ebr {
             announce_u64(&self.slots[t.index()].ann, self.clock.load());
             beat(t);
             crate::fault::on_section_entry(t);
+            // Sanitizer shadow: EBR sections protect every read
+            // (PROTECTS_SECTION_READS), so no per-acquire tokens are needed.
+            crate::sanitize::section_enter(self as *const Self as usize, t, true);
         }
     }
 
@@ -227,6 +230,7 @@ unsafe impl AcquireRetire for Ebr {
             // scanner that sees EMPTY knows the section's reads are done.
             self.slots[t.index()].ann.store(EMPTY, Ordering::Release);
             beat(t);
+            crate::sanitize::section_exit(self as *const Self as usize, t);
             // Section fully exited: anything the hook retires from here is
             // stamped with a fresh epoch, which only widens protection.
             if let Some(h) = self.exit_hook.get() {

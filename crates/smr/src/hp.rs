@@ -115,6 +115,9 @@ impl Hp {
                 // sink below the un-announcement even if a caller violates
                 // the single-use guard discipline.
                 ann.store(0, Ordering::Release);
+                // Null candidate: the slot now protects nothing — drop any
+                // stale sanitizer token held under this key.
+                crate::sanitize::on_unprotect(self as *const Self as usize, t, index);
                 return v;
             }
             if self.cfg.prefetch {
@@ -135,6 +138,17 @@ impl Hp {
             // read; ordered after the announcement by the fence above.
             let v2 = src.load(Ordering::Acquire);
             if v2 == v {
+                // Validated: the hazard slot covers `a` until `release`
+                // clears it — mint the matching sanitizer token under this
+                // slot's key (HP acquires are legal outside sections, so no
+                // section requirement).
+                crate::sanitize::on_protect(
+                    self as *const Self as usize,
+                    t,
+                    v,
+                    crate::sanitize::TokenLife::UntilRelease(index),
+                    false,
+                );
                 return v;
             }
             v = v2;
@@ -239,6 +253,10 @@ unsafe impl AcquireRetire for Hp {
         if local.depth == 1 {
             beat(t);
             crate::fault::on_section_entry(t);
+            // Sanitizer shadow: HP sections protect nothing — only hazard
+            // tokens (minted in `protect`) cover reads — but the open
+            // section is still tracked for leak detection.
+            crate::sanitize::section_enter(self as *const Self as usize, t, false);
         }
     }
 
@@ -254,6 +272,7 @@ unsafe impl AcquireRetire for Hp {
         };
         if outermost {
             beat(t);
+            crate::sanitize::section_exit(self as *const Self as usize, t);
             // Sections carry no protection here, but the depth count still
             // marks operation boundaries — the natural batch-flush point.
             // Hazard announcements are per-pointer, so hook-issued retires
@@ -300,6 +319,7 @@ unsafe impl AcquireRetire for Hp {
         // sequenced before this clear and cannot sink past it, so a scanner
         // that observes the empty slot knows those reads are done.
         self.slots[t.index()].anns[guard.index].store(0, Ordering::Release);
+        crate::sanitize::on_unprotect(self as *const Self as usize, t, guard.index);
         let local = unsafe { &mut *self.local(t) };
         if guard.index == self.cfg.hp_slots {
             debug_assert!(local.reserved_busy, "double release of acquire guard");

@@ -281,6 +281,10 @@ unsafe impl AcquireRetire for Hyaline {
             announce_usize(&self.slots[t.index()].head, 0);
             beat(t);
             crate::fault::on_section_entry(t);
+            // Sanitizer shadow: Hyaline sections protect every read
+            // (PROTECTS_SECTION_READS) — batches retired during the section
+            // count it — so no per-acquire tokens are needed.
+            crate::sanitize::section_enter(self as *const Self as usize, t, true);
         }
     }
 
@@ -307,6 +311,7 @@ unsafe impl AcquireRetire for Hyaline {
         };
         if outermost {
             beat(t);
+            crate::sanitize::section_exit(self as *const Self as usize, t);
             // After `process_list`: hook-issued retires form batches that
             // count only the sections still active now — every section that
             // already left (including this one) is done reading.

@@ -202,6 +202,10 @@ unsafe impl AcquireRetire for Ibr {
             announce_u64(&slot.end_ann, e);
             beat(t);
             crate::fault::on_section_entry(t);
+            // Sanitizer shadow: IBR protects regions but NOT arbitrary
+            // section reads (PROTECTS_SECTION_READS = false) — coverage
+            // comes from the per-acquire interval tokens below.
+            crate::sanitize::section_enter(self as *const Self as usize, t, false);
         }
     }
 
@@ -232,6 +236,8 @@ unsafe impl AcquireRetire for Ibr {
             slot.begin_ann.store(EMPTY, Ordering::Release);
             slot.end_ann.store(EMPTY, Ordering::Release);
             beat(t);
+            // Releases every interval token the section's acquires minted.
+            crate::sanitize::section_exit(self as *const Self as usize, t);
             // Retires issued by the hook are stamped with the post-section
             // epoch — a later lifetime upper bound only delays ejection.
             if let Some(h) = self.exit_hook.get() {
@@ -272,6 +278,15 @@ unsafe impl AcquireRetire for Ibr {
             let ptr = src.load(Ordering::Acquire);
             let cur = self.clock.load();
             if local.prev_epoch == cur {
+                // The announced interval now covers the pointee until the
+                // section ends — mint a matching sanitizer token.
+                crate::sanitize::on_protect(
+                    self as *const Self as usize,
+                    t,
+                    ptr,
+                    crate::sanitize::TokenLife::UntilSectionExit,
+                    true,
+                );
                 return (ptr, ());
             }
             local.prev_epoch = cur;

@@ -68,6 +68,19 @@
 //! *idle* HP section pins nothing at all (hazard pointers protect
 //! individual pointers, not regions — [`AcquireRetire::PROTECTS_REGIONS`]
 //! is `false`), which is HP's fault-tolerance-by-construction story.
+//!
+//! # Reclamation sanitizer
+//!
+//! Under `--features sanitize`, the [`sanitize`] module arms a shadow-state
+//! checker: every engine access (section entry/exit, acquire/release,
+//! retire, and the `cdrc` layer's installs, decrements, disposals and
+//! dereferences) is validated against a per-block lifecycle table and a
+//! per-thread protection shadow, and violations — use-after-retire, double
+//! retire, unprotected reads on schemes where
+//! [`AcquireRetire::PROTECTS_SECTION_READS`] is `false`, section/hazard
+//! leaks — panic at the offending call site with the block's event trail.
+//! In normal builds every hook is an empty `#[inline(always)]` function and
+//! the layer costs nothing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -78,6 +91,7 @@ pub mod hp;
 pub mod hyaline;
 pub mod ibr;
 mod registry;
+pub mod sanitize;
 pub mod sync;
 pub mod util;
 

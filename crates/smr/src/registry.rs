@@ -195,6 +195,9 @@ impl Drop for SlotGuard {
         for cb in cbs.iter_mut() {
             cb(t);
         }
+        // Leak check + shadow reset before the slot becomes reusable. Runs
+        // from a TLS destructor, so leaks are logged rather than panicked.
+        crate::sanitize::on_thread_unregister(t);
         // `CACHED` is const-initialized and has no destructor, so
         // `current_tid()` stays answerable from inside the callbacks.
         REGISTRY.release_slot(self.index);
@@ -225,6 +228,9 @@ thread_local! {
 pub fn abandon_current_slot() -> Tid {
     let t = current_tid();
     SLOT.with(|s| s.abandoned.set(true));
+    // The slot's protections are now deliberate wreckage for a reaper to
+    // recover — drop them from the sanitizer's shadow without leak reports.
+    crate::sanitize::on_thread_abandon(t);
     // Ordering: Release — publishes everything this thread wrote through its
     // scheme slots (open announcements, half-filled batches, retired lists)
     // to the reaper, whose `slot_abandoned` Acquire load pairs with this.
@@ -269,6 +275,9 @@ pub unsafe fn reclaim_orphaned_slot(t: Tid) -> bool {
     let mut reapers = ORPHAN_REAPERS.lock().unwrap();
     reapers.retain(|reap| reap(t));
     drop(reapers);
+    // The dead slot's sections and tokens were force-closed by the reapers;
+    // clear its shadow so the next owner does not inherit phantom state.
+    crate::sanitize::on_slot_reclaimed(t);
     // Ordering: Release — the reapers' recovery writes above happen-before
     // any thread that observes the slot un-abandoned and claims it.
     exempt(|| ABANDONED[t.index()].store(false, Ordering::Release));
@@ -359,6 +368,23 @@ pub fn current_tid() -> Tid {
     let idx = SLOT.with(|s| s.index);
     CACHED.with(|c| c.set(idx));
     Tid(idx)
+}
+
+/// Non-panicking [`current_tid`]: answers `None` for an unregistered thread
+/// or during thread teardown after the slot was released, instead of
+/// registering or panicking. Diagnostic paths (the sanitizer's event trail)
+/// use this so they stay callable from TLS destructors.
+#[allow(dead_code)] // only read by the sanitize feature's real half
+pub(crate) fn try_tid() -> Option<Tid> {
+    let cached = CACHED.with(|c| c.get());
+    if cached != usize::MAX {
+        return Some(Tid(cached));
+    }
+    SLOT.try_with(|s| {
+        CACHED.with(|c| c.set(s.index));
+        Tid(s.index)
+    })
+    .ok()
 }
 
 /// Number of threads currently registered.

@@ -42,7 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use smr::sync::atomic::{AtomicU64, Ordering};
+use smr::sync::atomic::{fence, AtomicU64, Ordering};
 use std::fmt;
 
 /// The interface shared by the wait-free [`StickyCounter`] and the CAS-loop
@@ -95,12 +95,20 @@ pub const MAX_COUNT: u64 = HELP_FLAG - 1;
 /// time in the worst case. A 64-bit word stores the count in the low 62 bits;
 /// the two high bits are the zero flag and the help flag.
 ///
-/// Memory ordering: read-modify-write operations use `SeqCst`, matching the
-/// sequentially-consistent model the paper's proof is carried out in. (On
-/// x86-64 this costs nothing over `AcqRel` — all locked RMWs are already
-/// sequentially consistent.) The `true`-returning `decrement` additionally
-/// synchronizes-with every earlier `decrement`, so it is safe to destroy the
-/// managed object after observing `true`.
+/// Memory ordering: the hot-path RMWs use the classic reference-count
+/// discipline rather than the sequentially-consistent model the paper's
+/// proof is carried out in — increments are `Relaxed` (the caller already
+/// holds a reference or protection; every correctness decision is made from
+/// the value the RMW itself returns), decrements are `Release` with an
+/// `Acquire` fence on the zero transition. Every counter operation is an
+/// RMW, so each `Release` decrement heads a release sequence that runs
+/// through all later counter RMWs; the fence therefore synchronizes the
+/// zero observer with *every* earlier decrement, and it is safe to destroy
+/// the managed object after observing `true`. The relaxation is licensed by
+/// the model-checked `sticky_release_decrement_is_sound` litmus, whose
+/// `Relaxed` twin shows the boundary: without the `Release`, the disposer
+/// can miss another owner's pre-decrement writes. The cold zero-transition
+/// flag RMWs and `load` stay `SeqCst` (`load` advertises linearizability).
 ///
 /// # Examples
 ///
@@ -148,13 +156,30 @@ impl Counter for StickyCounter {
         // One unconditional fetch-add: if the zero flag was set, the counter
         // is stuck at zero and the stray +1 below the flag bits is harmless
         // (every reader interprets any value with ZERO_FLAG as zero).
-        let val = self.x.fetch_add(1, Ordering::SeqCst);
+        // Ordering: Relaxed — as in `Arc::clone`. The success decision is
+        // made entirely from the value this RMW returns (RMW atomicity
+        // totally orders all counter operations); payload visibility comes
+        // from the reference or protection the caller already holds, never
+        // from the count.
+        let val = self.x.fetch_add(1, Ordering::Relaxed);
         (val & ZERO_FLAG) == 0
     }
 
     #[inline]
     fn decrement(&self) -> bool {
-        if self.x.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Ordering: Release — orders this owner's payload accesses before
+        // the count drop, so the eventual zero observer's Acquire fence
+        // (below) sees them before disposing. Licensed by the model-checked
+        // `sticky_release_decrement_is_sound` litmus; its Relaxed twin shows
+        // the disposer missing another owner's writes without it.
+        if self.x.fetch_sub(1, Ordering::Release) == 1 {
+            // Ordering: fence(Acquire) — this call zeroed the count, so it
+            // read the previous decrement's RMW. Every counter op is an
+            // RMW, so each Release decrement heads a release sequence
+            // reaching that value; the fence joins them all, making every
+            // other owner's pre-decrement payload accesses visible before
+            // the caller destroys the object.
+            fence(Ordering::Acquire);
             // We brought the stored value to numeric 0: attempt to make the
             // zero official by installing the zero flag.
             let mut e = 0u64;
@@ -209,6 +234,8 @@ impl Counter for StickyCounter {
 
 impl fmt::Debug for StickyCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Ordering: Relaxed — diagnostic snapshot only; nothing is decided
+        // from this value.
         let raw = self.x.load(Ordering::Relaxed);
         f.debug_struct("StickyCounter")
             .field("value", &self.load())
@@ -250,14 +277,18 @@ impl Counter for CasCounter {
 
     #[inline]
     fn increment_if_not_zero(&self) -> bool {
-        let mut cur = self.x.load(Ordering::SeqCst);
+        // Ordering: Relaxed — same discipline as the sticky counter's
+        // increment: the zero check and the CAS validate against values the
+        // atomics themselves return; a stale initial read only costs a
+        // retry, and no payload access is ordered through the count.
+        let mut cur = self.x.load(Ordering::Relaxed);
         loop {
             if cur == 0 {
                 return false;
             }
             match self
                 .x
-                .compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
                 Err(c) => cur = c,
@@ -267,7 +298,15 @@ impl Counter for CasCounter {
 
     #[inline]
     fn decrement(&self) -> bool {
-        self.x.fetch_sub(1, Ordering::SeqCst) == 1
+        // Ordering: Release, with fence(Acquire) on the zero transition —
+        // identical to `StickyCounter::decrement` (and `Arc::drop`): the
+        // release sequence through the counter's RMWs carries every other
+        // owner's pre-decrement accesses to the disposer.
+        if self.x.fetch_sub(1, Ordering::Release) == 1 {
+            fence(Ordering::Acquire);
+            return true;
+        }
+        false
     }
 
     #[inline]

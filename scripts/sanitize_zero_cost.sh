@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Zero-cost check for the reclamation sanitizer: a release build WITHOUT the
+# `sanitize` feature must contain none of the sanitizer's machinery. The
+# cheapest observable is its diagnostic strings — every check site funnels
+# into `fail()`, whose message literals live in the sanitizing crates'
+# rodata; if no diagnostic survived into any artifact, neither did a check.
+#
+# As a self-test, the script first confirms the same strings ARE present in
+# a `--features sanitize` build, so a renamed diagnostic cannot silently
+# turn the check into a tautology.
+#
+# Usage: scripts/sanitize_zero_cost.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Literals from crates/smr/src/sanitize.rs check sites.
+# Note the colon on the last needle: it pins the runtime diagnostic prefix,
+# not the crate docs' prose mention of unprotected reads (doc comments on
+# public items ride along in rlib metadata even with the feature off).
+NEEDLES=("use after dispose" "double retire on the dispose channel" "unprotected read:")
+
+scan() {
+    # Greps the smr rlibs of the given target dir for any needle.
+    local dir=$1 found=1
+    for f in "$dir"/deps/libsmr-*.rlib; do
+        [[ -e "$f" ]] || continue
+        for n in "${NEEDLES[@]}"; do
+            if grep -qF "$n" "$f"; then
+                found=0
+            fi
+        done
+    done
+    return $found
+}
+
+echo "sanitize_zero_cost: building WITH the feature (self-test)..."
+cargo build --release --features sanitize -p smr
+if ! scan target/release; then
+    echo "sanitize_zero_cost: FAILED (self-test): no sanitizer diagnostics in a"
+    echo "  --features sanitize build; the needles have gone stale — update them."
+    exit 1
+fi
+
+echo "sanitize_zero_cost: building WITHOUT the feature..."
+cargo clean --release -p smr
+cargo build --release -p smr
+if scan target/release; then
+    echo "sanitize_zero_cost: FAILED: sanitizer diagnostics present in a release"
+    echo "  build without the sanitize feature — the cfg gate leaks."
+    exit 1
+fi
+
+echo "sanitize_zero_cost: ok"

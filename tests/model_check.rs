@@ -21,12 +21,22 @@
 //! Bounds (see `interleave::Config`): preemption bound 1–2 depending on the
 //! scenario's op count, 1–2 shared words, ≤3 threads. The epoch-clock litmus
 //! justifies the `GlobalEpoch::advance` SeqCst→AcqRel relaxation (PR 3's
-//! ordering table); the IBR regression re-seeds the PR 5
-//! `PROTECTS_SECTION_READS` hole and demonstrates the checker catches it.
+//! ordering table); the sticky-decrement litmus licenses the reference
+//! counters' Relaxed-increment / Release-decrement discipline (and shows a
+//! Relaxed decrement letting the disposer miss another owner's writes); the
+//! unlink litmus pair *defends* the engine's SeqCst unlink swap/CAS —
+//! `unlink_acqrel_swap_is_unsound` exhibits the eject-rule violation that
+//! the tempting AcqRel relaxation opens, and the publication litmus shows
+//! Relaxed additionally tearing the displaced payload; the IBR regression
+//! re-seeds the PR 5 `PROTECTS_SECTION_READS` hole and demonstrates the
+//! checker catches it. The weak-upgrade and tag-RMW scenarios drive the
+//! remaining RcWord paths — weak snapshot/promotion racing the final strong
+//! drop, and tag RMWs racing a CAS with witness discipline — through the
+//! same full-stack exploration, now with the relaxed counters modeled.
 
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 
-use cdrc::{AtomicSharedPtr, DomainRef, SharedPtr};
+use cdrc::{AtomicSharedPtr, AtomicWeakPtr, DomainRef, SharedPtr, StrongRef};
 use interleave::thread as mthread;
 use interleave::{try_check, Config, Report, Violation};
 use smr::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -481,4 +491,582 @@ fn ibr_section_reads_hole_is_detected() {
 fn ibr_acquire_closes_the_hole() {
     let _s = serial();
     ibr_section_read(true).expect("acquire-protocol reads must be protected in every schedule");
+}
+
+// ---------------------------------------------------------------------------
+// Weak-upgrade protocol: snapshot / promotion racing the final strong drop
+// ---------------------------------------------------------------------------
+
+/// An `AtomicWeakPtr` holder snapshots and promotes while the main thread
+/// drops the *only* strong reference. Across every interleaving: a non-null
+/// weak snapshot's payload stays readable (disposal is deferred through the
+/// snapshot's dispose-instance protection) even when the object expires
+/// mid-snapshot; `try_promote` fails exactly when the strong count already
+/// hit zero; and the domain ledger balances after quiescence.
+fn weak_upgrade_protocol<S: cdrc::Scheme + Send + Sync>() -> Result<Report, Violation> {
+    try_check(cfg(1), || {
+        let d: DomainRef<S> = DomainRef::with_config(tight::<S>());
+        let t = current_tid();
+        {
+            let strong = SharedPtr::<u64, S>::new_in(5, &d);
+            let wslot = Arc::new(AtomicWeakPtr::new(strong.downgrade()));
+
+            let upgrader = {
+                let d = d.clone();
+                let wslot = Arc::clone(&wslot);
+                mthread::spawn(move || {
+                    let t = current_tid();
+                    {
+                        let cs = d.weak_cs();
+                        let snap = wslot.get_snapshot(&cs);
+                        if !snap.is_null() {
+                            // Readable even if the strong drop already won
+                            // the race: the snapshot defers disposal.
+                            let v = *snap.as_ref().expect("non-null snapshot must deref");
+                            assert_eq!(v, 5, "weak snapshot read a destroyed payload");
+                            if let Some(s) = snap.try_promote() {
+                                // The promotion owns a fresh strong count,
+                                // so the object cannot be expired now.
+                                assert!(!snap.expired(), "promoted object reported expired");
+                                assert_eq!(*s.as_ref().unwrap(), 5);
+                                drop(s);
+                            }
+                        }
+                    }
+                    d.process_deferred(t);
+                })
+            };
+
+            // The final strong drop: the object expires (dispose retires on
+            // the dispose channel) while the upgrader may hold a snapshot.
+            drop(strong);
+            upgrader.join().unwrap();
+
+            let Ok(wslot) = Arc::try_unwrap(wslot) else {
+                panic!("upgrader was joined; the Arc must be unique");
+            };
+            drop(wslot);
+        }
+        d.process_deferred(t);
+        unsafe { d.drain_and_apply_all(t) };
+        assert_eq!(
+            d.allocated(),
+            d.freed(),
+            "{}: domain ledger unbalanced after weak-upgrade race",
+            S::scheme_name()
+        );
+    })
+}
+
+#[test]
+fn ebr_weak_upgrade_protocol_balances() {
+    let _s = serial();
+    weak_upgrade_protocol::<cdrc::EbrScheme>().expect("weak-upgrade violation under EBR");
+}
+
+#[test]
+fn ibr_weak_upgrade_protocol_balances() {
+    let _s = serial();
+    weak_upgrade_protocol::<cdrc::IbrScheme>().expect("weak-upgrade violation under IBR");
+}
+
+#[test]
+fn hp_weak_upgrade_protocol_balances() {
+    let _s = serial();
+    weak_upgrade_protocol::<cdrc::HpScheme>().expect("weak-upgrade violation under HP");
+}
+
+#[test]
+fn hyaline_weak_upgrade_protocol_balances() {
+    let _s = serial();
+    weak_upgrade_protocol::<cdrc::HyalineScheme>().expect("weak-upgrade violation under Hyaline");
+}
+
+// ---------------------------------------------------------------------------
+// Tag-RMW protocol: fetch_or_tag racing a CAS, with witness discipline
+// ---------------------------------------------------------------------------
+
+/// A marker thread ORs a tag bit into the word while the main thread CASes
+/// in a replacement. Across every interleaving: the mark never duplicates
+/// (its previous word always carries tag 0 — the CAS only installs untagged
+/// words), a failed CAS hands back a witness naming exactly the marked
+/// occupant, the witness-seeded retry lands, and `try_set_tag` honours the
+/// same witness discipline single-threaded. Ledger balances afterwards.
+fn tag_rmw_protocol<S: cdrc::Scheme + Send + Sync>() -> Result<Report, Violation> {
+    try_check(cfg(1), || {
+        let d: DomainRef<S> = DomainRef::with_config(tight::<S>());
+        let t = current_tid();
+        {
+            let one = SharedPtr::<u64, S>::new_in(1, &d);
+            let one_addr = one.addr();
+            let slot = Arc::new(AtomicSharedPtr::<u64, S>::new_in(one.clone(), &d));
+            let stale = slot.load_tagged();
+
+            let marker = {
+                let d = d.clone();
+                let slot = Arc::clone(&slot);
+                mthread::spawn(move || {
+                    let prev = slot.fetch_or_tag(1);
+                    assert_eq!(prev.tag(), 0, "mark applied twice");
+                    assert_ne!(prev.addr(), 0, "mark landed on an empty location");
+                    d.process_deferred(current_tid());
+                })
+            };
+
+            let two = SharedPtr::new_in(2, &d);
+            match slot.compare_exchange(stale, &two) {
+                // CAS won the race: the marker tags the *new* occupant.
+                Ok(displaced) => drop(displaced),
+                // The mark beat us: the witness must carry the same address
+                // with the mark bit — nothing else touches the word.
+                Err(w) => {
+                    assert_eq!(w.addr(), one_addr, "witness names a foreign occupant");
+                    assert_eq!(w.tag(), 1, "failed CAS witness lost the observed mark");
+                    let displaced = slot
+                        .compare_exchange(w, &two)
+                        .expect("witness-seeded retry must succeed");
+                    drop(displaced);
+                }
+            }
+            marker.join().unwrap();
+
+            // Single-threaded tail: try_set_tag witness discipline.
+            let cur = slot.load_tagged();
+            let tagged = slot
+                .try_set_tag(cur, 2)
+                .expect("try_set_tag with a live witness must land");
+            assert_eq!(tagged.tag() & 2, 2, "try_set_tag dropped its bit");
+            let w = slot
+                .try_set_tag(cur, 4)
+                .expect_err("try_set_tag with a stale witness must fail");
+            assert_eq!(w, tagged, "failure witness must name the current word");
+
+            drop(two);
+            drop(one);
+            let Ok(slot) = Arc::try_unwrap(slot) else {
+                panic!("marker was joined; the Arc must be unique");
+            };
+            drop(slot);
+        }
+        d.process_deferred(t);
+        unsafe { d.drain_and_apply_all(t) };
+        assert_eq!(
+            d.allocated(),
+            d.freed(),
+            "{}: domain ledger unbalanced after tag-RMW race",
+            S::scheme_name()
+        );
+    })
+}
+
+#[test]
+fn ebr_tag_rmw_protocol_balances() {
+    let _s = serial();
+    tag_rmw_protocol::<cdrc::EbrScheme>().expect("tag-RMW violation under EBR");
+}
+
+#[test]
+fn ibr_tag_rmw_protocol_balances() {
+    let _s = serial();
+    tag_rmw_protocol::<cdrc::IbrScheme>().expect("tag-RMW violation under IBR");
+}
+
+#[test]
+fn hp_tag_rmw_protocol_balances() {
+    let _s = serial();
+    tag_rmw_protocol::<cdrc::HpScheme>().expect("tag-RMW violation under HP");
+}
+
+#[test]
+fn hyaline_tag_rmw_protocol_balances() {
+    let _s = serial();
+    tag_rmw_protocol::<cdrc::HyalineScheme>().expect("tag-RMW violation under Hyaline");
+}
+
+// ---------------------------------------------------------------------------
+// Unlink publication litmus: the swap's Release/Acquire halves
+// ---------------------------------------------------------------------------
+
+/// Distilled RcWord unlink, publication duties only. The engine's `install`
+/// swap carries three duties: Release (publish the new occupant's payload),
+/// Acquire (make the displaced occupant readable for its deferred
+/// decrement), and SeqCst placement before the retire stamp. This litmus
+/// isolates the first two by program-ordering the clock tick inside the
+/// installer (a birth epoch), so the SC duty never comes into play: AcqRel
+/// passes, and weakening to Relaxed loses the Acquire half — the displaced
+/// payload read tears, and the checker finds the schedule. The SC duty is
+/// demonstrated separately by `unlink_clock_litmus`, where the clock
+/// advances on an *unordered* thread and AcqRel itself breaks.
+fn rc_unlink_litmus(swap_order: Ordering) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        let ann = Arc::new(AtomicU64::new(NO_ANN));
+        let slot = Arc::new(AtomicUsize::new(0));
+        let payload = Arc::new(AtomicUsize::new(0));
+        let freed = Arc::new(AtomicBool::new(false));
+
+        // Installer models allocate-then-install: tick the clock (the birth
+        // epoch), initialize the payload, publish with Release — what
+        // `store_owned` does on the way in.
+        let installer = {
+            let clock = Arc::clone(&clock);
+            let slot = Arc::clone(&slot);
+            let payload = Arc::clone(&payload);
+            mthread::spawn(move || {
+                // Ordering: AcqRel — mirrors `GlobalEpoch::advance`.
+                clock.fetch_add(1, Ordering::AcqRel);
+                payload.store(0xA5, Ordering::Relaxed);
+                // Ordering: Release — the publication half of an install.
+                slot.store(OBJ_A, Ordering::Release);
+            })
+        };
+
+        let reader = {
+            let clock = Arc::clone(&clock);
+            let ann = Arc::clone(&ann);
+            let slot = Arc::clone(&slot);
+            let payload = Arc::clone(&payload);
+            let freed = Arc::clone(&freed);
+            mthread::spawn(move || {
+                let e = clock.load(Ordering::SeqCst);
+                ann.store(e, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                let p = slot.load(Ordering::Acquire);
+                if p == OBJ_A {
+                    // Publication: an Acquire load that saw the install
+                    // must see the payload initialization.
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        0xA5,
+                        "reader saw an uninitialized payload"
+                    );
+                    mthread::yield_now();
+                    let gone = exempt(|| freed.load(Ordering::Relaxed));
+                    assert!(!gone, "object freed while an announcement protected it");
+                }
+                ann.store(NO_ANN, Ordering::Release);
+            })
+        };
+
+        // Writer (main): the engine's install — swap-unlink at `swap_order`,
+        // read the displaced payload (the deferred decrement reads the
+        // displaced header), stamp the retire SeqCst, scan the announcement.
+        let old = slot.swap(0, swap_order);
+        if old == OBJ_A {
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                0xA5,
+                "displaced payload torn: the swap lost its Acquire half"
+            );
+            let stamp = clock.load(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let a = ann.load(Ordering::Relaxed);
+            if a == NO_ANN || stamp < a {
+                exempt(|| freed.store(true, Ordering::Relaxed));
+            }
+        }
+        installer.join().unwrap();
+        reader.join().unwrap();
+    })
+}
+
+/// With the clock tick ordered before publication, AcqRel covers both
+/// publication duties in every interleaving — isolating exactly what the
+/// Release and Acquire halves of the unlink buy.
+#[test]
+fn rc_unlink_acqrel_swap_covers_publication() {
+    let _s = serial();
+    let report = rc_unlink_litmus(Ordering::AcqRel)
+        .expect("AcqRel must cover the unlink swap's publication duties");
+    assert!(report.iterations > 1, "litmus explored only one schedule");
+}
+
+/// Dropping to Relaxed loses the Acquire half and the displaced occupant's
+/// payload read tears — the checker finds the interleaving. Together with
+/// `unlink_acqrel_swap_is_unsound` this brackets the engine's unlink at
+/// SeqCst: Relaxed tears the displaced read, AcqRel breaks the eject rule.
+#[test]
+fn rc_unlink_relaxed_swap_is_unsound() {
+    let _s = serial();
+    let v = rc_unlink_litmus(Ordering::Relaxed)
+        .expect_err("Relaxed unlink swap must be caught by the checker");
+    assert!(
+        v.message.contains("displaced payload torn")
+            || v.message
+                .contains("freed while an announcement protected it"),
+        "unexpected violation: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Unlink-clock litmus: why the engine's unlink stays SeqCst — plus the
+// announcement-exit handshake
+// ---------------------------------------------------------------------------
+
+/// The full eject handshake with the clock advanced by an *unordered*
+/// thread — the realistic shape, since any allocating thread may tick the
+/// epoch. The eject rule ("free when the announcement is absent or newer
+/// than the retire stamp") is sound only through the SC chain
+/// unlink ≤ stamp ≤ reader's clock read ≤ reader's fence: a reader that
+/// announces a newer-than-stamp epoch is thereby forced to observe the
+/// unlink, so it can never hold the retired pointer. A SeqCst unlink swap
+/// closes the chain; an AcqRel swap drops out of the SC order and the
+/// checker finds the schedule where the reader announces a fresh epoch,
+/// still loads the *stale* pointer, and the scan under-stamps and frees it.
+/// This is the litmus that keeps `RcWord::install`/`cex` at SeqCst.
+///
+/// The reader side doubles as the announcement-exit handshake: its exit is
+/// the single `Release` store EBR uses, and the writer may only clobber
+/// ("free") the payload after its scan observes the exit or a covered
+/// announcement. The exit's Release *floor* (protected reads must not sink
+/// below the un-announcement) is a compiler-reordering concern the
+/// operational checker cannot exhibit — it never reorders a thread's own
+/// accesses — so that boundary is documented here rather than demonstrated.
+fn unlink_clock_litmus(swap_order: Ordering) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        let ann = Arc::new(AtomicU64::new(NO_ANN));
+        let slot = Arc::new(AtomicUsize::new(OBJ_A));
+        let payload = Arc::new(AtomicUsize::new(0xA5));
+
+        let advancer = {
+            let clock = Arc::clone(&clock);
+            // Ordering: AcqRel — mirrors `GlobalEpoch::advance`.
+            mthread::spawn(move || {
+                clock.fetch_add(1, Ordering::AcqRel);
+            })
+        };
+
+        let reader = {
+            let clock = Arc::clone(&clock);
+            let ann = Arc::clone(&ann);
+            let slot = Arc::clone(&slot);
+            let payload = Arc::clone(&payload);
+            mthread::spawn(move || {
+                let e = clock.load(Ordering::SeqCst);
+                ann.store(e, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                let p = slot.load(Ordering::Acquire);
+                if p == OBJ_A {
+                    mthread::yield_now();
+                    // Protected read: must precede the exit and must never
+                    // see the writer's post-exit clobber.
+                    let v = payload.load(Ordering::Relaxed);
+                    assert_eq!(v, 0xA5, "payload clobbered under a live announcement");
+                }
+                // The section exit under test: one Release store.
+                // Ordering: Release — orders every protected read above
+                // before the un-announcement a scan may act on.
+                ann.store(NO_ANN, Ordering::Release);
+            })
+        };
+
+        // Writer: unlink, stamp, scan; "free" by clobbering the payload.
+        let old = slot.swap(0, swap_order);
+        assert_eq!(old, OBJ_A);
+        let stamp = clock.load(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let a = ann.load(Ordering::Relaxed);
+        if a == NO_ANN || stamp < a {
+            payload.store(0xDEAD, Ordering::Relaxed);
+        }
+        advancer.join().unwrap();
+        reader.join().unwrap();
+    })
+}
+
+/// The handshake the engine actually runs: a SeqCst unlink keeps every
+/// schedule sound, announcement exits included.
+#[test]
+fn unlink_seqcst_swap_is_sound() {
+    let _s = serial();
+    let report = unlink_clock_litmus(Ordering::SeqCst)
+        .expect("the SeqCst-unlink eject handshake must be sound in every schedule");
+    assert!(report.iterations > 1, "litmus explored only one schedule");
+}
+
+/// The tempting relaxation, refuted: an AcqRel unlink leaves the SC order,
+/// so a freshly-announced reader can still load the stale pointer while the
+/// under-stamped scan frees it. This is why `RcWord::install` and the CAS
+/// success ordering stay SeqCst.
+#[test]
+fn unlink_acqrel_swap_is_unsound() {
+    let _s = serial();
+    let v = unlink_clock_litmus(Ordering::AcqRel)
+        .expect_err("an AcqRel unlink must be caught breaking the eject rule");
+    assert!(
+        v.message
+            .contains("payload clobbered under a live announcement"),
+        "unexpected violation: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// IBR scan-read litmus: the scan's fence + ordered interval-pair reads
+// ---------------------------------------------------------------------------
+
+const IBR_EMPTY: u64 = u64::MAX;
+
+/// Distilled IBR scan against a reader announcing `[2, 2]` and reading the
+/// slot on the stable-epoch fast path. The scan side models `Ibr::scan`
+/// exactly: SeqCst fence, `begin` loaded Acquire *before* `end` loaded
+/// Relaxed, and the `hi.max(lo)` tear fix-up. Sound with the fence: if the
+/// scan misses the announcement, it fenced first, so the reader's
+/// post-announce load observes the unlink and holds nothing. The boundary
+/// case omits the scan-head fence — the scan can then miss a live
+/// announcement *while* the reader reads the retired object, and the
+/// checker finds the schedule (this is the pairing `Ibr::scan`'s fence
+/// comment describes).
+fn ibr_scan_read_litmus(with_fence: bool) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let begin = Arc::new(AtomicU64::new(IBR_EMPTY));
+        let end = Arc::new(AtomicU64::new(IBR_EMPTY));
+        let slot = Arc::new(AtomicUsize::new(OBJ_A)); // born at epoch 2
+        let freed = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let begin = Arc::clone(&begin);
+            let end = Arc::clone(&end);
+            let slot = Arc::clone(&slot);
+            let freed = Arc::clone(&freed);
+            mthread::spawn(move || {
+                // Section entry at epoch 2: `begin` first, then `end`, then
+                // the announcement fence (the `announce_u64` idiom).
+                begin.store(2, Ordering::Relaxed);
+                end.store(2, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                // Stable-epoch fast path: one post-fence load, no extension.
+                let p = slot.load(Ordering::Acquire);
+                if p == OBJ_A {
+                    mthread::yield_now();
+                    let gone = exempt(|| freed.load(Ordering::Relaxed));
+                    assert!(
+                        !gone,
+                        "IBR scan freed an object covered by the announced interval"
+                    );
+                }
+                // Section exit: `begin` first (a torn scan read sees either
+                // [EMPTY, ..] or the old conservative pair).
+                begin.store(IBR_EMPTY, Ordering::Release);
+                end.store(IBR_EMPTY, Ordering::Release);
+            })
+        };
+
+        // Scanner (main): unlink OBJ_A (lifetime [2, 2]) and scan.
+        let old = slot.swap(0, Ordering::AcqRel);
+        assert_eq!(old, OBJ_A);
+        if with_fence {
+            fence(Ordering::SeqCst);
+        }
+        // Ordering discipline under test: `begin` (Acquire) pins the read
+        // order; a stale `end` pairs with an older-or-equal `begin`, and
+        // `hi.max(lo)` turns entry tears into supersets.
+        let lo = begin.load(Ordering::Acquire);
+        let hi = end.load(Ordering::Relaxed);
+        let covered = lo != IBR_EMPTY && {
+            let hi = hi.max(lo);
+            lo <= 2 && 2 <= hi
+        };
+        if !covered {
+            exempt(|| freed.store(true, Ordering::Relaxed));
+        }
+        reader.join().unwrap();
+    })
+}
+
+#[test]
+fn ibr_scan_read_handshake_is_sound() {
+    let _s = serial();
+    let report = ibr_scan_read_litmus(true)
+        .expect("the fenced scan-read protocol must be sound in every schedule");
+    assert!(report.iterations > 1, "litmus explored only one schedule");
+}
+
+#[test]
+fn ibr_scan_without_fence_is_caught() {
+    let _s = serial();
+    let v = ibr_scan_read_litmus(false)
+        .expect_err("an unfenced scan must be caught missing a live announcement");
+    assert!(
+        v.message.contains("covered by the announced interval"),
+        "unexpected violation: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sticky-decrement litmus: licenses the counters' Release decrement
+// ---------------------------------------------------------------------------
+
+/// Distilled reference-count drop — the relaxation `StickyCounter` and
+/// `CasCounter` run on (Relaxed increments, Release decrements, Acquire
+/// fence on the zero transition, as in `Arc`). Two owners share a count of
+/// 2; the spawned owner writes the payload before releasing its reference.
+/// Whichever decrement zeroes the count fences and "disposes" by asserting
+/// the payload: the zero observer read the other owner's decrement through
+/// the counter's RMW chain, so with a Release decrement the fence makes
+/// that owner's prior write visible in every schedule. With a Relaxed
+/// decrement the release edge is gone and the checker finds the schedule
+/// where the disposer reads the payload stale — destroying an object while
+/// missing another owner's writes to it.
+fn sticky_decrement_litmus(decr_order: Ordering) -> Result<Report, Violation> {
+    try_check(cfg(2), move || {
+        let count = Arc::new(AtomicU64::new(2));
+        let payload = Arc::new(AtomicUsize::new(0));
+
+        let owner = {
+            let count = Arc::clone(&count);
+            let payload = Arc::clone(&payload);
+            mthread::spawn(move || {
+                // This owner's last use of the object...
+                payload.store(0xA5, Ordering::Relaxed);
+                // ...then its reference drop.
+                if count.fetch_sub(1, decr_order) == 1 {
+                    fence(Ordering::Acquire);
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        0xA5,
+                        "disposer missed an owner's pre-release write"
+                    );
+                }
+            })
+        };
+
+        // Main owner never writes; if its decrement zeroes the count, the
+        // other owner's write and decrement already happened.
+        if count.fetch_sub(1, decr_order) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                0xA5,
+                "disposer missed an owner's pre-release write"
+            );
+        }
+        owner.join().unwrap();
+    })
+}
+
+/// The relaxation the checker licenses: Release decrements with an Acquire
+/// fence on the zero path keep disposal sound in every schedule — the
+/// counters do not need the paper's blanket SeqCst.
+#[test]
+fn sticky_release_decrement_is_sound() {
+    let _s = serial();
+    let report = sticky_decrement_litmus(Ordering::Release)
+        .expect("Release decrement + Acquire fence must be sound in every schedule");
+    assert!(report.iterations > 1, "litmus explored only one schedule");
+}
+
+/// The boundary: a Relaxed decrement drops the release edge and the
+/// disposer can read the dying object stale. This is why `decrement` sits
+/// at Release, not lower.
+#[test]
+fn sticky_relaxed_decrement_is_unsound() {
+    let _s = serial();
+    let v = sticky_decrement_litmus(Ordering::Relaxed)
+        .expect_err("a Relaxed decrement must be caught by the checker");
+    assert!(
+        v.message
+            .contains("disposer missed an owner's pre-release write"),
+        "unexpected violation: {v}"
+    );
 }
